@@ -1,0 +1,36 @@
+"""Shared helpers for the figure-regeneration benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+rows the paper plots, saves them under ``benchmarks/results/`` (the
+artifacts EXPERIMENTS.md is built from), and asserts the *qualitative*
+shape — who wins, monotonicity, crossovers — never absolute numbers.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record():
+    """Print a rendered table and persist it under benchmarks/results/."""
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
+                                                 encoding="utf-8")
+        print()
+        print(text)
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a simulation exactly once under pytest-benchmark.
+
+    These benchmarks measure *simulated* time; wall-clock repetition adds
+    nothing but hours, so rounds/iterations are pinned to 1.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

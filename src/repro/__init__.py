@@ -1,0 +1,46 @@
+"""Sparker reproduction: efficient reduction for scalable ML on a
+Spark-like engine.
+
+A from-scratch Python reproduction of *Sparker: Efficient Reduction for
+More Scalable Machine Learning with Spark* (ICPP '21): a deterministic
+discrete-event cluster simulator, a Spark-like RDD engine, the split
+aggregation interface with a PDR ring reduce-scatter, in-memory merge, an
+MLlib-like model library, and a benchmark harness regenerating every table
+and figure of the paper's evaluation. See ``DESIGN.md`` for the system
+inventory and ``EXPERIMENTS.md`` for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import SparkerContext, ClusterConfig
+    from repro.data import sparse_classification
+    from repro.ml import LogisticRegressionWithSGD
+
+    sc = SparkerContext(ClusterConfig.bic(num_nodes=2))
+    points, _ = sparse_classification(2000, 500, 10, seed=0)
+    rdd = sc.parallelize(points).cache()
+    model = LogisticRegressionWithSGD.train(
+        rdd, 500, num_iterations=10, aggregation="split")
+    print(model.accuracy(points), f"simulated {sc.now:.2f}s")
+"""
+
+from .cluster import GB, KB, MB, Cluster, ClusterConfig
+from .core import SpawnRDD, split_aggregate, tree_aggregate, tree_reduce
+from .rdd import RDD, SparkerContext, StorageLevel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SparkerContext",
+    "ClusterConfig",
+    "Cluster",
+    "RDD",
+    "StorageLevel",
+    "tree_aggregate",
+    "tree_reduce",
+    "split_aggregate",
+    "SpawnRDD",
+    "KB",
+    "MB",
+    "GB",
+    "__version__",
+]

@@ -1,0 +1,203 @@
+"""Regenerate the paper's tables and figures from the command line.
+
+Usage::
+
+    python -m repro.bench --list
+    python -m repro.bench fig16 fig12          # specific exhibits
+    python -m repro.bench --quick all          # reduced-scale everything
+
+Prints each exhibit's rows (the same output the benchmark suite saves
+under ``benchmarks/results/``). The ``--quick`` flag shrinks sweeps for a
+fast smoke pass; full-scale runs match the `pytest benchmarks/` suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from ..cluster import KB, MB
+from . import experiments as exp
+from .harness import format_table, geomean
+
+
+def _fig1(quick: bool) -> str:
+    rows = exp.fig1_mllib_speedup(
+        workloads=("LDA-N", "LR-K") if quick else None,
+        iterations=1 if quick else 2)
+    table = format_table(
+        ["Workload", "1-node (s)", "8-node (s)", "Speedup"],
+        [(n, round(a, 2), round(b, 2), round(s, 2)) for n, a, b, s in rows],
+        title="Figure 1: MLlib 8-node speedup over 1-node")
+    return table + (f"\ngeomean: {geomean([r[3] for r in rows]):.2f} "
+                    f"(paper 1.25)")
+
+
+def _fig2(quick: bool) -> str:
+    rows = exp.fig2_time_breakdown(
+        workloads=("LDA-N", "LR-A") if quick else None,
+        iterations=1 if quick else 2)
+    return format_table(
+        ["Workload", "Agg (s)", "Non-agg (s)", "Driver (s)", "Agg share"],
+        [(n, round(b.aggregation, 2), round(b.non_agg, 2),
+          round(b.driver, 2), f"{b.agg_fraction * 100:.0f}%")
+         for n, b in rows],
+        title="Figure 2: time decomposition (8-node BIC)")
+
+
+def _scaling_table(rows, title: str) -> str:
+    return format_table(
+        ["Cores", "Agg-compute", "Agg-reduce", "Driver", "Non-agg",
+         "Total"],
+        [tuple(round(v, 2) if isinstance(v, float) else v for v in row)
+         for row in exp.breakdown_rows(rows)],
+        title=title)
+
+
+def _fig3(quick: bool) -> str:
+    rows = exp.fig3_lda_scaling_bic(
+        core_counts=(24, 192) if quick else (24, 48, 96, 192),
+        iterations=1 if quick else 2)
+    return _scaling_table(rows, "Figure 3: LDA-N on BIC (Spark)")
+
+
+def _fig4(quick: bool) -> str:
+    rows = exp.fig4_lda_scaling_aws(
+        core_counts=(8, 192) if quick else (8, 96, 192, 480, 960),
+        iterations=1 if quick else 2)
+    return _scaling_table(rows, "Figure 4: LDA-N on AWS (Spark)")
+
+
+def _fig12(_quick: bool) -> str:
+    lat = exp.fig12_p2p_latency()
+    return format_table(
+        ["Stack", "One-way latency (us)"],
+        [(k, round(v * 1e6, 2)) for k, v in lat.items()],
+        title="Figure 12: p2p latency")
+
+
+def _fig13(quick: bool) -> str:
+    sizes = ([8 * KB, 8 * MB, 256 * MB] if quick else None)
+    rows = exp.fig13_p2p_throughput(sizes=sizes)
+    return format_table(
+        ["Message (B)", "MPI", "SC-1", "SC-2", "SC-4"],
+        [(int(b), *(round(c[k] / MB, 1)
+                    for k in ("MPI", "SC-1", "SC-2", "SC-4")))
+         for b, c in rows],
+        title="Figure 13: p2p throughput (MB/s)")
+
+
+def _fig14(quick: bool) -> str:
+    result = exp.fig14_reduce_scatter_parallelism(
+        parallelisms=(1, 4) if quick else (1, 2, 4, 8))
+    lines = [(f"P={p}", round(t, 3))
+             for p, t in sorted(result["parallelism"].items())]
+    lines += [(k, round(v, 3)) for k, v in result["topology"].items()]
+    return format_table(["Setting", "Reduce-scatter (s)"], lines,
+                        title="Figure 14: parallelism & topology (256MB)")
+
+
+def _fig15(quick: bool) -> str:
+    rows = exp.fig15_reduce_scatter_scaling(
+        executor_counts=(6, 48) if quick else (6, 12, 24, 48))
+    return format_table(
+        ["Message (B)", "Executors", "SC (ms)", "MPI (ms)"],
+        [(int(b), n, round(sc * 1e3, 2), round(mpi * 1e3, 2))
+         for b, n, sc, mpi in rows],
+        title="Figure 15: reduce-scatter scalability")
+
+
+def _fig16(quick: bool) -> str:
+    rows = exp.fig16_aggregation_scaling(
+        node_counts=(1, 8) if quick else (1, 2, 4, 8),
+        sizes=(8 * MB,) if quick else (1 * KB, 8 * MB, 256 * MB))
+    return format_table(
+        ["Message (B)", "Nodes", "Method", "Seconds"],
+        [(int(b), n, m, round(s, 3)) for b, n, m, s in rows],
+        title="Figure 16: aggregation scalability")
+
+
+def _fig17(quick: bool) -> str:
+    rows = exp.fig17_e2e_speedup(
+        clusters=("BIC",) if quick else ("BIC", "AWS"),
+        workloads=("LDA-N", "SVM-K") if quick else None,
+        iterations=1 if quick else 2)
+    return format_table(
+        ["Cluster", "Workload", "Spark (s)", "Sparker (s)", "Speedup"],
+        [(c, w, round(a, 2), round(b, 2), round(s, 2))
+         for c, w, a, b, s in rows],
+        title="Figure 17: Sparker end-to-end speedup")
+
+
+def _fig18(quick: bool) -> str:
+    rows = exp.fig18_sparker_scaling(
+        core_counts=(8, 192) if quick else (8, 96, 192, 480, 960),
+        iterations=1 if quick else 2)
+    lines = []
+    for cores, spark, sparker in rows:
+        for label, res in (("Spark", spark), ("Sparker", sparker)):
+            b = res.breakdown
+            lines.append((cores, label, round(b.agg_compute, 2),
+                          round(b.agg_reduce, 2), round(b.driver, 2),
+                          round(res.end_to_end, 2)))
+    return format_table(
+        ["Cores", "Engine", "Agg-compute", "Agg-reduce", "Driver",
+         "Total"],
+        lines, title="Figure 18: LDA-N, Spark vs Sparker (AWS)")
+
+
+EXHIBITS: Dict[str, Tuple[str, Callable[[bool], str]]] = {
+    "table1": ("Cluster configurations", lambda _q: exp.table1_clusters()),
+    "table2": ("Datasets", lambda _q: exp.table2_datasets()),
+    "table3": ("Models", lambda _q: exp.table3_models()),
+    "fig1": ("MLlib speedups (BIC)", _fig1),
+    "fig2": ("Time decomposition", _fig2),
+    "fig3": ("LDA-N scaling on BIC", _fig3),
+    "fig4": ("LDA-N scaling on AWS", _fig4),
+    "fig12": ("p2p latency", _fig12),
+    "fig13": ("p2p throughput", _fig13),
+    "fig14": ("RS parallelism/topology", _fig14),
+    "fig15": ("RS scalability", _fig15),
+    "fig16": ("Aggregation scalability", _fig16),
+    "fig17": ("End-to-end speedups", _fig17),
+    "fig18": ("Spark vs Sparker scaling", _fig18),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the Sparker paper's tables and figures.")
+    parser.add_argument("exhibits", nargs="*",
+                        help="exhibit names (e.g. fig16), or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available exhibits")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced-scale sweeps for a fast pass")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.exhibits:
+        print("available exhibits:")
+        for name, (description, _fn) in EXHIBITS.items():
+            print(f"  {name:8s} {description}")
+        return 0
+
+    wanted = (list(EXHIBITS) if "all" in args.exhibits
+              else list(args.exhibits))
+    unknown = [w for w in wanted if w not in EXHIBITS]
+    if unknown:
+        print(f"unknown exhibits: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in wanted:
+        _description, fn = EXHIBITS[name]
+        began = time.time()
+        print(f"\n{'#' * 70}\n# {name}\n{'#' * 70}")
+        print(fn(args.quick))
+        print(f"[{name} regenerated in {time.time() - began:.1f}s wall]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Stage-log analysis: the paper's §2.3 methodology, reproduced.
+
+The authors found MLlib's bottleneck by analyzing Spark *history logs*:
+per-stage submit/finish timestamps, classified into tree-aggregation
+stages vs everything else, with the first aggregation stage counted as
+"Agg-compute" and the rest as "Agg-reduce". This module applies exactly
+that procedure to the engine's :class:`~repro.rdd.scheduler.StageInfo`
+log, independently of the live stopwatch instrumentation — giving a
+second, log-derived route to the Figure 2/3/4 decompositions (and a
+cross-check of the first: see ``tests/bench/test_history.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Sequence, Union
+
+from .harness import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rdd.scheduler import StageInfo
+
+__all__ = ["StageLogAnalysis", "analyze_stage_log", "render_stage_log",
+           "dump_history", "load_history"]
+
+#: RDD names that mark the *first* stage of an aggregation (the seqOp
+#: pass; tree level 0's map side contains the partial aggregation)
+_AGG_COMPUTE_MARKERS = ("partialAggregate", "treeAgg:level0")
+#: RDD names that mark reduction stages of an aggregation
+_AGG_REDUCE_MARKERS = ("treeAgg:", "treeAggValues", "SpawnRDD")
+
+
+@dataclass
+class StageLogAnalysis:
+    """Aggregated view over one stage log window."""
+
+    num_stages: int
+    agg_compute: float
+    agg_reduce: float
+    other: float
+    stage_kinds: Dict[str, int]
+
+    @property
+    def total_stage_time(self) -> float:
+        return self.agg_compute + self.agg_reduce + self.other
+
+    @property
+    def aggregation_share(self) -> float:
+        """Share of stage time inside aggregation (the Figure 2 metric)."""
+        total = self.total_stage_time
+        return (self.agg_compute + self.agg_reduce) / total if total else 0.0
+
+
+def _classify(stage: "StageInfo") -> str:
+    """Which decomposition bucket a stage belongs to.
+
+    Matches the authors' log analysis: the partial-aggregation pass is
+    compute; tree levels, SpawnRDD launches, and the aggregation's result
+    stages are reduction; everything else is other work. The reduced-result
+    (IMM) stage computes partials, so it counts as compute.
+    """
+    name = stage.rdd_name
+    if stage.kind == "reduced_result":
+        return "agg_compute"
+    if any(name.startswith(m) for m in _AGG_COMPUTE_MARKERS):
+        return "agg_compute"
+    if any(name.startswith(m) for m in _AGG_REDUCE_MARKERS):
+        return "agg_reduce"
+    return "other"
+
+
+def analyze_stage_log(stages: Sequence["StageInfo"]) -> StageLogAnalysis:
+    """Classify and total a window of the DAG scheduler's stage log."""
+    agg_compute = agg_reduce = other = 0.0
+    kinds: Dict[str, int] = {}
+    for stage in stages:
+        kinds[stage.kind] = kinds.get(stage.kind, 0) + 1
+        duration = stage.duration
+        if duration != duration:  # NaN: stage never closed
+            continue
+        bucket = _classify(stage)
+        if bucket == "agg_compute":
+            agg_compute += duration
+        elif bucket == "agg_reduce":
+            agg_reduce += duration
+        else:
+            other += duration
+    return StageLogAnalysis(num_stages=len(stages),
+                            agg_compute=agg_compute,
+                            agg_reduce=agg_reduce,
+                            other=other, stage_kinds=kinds)
+
+
+def render_stage_log(stages: Sequence["StageInfo"],
+                     title: str = "Stage history") -> str:
+    """A Spark-UI-flavoured text rendering of the stage timeline."""
+    rows = []
+    for stage in stages:
+        rows.append((stage.stage_id, stage.kind, stage.rdd_name,
+                     stage.num_tasks, stage.attempt,
+                     round(stage.submitted_at, 4),
+                     round(stage.duration, 4),
+                     _classify(stage)))
+    return format_table(
+        ["Stage", "Kind", "RDD", "Tasks", "Attempt", "Submitted",
+         "Duration", "Bucket"],
+        rows, title=title)
+
+
+# ---------------------------------------------------------------- history IO
+def dump_history(stages: Sequence["StageInfo"],
+                 target: Union[str, Path]) -> int:
+    """Write a stage log as a JSON-lines history file.
+
+    One JSON object per stage, in the spirit of Spark's event-log files
+    (which is what the paper's authors actually mined). Returns the number
+    of records written.
+    """
+    path = Path(target)
+    with path.open("w", encoding="utf-8") as handle:
+        for stage in stages:
+            handle.write(json.dumps({
+                "stage_id": stage.stage_id,
+                "kind": stage.kind,
+                "rdd_name": stage.rdd_name,
+                "num_tasks": stage.num_tasks,
+                "attempt": stage.attempt,
+                "submitted_at": stage.submitted_at,
+                "finished_at": stage.finished_at,
+            }))
+            handle.write("\n")
+    return len(stages)
+
+
+def load_history(source: Union[str, Path]) -> List["StageInfo"]:
+    """Read a JSON-lines history file back into StageInfo records."""
+    from ..rdd.scheduler import StageInfo
+
+    stages: List[StageInfo] = []
+    for line in Path(source).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        raw = json.loads(line)
+        stages.append(StageInfo(
+            stage_id=int(raw["stage_id"]),
+            kind=str(raw["kind"]),
+            rdd_name=str(raw["rdd_name"]),
+            num_tasks=int(raw["num_tasks"]),
+            attempt=int(raw["attempt"]),
+            submitted_at=float(raw["submitted_at"]),
+            finished_at=float(raw["finished_at"]),
+        ))
+    return stages

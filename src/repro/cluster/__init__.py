@@ -1,0 +1,24 @@
+"""Simulated cluster substrate: nodes, NICs, network fabric, placement.
+
+This package replaces the paper's physical clusters (Table 1) with a
+deterministic discrete-event model. See ``DESIGN.md`` §2 for the
+substitution rationale and §4 for the timing model.
+"""
+
+from .config import GB, KB, MB, MS, US, ClusterConfig
+from .network import Network
+from .node import Node
+from .placement import Cluster, ExecutorSlot
+
+__all__ = [
+    "ClusterConfig",
+    "Network",
+    "Node",
+    "Cluster",
+    "ExecutorSlot",
+    "KB",
+    "MB",
+    "GB",
+    "US",
+    "MS",
+]

@@ -1,0 +1,357 @@
+"""Flow-level network model with max-min fair bandwidth sharing.
+
+Packet-level simulation would be hopeless at the message counts of a
+120-executor ring, and naive FIFO bandwidth queueing produces artifacts
+(adding a parallel channel can *lengthen* a transfer). This module uses the
+standard *fluid* abstraction instead: every in-flight transfer is a **flow**
+with a remaining byte count, a set of capacity constraints (**links**: NIC
+egress/ingress, loopback bus) and an optional per-flow rate cap (a single
+TCP stream). Whenever the flow set changes, rates are recomputed by
+**progressive filling** — the classic water-filling algorithm that yields
+the unique max-min fair allocation — and projected completions are kept in
+a heap. This is how concurrent TCP streams behave to first order, and it
+is what the paper's Figures 13/14 (parallelism) and the driver-fetch
+bottleneck depend on.
+
+Scalability: max-min allocations decompose over *connected components* of
+the flow-link sharing graph, so arrivals and departures only re-solve the
+component they touch (a 120-executor ring has per-node components of a few
+dozen flows, not one 500-flow system). Flow progress is settled lazily —
+each flow carries the timestamp its ``remaining`` was last valid at — so
+events cost O(component), not O(all flows).
+
+Determinism: flows and links are visited in insertion order, ties in the
+filling loop break toward the lowest-indexed link, and completion-heap
+entries carry a per-flow version so stale projections are skipped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..sim import Environment, Event
+
+__all__ = ["Link", "FlowNetwork"]
+
+#: residual bytes below which a flow counts as complete
+_COMPLETE_EPS = 1e-6
+#: residual *time* below which a flow counts as complete (guards against
+#: sub-epsilon byte residues at multi-GB/s rates spinning the timer)
+_COMPLETE_TIME_EPS = 1e-9
+#: relative tolerance in the filling loop
+_RATE_EPS = 1e-9
+#: slack when comparing heap times
+_TIME_EPS = 1e-12
+
+
+class Link:
+    """A capacity constraint shared by flows (NIC direction, memory bus)."""
+
+    __slots__ = ("name", "capacity", "_index")
+    _counter = itertools.count()
+
+    def __init__(self, capacity: float, name: str = ""):
+        if capacity <= 0:
+            raise ValueError(f"link capacity must be positive, got {capacity}")
+        self.capacity = float(capacity)
+        self.name = name
+        self._index = next(Link._counter)
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name!r} {self.capacity:.4g}B/s>"
+
+
+class _Flow:
+    __slots__ = ("flow_id", "remaining", "cap", "links", "event", "rate",
+                 "last", "version")
+
+    def __init__(self, flow_id: int, nbytes: float, cap: float,
+                 links: Sequence[Link], event: Event, now: float):
+        self.flow_id = flow_id
+        self.remaining = float(nbytes)
+        self.cap = cap
+        self.links = tuple(links)
+        self.event = event
+        self.rate = 0.0
+        self.last = now  # timestamp `remaining` was last settled at
+        self.version = 0
+
+
+class FlowNetwork:
+    """Tracks all in-flight transfers and fair-shares link bandwidth."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._flows: Dict[int, _Flow] = {}
+        #: flows currently crossing each link (insertion-ordered)
+        self._link_flows: Dict[Link, Dict[int, _Flow]] = {}
+        self._next_id = 0
+        #: completion heap: (finish_time, seq, flow_id, flow_version)
+        self._heap: List = []
+        self._heap_seq = 0
+        self._timer_version = 0
+        self._armed_until: Optional[float] = None
+        #: completed-flow count, for instrumentation
+        self.completed = 0
+
+    # ----------------------------------------------------------------- public
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def flow(self, nbytes: float, links: Sequence[Link],
+             rate_cap: Optional[float] = None) -> Event:
+        """Start a transfer of ``nbytes`` through ``links``.
+
+        Returns an event that fires (with the flow's id) when the last byte
+        has been delivered. ``rate_cap`` bounds this flow's rate regardless
+        of link headroom (a single TCP stream); ``None`` means uncapped.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative flow size: {nbytes}")
+        cap = math.inf if rate_cap is None else float(rate_cap)
+        if cap <= 0:
+            raise ValueError(f"rate cap must be positive, got {rate_cap}")
+        event = self.env.event(name="flow")
+        flow_id = self._next_id
+        self._next_id += 1
+        if nbytes == 0:
+            event.succeed(flow_id)
+            return event
+        flow = _Flow(flow_id, nbytes, cap, links, event, self.env.now)
+        self._flows[flow_id] = flow
+        for link in flow.links:
+            self._link_flows.setdefault(link, {})[flow_id] = flow
+        self._reallocate(self._component([flow]))
+        self._arm_timer()
+        return event
+
+    def rate_of(self, event: Event) -> float:
+        """Current rate of the flow behind ``event`` (testing hook)."""
+        for flow in self._flows.values():
+            if flow.event is event:
+                return flow.rate
+        raise KeyError("no active flow for that event")
+
+    # --------------------------------------------------------------- internals
+    def _settle(self, flow: _Flow) -> None:
+        now = self.env.now
+        dt = now - flow.last
+        if dt > 0:
+            flow.remaining -= flow.rate * dt
+            if flow.remaining < 0:
+                flow.remaining = 0.0
+        flow.last = now
+
+    def _component(self, seeds: Sequence[_Flow]) -> List[_Flow]:
+        """All flows transitively sharing a link with any of ``seeds``."""
+        found: Dict[int, _Flow] = {}
+        seen_links: Set[Link] = set()
+        stack: List[_Flow] = list(seeds)
+        while stack:
+            flow = stack.pop()
+            if flow.flow_id in found or flow.flow_id not in self._flows:
+                continue
+            found[flow.flow_id] = flow
+            for link in flow.links:
+                if link in seen_links:
+                    continue
+                seen_links.add(link)
+                stack.extend(self._link_flows.get(link, {}).values())
+        return list(found.values())
+
+    def _reallocate(self, flows: List[_Flow]) -> None:
+        """Progressive filling over one connected component.
+
+        Settles every member first (their rates are about to change), then
+        computes the max-min fair allocation and refreshes heap entries for
+        flows whose rate changed.
+        """
+        if not flows:
+            return
+        for flow in flows:
+            self._settle(flow)
+
+        head_room: Dict[Link, float] = {}
+        counts: Dict[Link, int] = {}
+        for flow in flows:
+            for link in flow.links:
+                counts[link] = counts.get(link, 0) + 1
+                head_room.setdefault(link, link.capacity)
+
+        old_rates = {flow.flow_id: flow.rate for flow in flows}
+        # Fast path (the common ring case): every flow crosses the same
+        # single link and no per-flow cap binds below the fair share.
+        if len(head_room) == 1:
+            (link, count), = counts.items()
+            share = link.capacity / count
+            if all(f.links == (link,) and f.cap >= share for f in flows):
+                for flow in flows:
+                    if share != old_rates[flow.flow_id]:
+                        flow.rate = share
+                        flow.version += 1
+                self._push_component_min(flows)
+                return
+
+        unfrozen = {flow.flow_id: flow for flow in flows}
+        guard = 0
+        while unfrozen:
+            guard += 1
+            if guard > 4 * len(flows) + 8:  # pragma: no cover - safety net
+                raise RuntimeError("progressive filling failed to converge")
+            min_share = math.inf
+            bottleneck: Optional[Link] = None
+            for link, count in counts.items():
+                if count <= 0:
+                    continue
+                share = head_room[link] / count
+                if (share < min_share - _RATE_EPS or
+                        (abs(share - min_share) <= _RATE_EPS and
+                         bottleneck is not None and
+                         link._index < bottleneck._index)):
+                    min_share = share
+                    bottleneck = link
+            capped = [f for f in unfrozen.values()
+                      if f.cap <= min_share * (1 + _RATE_EPS)]
+            if capped:
+                for flow in capped:
+                    self._freeze(flow, flow.cap, head_room, counts, unfrozen)
+                continue
+            if bottleneck is None:
+                for flow in list(unfrozen.values()):
+                    self._freeze(flow, flow.cap, head_room, counts, unfrozen)
+                break
+            at_bottleneck = [f for f in unfrozen.values()
+                             if bottleneck in f.links]
+            for flow in at_bottleneck:
+                self._freeze(flow, min_share, head_room, counts, unfrozen)
+
+        for flow in flows:
+            if flow.rate != old_rates[flow.flow_id]:
+                flow.version += 1
+        self._push_component_min(flows)
+
+    @staticmethod
+    def _freeze(flow: _Flow, rate: float, head_room: Dict[Link, float],
+                counts: Dict[Link, int], unfrozen: Dict[int, _Flow]) -> None:
+        if not math.isfinite(rate) or rate <= 0:
+            raise RuntimeError(
+                f"flow {flow.flow_id} allocated a non-positive rate {rate!r}")
+        flow.rate = rate
+        for link in flow.links:
+            head_room[link] -= rate
+            if head_room[link] < 0:
+                head_room[link] = 0.0
+            counts[link] -= 1
+        del unfrozen[flow.flow_id]
+
+    # -------------------------------------------------------------- completion
+    def _push(self, flow: _Flow) -> None:
+        finish = flow.last + flow.remaining / flow.rate
+        self._heap_seq += 1
+        heapq.heappush(self._heap,
+                       (finish, self._heap_seq, flow.flow_id, flow.version))
+
+    def _push_component_min(self, flows: List[_Flow]) -> None:
+        """Track only the component's earliest projected completion.
+
+        Every completion triggers a reallocation of its component, which
+        pushes the next minimum — so one live heap entry per component is
+        enough to drive all of its completions in order, instead of one
+        entry per flow per rate change.
+        """
+        best = None
+        best_finish = math.inf
+        for flow in flows:
+            finish = flow.last + flow.remaining / flow.rate
+            if finish < best_finish:
+                best_finish = finish
+                best = flow
+        if best is not None:
+            self._heap_seq += 1
+            heapq.heappush(self._heap, (best_finish, self._heap_seq,
+                                        best.flow_id, best.version))
+
+    def _next_due(self) -> Optional[float]:
+        """Earliest valid projected completion (pops stale entries)."""
+        while self._heap:
+            finish, _seq, flow_id, version = self._heap[0]
+            flow = self._flows.get(flow_id)
+            if flow is None or flow.version != version:
+                heapq.heappop(self._heap)
+                continue
+            return finish
+        return None
+
+    def _arm_timer(self) -> None:
+        due = self._next_due()
+        if due is None:
+            return
+        if (self._armed_until is not None
+                and self._armed_until <= due + _TIME_EPS):
+            return  # an earlier-or-equal wake-up is already scheduled
+        self._timer_version += 1
+        self._armed_until = due
+        self.env.process(self._timer(self._timer_version, due),
+                         name="flow-timer", critical=True)
+
+    def _timer(self, version: int, due: float):
+        yield self.env.timeout(max(due - self.env.now, 0.0))
+        if version != self._timer_version:
+            return
+        self._armed_until = None
+        now = self.env.now
+        finished: List[_Flow] = []
+        done_ids: Set[int] = set()
+        while self._heap:
+            finish, _seq, flow_id, entry_version = self._heap[0]
+            if finish > now + _TIME_EPS:
+                break
+            heapq.heappop(self._heap)
+            if flow_id in done_ids:  # duplicate valid entry for this flow
+                continue
+            flow = self._flows.get(flow_id)
+            if flow is None or flow.version != entry_version:
+                continue
+            self._settle(flow)
+            if (flow.remaining <= _COMPLETE_EPS
+                    or flow.remaining / flow.rate <= _COMPLETE_TIME_EPS):
+                finished.append(flow)
+                done_ids.add(flow_id)
+            else:  # numeric drift: re-project the residue
+                flow.version += 1
+                self._push(flow)
+        if finished:
+            neighbours: Dict[int, _Flow] = {}
+            for flow in finished:
+                del self._flows[flow.flow_id]
+                self.completed += 1
+                for link in flow.links:
+                    members = self._link_flows.get(link)
+                    if members is not None:
+                        members.pop(flow.flow_id, None)
+                        if not members:
+                            del self._link_flows[link]
+                        else:
+                            neighbours.update(members)
+            for flow in finished:
+                flow.event.succeed(flow.flow_id)
+            if neighbours:
+                # One realloc per affected component.
+                remaining = dict(neighbours)
+                while remaining:
+                    fid, seed = remaining.popitem()
+                    if fid not in self._flows:
+                        continue  # the neighbour itself finished this round
+                    component = self._component([seed])
+                    self._reallocate(component)
+                    for member in component:
+                        remaining.pop(member.flow_id, None)
+        self._arm_timer()
+
+    def __repr__(self) -> str:
+        return (f"<FlowNetwork active={len(self._flows)} "
+                f"completed={self.completed}>")

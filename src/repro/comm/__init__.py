@@ -1,0 +1,31 @@
+"""Communication substrates: transports, fabric, ring PDR, MPI reference.
+
+Implements §4.1 (communication infrastructure) and §4.2 (scalable
+reduction) of the paper, plus the MPI baseline used throughout its
+evaluation.
+"""
+
+from .fabric import CommFabric
+from .micro import measure_latency, measure_throughput
+from .mpi import MPICH_RS_SHORT_THRESHOLD, MpiCommunicator
+from .ring import (
+    ScalableCommunicator,
+    ring_allgather_rank,
+    ring_reduce_scatter_rank,
+)
+from .transport import TransportSpec, bm_transport, mpi_transport, sc_transport
+
+__all__ = [
+    "CommFabric",
+    "TransportSpec",
+    "mpi_transport",
+    "sc_transport",
+    "bm_transport",
+    "ScalableCommunicator",
+    "ring_reduce_scatter_rank",
+    "ring_allgather_rank",
+    "MpiCommunicator",
+    "MPICH_RS_SHORT_THRESHOLD",
+    "measure_latency",
+    "measure_throughput",
+]

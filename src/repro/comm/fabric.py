@@ -1,0 +1,132 @@
+"""Point-to-point message fabric between ranked endpoints.
+
+A :class:`CommFabric` binds a set of integer *ranks* to cluster nodes and
+moves tagged messages between them through the simulated network using one
+:class:`~repro.comm.transport.TransportSpec`. It provides the MPI-flavoured
+primitives every collective in this package is built from:
+
+* ``send(src, dst, payload, tag)`` — generator; completes when delivered,
+* ``isend(...)`` — non-blocking variant returning the send process,
+* ``recv(rank, tag)`` — generator; completes with the payload.
+
+Messages carry *real* Python payloads (NumPy-backed segments), so every
+collective's result is checkable against a sequential reference. Message
+cost is driven by :func:`~repro.serde.sim_sizeof` of the payload, which
+respects the ``__sim_size__`` protocol used by scaled payloads.
+
+Matching is by ``(dst, tag)`` with FIFO order per tag — exactly enough for
+the deterministic collectives here (each (sender, tag) pair is unique in
+every algorithm, so no reordering ambiguity exists).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Hashable, Tuple
+
+from ..cluster.network import Network
+from ..cluster.node import Node
+from ..serde import sim_sizeof
+from ..sim import Process, Store
+from .transport import TransportSpec
+
+__all__ = ["CommFabric"]
+
+
+class CommFabric:
+    """Tagged point-to-point messaging between ranked endpoints."""
+
+    def __init__(self, network: Network, transport: TransportSpec):
+        self.network = network
+        self.transport = transport
+        self.env = network.env
+        self._nodes: Dict[int, Node] = {}
+        self._mailboxes: Dict[Tuple[int, Hashable], Store] = {}
+        #: messages delivered, for instrumentation
+        self.delivered = 0
+
+    # ---------------------------------------------------------------- set-up
+    def register(self, rank: int, node: Node) -> None:
+        """Bind ``rank`` to ``node``; ranks must be registered before use."""
+        if rank in self._nodes:
+            raise ValueError(f"rank {rank} is already registered")
+        self._nodes[rank] = node
+
+    def node_of(self, rank: int) -> Node:
+        try:
+            return self._nodes[rank]
+        except KeyError:
+            raise KeyError(f"rank {rank} is not registered") from None
+
+    @property
+    def size(self) -> int:
+        """Number of registered ranks."""
+        return len(self._nodes)
+
+    def _mailbox(self, rank: int, tag: Hashable) -> Store:
+        key = (rank, tag)
+        box = self._mailboxes.get(key)
+        if box is None:
+            box = Store(self.env, name=f"mbox:{rank}:{tag}")
+            self._mailboxes[key] = box
+        return box
+
+    # ------------------------------------------------------------- primitives
+    def send(self, src: int, dst: int, payload: Any, tag: Hashable = 0,
+             nbytes: float | None = None) -> Generator:
+        """Generator: move ``payload`` from ``src`` to ``dst``.
+
+        Completes once the last byte is delivered (and the message is in the
+        destination mailbox). ``nbytes`` overrides the payload's estimated
+        size when the caller knows better.
+        """
+        src_node = self.node_of(src)
+        dst_node = self.node_of(dst)
+        size = sim_sizeof(payload) if nbytes is None else float(nbytes)
+        yield from self.network.transfer(
+            src_node, dst_node, size,
+            stream_bandwidth=self.transport.stream_bandwidth,
+            loopback_stream_bandwidth=(
+                self.transport.loopback_stream_bandwidth),
+            overhead=self.transport.overhead,
+            gc_prone=self.transport.gc_prone,
+        )
+        self._mailbox(dst, tag).put(payload)
+        self.delivered += 1
+
+    def isend(self, src: int, dst: int, payload: Any, tag: Hashable = 0,
+              nbytes: float | None = None) -> Process:
+        """Non-blocking send: returns the in-flight send process."""
+        return self.env.process(
+            self.send(src, dst, payload, tag=tag, nbytes=nbytes),
+            name=f"isend:{src}->{dst}",
+        )
+
+    def recv(self, rank: int, tag: Hashable = 0) -> Generator:
+        """Generator: receive the next message for ``(rank, tag)``."""
+        payload = yield self._mailbox(rank, tag).get()
+        return payload
+
+    # ------------------------------------------------------------ conveniences
+    def ping_pong(self, a: int, b: int, nbytes: float = 1.0,
+                  rounds: int = 1) -> Generator:
+        """Generator: ``rounds`` ping-pong exchanges; returns elapsed time.
+
+        This is the latency micro-benchmark of Figure 12: one-way latency is
+        the returned elapsed time divided by ``2 * rounds``.
+        """
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        env = self.env
+        began = env.now
+
+        def _responder():
+            for i in range(rounds):
+                msg = yield from self.recv(b, tag=("ping", i))
+                yield from self.send(b, a, msg, tag=("pong", i))
+
+        responder = env.process(_responder(), name="pingpong-responder")
+        for i in range(rounds):
+            yield from self.send(a, b, b"x", tag=("ping", i), nbytes=nbytes)
+            yield from self.recv(a, tag=("pong", i))
+        yield responder
+        return env.now - began

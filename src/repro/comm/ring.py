@@ -1,0 +1,306 @@
+"""Ring-based collectives and the PDR scalable communicator.
+
+This module implements §4.1–4.2 of the paper:
+
+* :func:`ring_reduce_scatter_rank` — the per-rank process of the classic
+  bandwidth-optimal ring reduce-scatter (Patarasuk & Yuan; paper Figure 11):
+  ``N - 1`` iterations, each sending the *current value* of one segment to
+  the next neighbour while merging the segment received from the previous
+  neighbour.
+* :class:`ScalableCommunicator` — executors arranged in a *parallel
+  directed ring* (PDR, Figure 10): executors ranked 0..N-1 (sorted by
+  hostname when topology-aware), with ``parallelism`` independent channels
+  per hop. Channel ``p`` reduce-scatters global segments
+  ``[p*N, (p+1)*N - 1]``, so the aggregator is split into ``N * P``
+  segments total, exactly as §4.2 describes.
+
+All payload arithmetic is real (the reduce op runs on actual arrays); the
+merge CPU cost is charged at the platform's ``merge_bandwidth``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+from ..cluster.placement import Cluster, ExecutorSlot
+from ..serde import SerdeModel, sim_sizeof
+from ..sim import Environment
+from .fabric import CommFabric
+from .transport import TransportSpec, sc_transport
+
+__all__ = [
+    "ring_reduce_scatter_rank",
+    "ring_allgather_rank",
+    "ScalableCommunicator",
+]
+
+ReduceOp = Callable[[Any, Any], Any]
+SplitOp = Callable[[Any, int, int], Any]
+ConcatOp = Callable[[Sequence[Any]], Any]
+
+
+def ring_reduce_scatter_rank(
+    fabric: CommFabric,
+    rank: int,
+    size: int,
+    segments: Dict[int, Any],
+    reduce_op: ReduceOp,
+    merge_bandwidth: float,
+    channel: Any = 0,
+) -> Generator:
+    """Per-rank ring reduce-scatter over ``size`` ranks (one channel).
+
+    ``segments`` maps local segment index ``0..size-1`` to this rank's
+    contribution. Returns ``(owned_index, fully_reduced_segment)`` where
+    ``owned_index == (rank + 1) % size``.
+
+    At iteration ``k`` rank ``r`` sends its current value of segment
+    ``(r - k) mod N`` to rank ``(r + 1) mod N`` and merges the incoming
+    segment ``(r - k - 1) mod N`` from rank ``(r - 1) mod N``; after
+    ``N - 1`` iterations each segment has traversed the whole ring.
+    """
+    env = fabric.env
+    n = size
+    if n == 1:
+        return 0, segments[0]
+    nxt = (rank + 1) % n
+    current = dict(segments)
+    for k in range(n - 1):
+        send_idx = (rank - k) % n
+        recv_idx = (rank - k - 1) % n
+        tag = (channel, k)
+        in_flight = fabric.isend(rank, nxt, current[send_idx], tag=tag)
+        incoming = yield from fabric.recv(rank, tag=tag)
+        merged = reduce_op(current[recv_idx], incoming)
+        merge_cost = sim_sizeof(merged) / merge_bandwidth
+        if merge_cost > 0:
+            yield env.timeout(merge_cost)
+        current[recv_idx] = merged
+        # The channel is a single connection: do not start iteration k+1's
+        # send until iteration k's has fully left.
+        yield in_flight
+    owned = (rank + 1) % n
+    return owned, current[owned]
+
+
+def ring_allgather_rank(
+    fabric: CommFabric,
+    rank: int,
+    size: int,
+    owned_index: int,
+    owned_value: Any,
+    channel: Any = "ag",
+) -> Generator:
+    """Per-rank ring allgather: circulate owned segments to every rank.
+
+    Returns a dict mapping segment index -> value with all ``size``
+    segments. Combined with :func:`ring_reduce_scatter_rank` this yields
+    the bandwidth-optimal ring allreduce.
+    """
+    n = size
+    if n == 1:
+        return {owned_index: owned_value}
+    nxt = (rank + 1) % n
+    have: Dict[int, Any] = {owned_index: owned_value}
+    carry_idx, carry_val = owned_index, owned_value
+    for k in range(n - 1):
+        tag = (channel, k)
+        in_flight = fabric.isend(rank, nxt, (carry_idx, carry_val), tag=tag)
+        carry_idx, carry_val = yield from fabric.recv(rank, tag=tag)
+        have[carry_idx] = carry_val
+        yield in_flight
+    return have
+
+
+class ScalableCommunicator:
+    """The paper's scalable communicator: a parallel directed ring (PDR).
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster whose executors form the ring.
+    parallelism:
+        Number of parallel channels (and reduce-scatter threads) per
+        executor; the paper uses 4 after the Figure 14 sweep.
+    topology_aware:
+        Rank executors by hostname (True, the paper's default after Figure
+        14) or by executor id (registration order).
+    transport:
+        Messaging stack; defaults to the JeroMQ-grade SC transport.
+    slots:
+        Restrict the ring to a subset of executors (scalability sweeps).
+    """
+
+    def __init__(self, cluster: Cluster, parallelism: int = 4,
+                 topology_aware: bool = True,
+                 transport: Optional[TransportSpec] = None,
+                 slots: Optional[Sequence[ExecutorSlot]] = None):
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.parallelism = parallelism
+        self.topology_aware = topology_aware
+        self.transport = transport or sc_transport(cluster.config)
+        self.serde = SerdeModel.from_config(cluster.config)
+
+        chosen = list(slots) if slots is not None else list(cluster.executors)
+        if not chosen:
+            raise ValueError("communicator needs at least one executor")
+        if topology_aware:
+            chosen.sort(key=lambda s: (s.hostname, s.executor_id))
+        else:
+            chosen.sort(key=lambda s: s.executor_id)
+        self.ranked: List[ExecutorSlot] = chosen
+        self.size = len(chosen)
+
+        self.fabric = CommFabric(cluster.network, self.transport)
+        for rank, slot in enumerate(self.ranked):
+            self.fabric.register(rank, slot.node)
+
+    # -------------------------------------------------------------- topology
+    def rank_of(self, executor_id: int) -> int:
+        """Ring rank of the executor with ``executor_id``."""
+        for rank, slot in enumerate(self.ranked):
+            if slot.executor_id == executor_id:
+                return rank
+        raise KeyError(f"executor {executor_id} is not in this communicator")
+
+    @property
+    def num_segments(self) -> int:
+        """Total segments an aggregator is split into (``N * P``)."""
+        return self.size * self.parallelism
+
+    def segment_owner(self, global_index: int) -> int:
+        """Ring rank that owns ``global_index`` after reduce-scatter."""
+        if not 0 <= global_index < self.num_segments:
+            raise IndexError(global_index)
+        local = global_index % self.size
+        # Owner of local index j is rank (j - 1) mod N (rank r owns (r+1)%N).
+        return (local - 1) % self.size
+
+    # ------------------------------------------------------------ collectives
+    def reduce_scatter(self, values: Sequence[Any], split_op: SplitOp,
+                       reduce_op: ReduceOp) -> Generator:
+        """Process body: reduce-scatter ``values`` across the ring.
+
+        ``values[rank]`` is the aggregator held by ring rank ``rank``.
+        Returns ``owned`` — a dict mapping ring rank to a dict of
+        ``{global_segment_index: reduced_segment}`` (each rank owns
+        ``parallelism`` global segments).
+        """
+        if len(values) != self.size:
+            raise ValueError(
+                f"expected {self.size} values (one per rank), got {len(values)}"
+            )
+        env = self.env
+        n, p_total = self.size, self.parallelism
+        merge_bw = self.cluster.config.merge_bandwidth
+
+        def rank_proc(rank: int):
+            value = values[rank]
+            num = self.num_segments
+            channel_procs = []
+            for p in range(p_total):
+                local_segments = {
+                    j: split_op(value, p * n + j, num) for j in range(n)
+                }
+                channel_procs.append(env.process(
+                    ring_reduce_scatter_rank(
+                        self.fabric, rank, n, local_segments, reduce_op,
+                        merge_bw, channel=p),
+                    name=f"rs:r{rank}c{p}",
+                ))
+            results: Dict[int, Any] = {}
+            for p, proc in enumerate(channel_procs):
+                local_idx, segment = yield proc
+                results[p * n + local_idx] = segment
+            return rank, results
+
+        procs = [env.process(rank_proc(r), name=f"rs:rank{r}")
+                 for r in range(n)]
+        owned: Dict[int, Dict[int, Any]] = {}
+        for proc in procs:
+            rank, results = yield proc
+            owned[rank] = results
+        return owned
+
+    def gather_concat(self, owned: Dict[int, Dict[int, Any]],
+                      concat_op: ConcatOp) -> Generator:
+        """Process body: gather owned segments to the driver and concat.
+
+        Models the paper's second step ("use action collect provided by
+        Spark"): each rank serializes its segments, ships them to the
+        driver, the driver deserializes and concatenates in global segment
+        order. Returns the concatenated value.
+        """
+        env = self.env
+        driver = self.cluster.driver_node
+        network = self.cluster.network
+        collected: Dict[int, Any] = {}
+
+        def ship(rank: int, results: Dict[int, Any]):
+            slot = self.ranked[rank]
+            total = sum(sim_sizeof(v) for v in results.values())
+            yield env.timeout(self.serde.ser_time_bytes(total))
+            yield from network.transfer(slot.node, driver, total)
+            yield env.timeout(self.serde.deser_time_bytes(total))
+            for idx, value in results.items():
+                collected[idx] = value
+
+        shippers = [env.process(ship(rank, results), name=f"gather:r{rank}")
+                    for rank, results in sorted(owned.items())]
+        for proc in shippers:
+            yield proc
+        ordered = [collected[idx] for idx in sorted(collected)]
+        total_bytes = sum(sim_sizeof(v) for v in ordered)
+        # Concatenation is one pass over the result at memory bandwidth.
+        yield env.timeout(total_bytes / self.cluster.config.merge_bandwidth)
+        return concat_op(ordered)
+
+    def reduce_scatter_gather(self, values: Sequence[Any], split_op: SplitOp,
+                              reduce_op: ReduceOp,
+                              concat_op: ConcatOp) -> Generator:
+        """Process body: full scalable reduction (reduce-scatter + gather)."""
+        owned = yield self.env.process(
+            self.reduce_scatter(values, split_op, reduce_op))
+        result = yield self.env.process(
+            self.gather_concat(owned, concat_op))
+        return result
+
+    def allreduce(self, values: Sequence[Any], split_op: SplitOp,
+                  reduce_op: ReduceOp, concat_op: ConcatOp) -> Generator:
+        """Process body: ring allreduce (reduce-scatter + ring allgather).
+
+        An extension beyond the paper's driver-gather: every rank ends with
+        the full reduced value. Returns a list indexed by ring rank.
+        """
+        owned = yield self.env.process(
+            self.reduce_scatter(values, split_op, reduce_op))
+        env = self.env
+        n, p_total = self.size, self.parallelism
+
+        def rank_proc(rank: int):
+            mine = owned[rank]
+            chans = []
+            for p in range(p_total):
+                entries = [(idx, val) for idx, val in mine.items()
+                           if idx // n == p]
+                (global_idx, value), = entries
+                chans.append(env.process(ring_allgather_rank(
+                    self.fabric, rank, n, global_idx % n, value,
+                    channel=("ag", p)), name=f"ag:r{rank}c{p}"))
+            everything: Dict[int, Any] = {}
+            for p, proc in enumerate(chans):
+                have = yield proc
+                for local_idx, value in have.items():
+                    everything[p * n + local_idx] = value
+            ordered = [everything[i] for i in sorted(everything)]
+            return rank, concat_op(ordered)
+
+        procs = [env.process(rank_proc(r)) for r in range(n)]
+        out: List[Any] = [None] * n
+        for proc in procs:
+            rank, value = yield proc
+            out[rank] = value
+        return out

@@ -1,0 +1,81 @@
+"""Transport characterizations: MPI-grade, JeroMQ-grade, BlockManager-grade.
+
+The paper measures three messaging stacks (Figure 12, one-way latency on
+BIC):
+
+* **MPI** (MPICH 3.2 over IPoIB) — 15.94 us; the reference "closest to
+  optimal network performance". A native stack also drives the NIC at line
+  rate with a single stream.
+* **Scalable communicator** (JeroMQ, pure-JVM ZeroMQ) — 72.73 us, 4.56x
+  MPI. A JVM TCP socket is additionally capped well below the NIC rate,
+  which is why the PDR topology uses parallel channels (Figure 13).
+* **BlockManager messaging** (the authors' first attempt, adapting Spark's
+  block transfer service) — 3861.25 us, 242x MPI; the measurement that
+  justified building the scalable communicator from scratch (§4.1).
+
+A :class:`TransportSpec` bundles the per-message software overhead and the
+per-stream bandwidth cap; the :class:`~repro.cluster.network.Network`
+charges both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster.config import ClusterConfig
+
+__all__ = [
+    "TransportSpec",
+    "mpi_transport",
+    "sc_transport",
+    "bm_transport",
+]
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """Cost profile of one messaging stack."""
+
+    #: human-readable stack name ("MPI", "SC", "BM")
+    name: str
+    #: per-message software overhead at the sender, seconds
+    overhead: float
+    #: per-stream bandwidth cap in bytes/s; ``None`` = platform TCP default
+    stream_bandwidth: Optional[float]
+    #: whether the stack suffers JVM GC drag on large messages
+    gc_prone: bool = True
+    #: per-channel rate cap on the intra-node (loopback) path; ``None`` =
+    #: platform default for JVM stacks. Native MPI uses shared memory and
+    #: passes the aggregate loopback rate instead.
+    loopback_stream_bandwidth: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.overhead < 0:
+            raise ValueError(f"negative overhead: {self.overhead}")
+        if self.stream_bandwidth is not None and self.stream_bandwidth <= 0:
+            raise ValueError(
+                f"stream bandwidth must be positive, got {self.stream_bandwidth}"
+            )
+
+
+def mpi_transport(config: ClusterConfig) -> TransportSpec:
+    """Native MPI: lowest overhead, one stream saturates the NIC."""
+    return TransportSpec("MPI", config.mpi_overhead,
+                         stream_bandwidth=config.nic_bandwidth,
+                         gc_prone=False,
+                         loopback_stream_bandwidth=config.loopback_bandwidth)
+
+
+def sc_transport(config: ClusterConfig) -> TransportSpec:
+    """The scalable communicator's JVM messaging (JeroMQ-grade)."""
+    return TransportSpec(
+        "SC", config.sc_overhead, stream_bandwidth=None,
+        loopback_stream_bandwidth=config.loopback_stream_bandwidth)
+
+
+def bm_transport(config: ClusterConfig) -> TransportSpec:
+    """Spark BlockManager adapted for point-to-point messaging."""
+    return TransportSpec(
+        "BM", config.bm_overhead, stream_bandwidth=None,
+        loopback_stream_bandwidth=config.loopback_stream_bandwidth)

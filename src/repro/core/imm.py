@@ -1,0 +1,117 @@
+"""In-memory merge (IMM): the mutable object manager (paper §3.2, §4.3).
+
+Under vanilla Spark every task serializes its result immediately and the
+driver fetches it — for ML aggregators that means ``executor_cores``
+serializations of a potentially huge object per executor per iteration.
+IMM instead merges task results *within the executor, in memory*: tasks
+update a shared mutable value under a lock, and only the executor's single
+merged aggregator ever gets serialized (if at all — split aggregation
+reduce-scatters it directly).
+
+Failure semantics follow the paper: IMM breaks the independence of tasks,
+so a failed task cannot simply be retried — the shared value may hold a
+partial merge. The scheduler reacts by clearing the shared object and
+resubmitting the whole stage (cheap, because ML iterations are short). A
+``stage_attempt`` tag on every merge guards against a zombie task from a
+cleaned-up attempt corrupting the restarted stage's value.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Tuple
+
+from ..serde import sim_sizeof
+from ..sim import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rdd.executor import Executor
+
+__all__ = ["MutableObjectManager", "StaleMergeError", "ObjectId"]
+
+#: identifies a shared merged object: (job_id, stage_id)
+ObjectId = Tuple[int, int]
+
+
+class StaleMergeError(Exception):
+    """A task from a cleaned-up stage attempt tried to merge its result."""
+
+
+class _Entry:
+    __slots__ = ("value", "stage_attempt", "lock", "merge_count")
+
+    def __init__(self, stage_attempt: int, lock: Resource):
+        self.value: Any = None
+        self.stage_attempt = stage_attempt
+        self.lock = lock
+        self.merge_count = 0
+
+
+class MutableObjectManager:
+    """Executor-local store of task-shared mutable values."""
+
+    def __init__(self, executor: "Executor"):
+        self.executor = executor
+        self.env = executor.env
+        self._entries: Dict[ObjectId, _Entry] = {}
+
+    def _entry(self, object_id: ObjectId, stage_attempt: int) -> _Entry:
+        entry = self._entries.get(object_id)
+        if entry is None or entry.stage_attempt < stage_attempt:
+            entry = _Entry(stage_attempt,
+                           Resource(self.env, 1,
+                                    name=f"imm:{object_id}"))
+            self._entries[object_id] = entry
+        return entry
+
+    def merge(self, object_id: ObjectId, stage_attempt: int, value: Any,
+              reduce_op: Callable[[Any, Any], Any]) -> Generator:
+        """Process body: merge ``value`` into the shared object.
+
+        The merge runs under the object's lock; merging two values costs a
+        pass over the result at the platform's merge bandwidth (plus any
+        :class:`~repro.rdd.costing.Costed` annotation on ``reduce_op``).
+        No serialization happens — that is the optimization.
+        """
+        from ..rdd.costing import cost_of
+
+        entry = self._entry(object_id, stage_attempt)
+        if entry.stage_attempt != stage_attempt:
+            raise StaleMergeError(
+                f"stage attempt {stage_attempt} of {object_id} was cleaned "
+                f"up (current: {entry.stage_attempt})")
+        yield entry.lock.acquire()
+        try:
+            # Re-check under the lock: a cleanup may have raced in.
+            live = self._entries.get(object_id)
+            if live is not entry or entry.stage_attempt != stage_attempt:
+                raise StaleMergeError(
+                    f"{object_id} attempt {stage_attempt} cleaned up mid-merge")
+            if entry.value is None:
+                entry.value = value
+            else:
+                merged = reduce_op(entry.value, value)
+                cost = (sim_sizeof(merged)
+                        / self.executor.sc.cluster.config.merge_bandwidth
+                        + cost_of(reduce_op, entry.value, value))
+                if cost > 0:
+                    yield self.env.timeout(cost)
+                entry.value = merged
+            entry.merge_count += 1
+        finally:
+            entry.lock.release()
+
+    def get(self, object_id: ObjectId) -> Any:
+        """The current merged value (None if nothing merged yet)."""
+        entry = self._entries.get(object_id)
+        return None if entry is None else entry.value
+
+    def merge_count(self, object_id: ObjectId) -> int:
+        entry = self._entries.get(object_id)
+        return 0 if entry is None else entry.merge_count
+
+    def clear(self, object_id: ObjectId) -> None:
+        """Drop the shared object (stage cleanup before resubmission)."""
+        self._entries.pop(object_id, None)
+
+    def clear_all(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,112 @@
+"""Split aggregation: the paper's contribution (§3.1, §4.3, Figure 6).
+
+``splitAggregate(zeroValue)(seqOp, splitOp, reduceOp, concatOp,
+parallelism)`` generalizes ``treeAggregate`` with object-splitting
+callbacks so the reduction can run a *scalable* algorithm:
+
+* ``seqOp(U, T) -> U`` — fold one element into an aggregator (unchanged),
+* ``splitOp(U, i, n) -> V`` — extract segment ``i`` of ``n`` from an
+  aggregator; aggregator (``U``) and segment (``V``) types may differ
+  (Figure 7's ``Agg`` vs ``AggSeg`` rationale),
+* ``reduceOp(V, V) -> V`` — merge two segments,
+* ``concatOp(Seq[V]) -> V`` — reassemble segments into the final value.
+
+Execution (§4.3): a **reduced-result stage** folds every partition and
+merges task results per executor in memory (IMM), leaving exactly one
+aggregator per executor; a **SpawnRDD** pins one task per holding executor;
+those tasks run the PDR ring **reduce-scatter** over ``N * parallelism``
+segments; the owned segments are collected to the driver and concatenated.
+
+The executor-local IMM merge operates on whole aggregators, which is the
+one operation the four SAI callbacks cannot express when ``U != V``; pass
+``merge_op`` (MLlib's existing ``combOp``) for such types. When ``U`` and
+``V`` coincide (Figure 7's arrays, the micro-benchmarks), the default
+derives the merge from ``splitOp``/``reduceOp`` on the whole-object
+segment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from ..comm.ring import ScalableCommunicator
+from ..rdd.costing import ELEMENT_OVERHEAD, cost_of
+from ..rdd.rdd import RDD
+from ..rdd.task_context import TaskContext
+from .aggregation import fresh_zero
+from .spawn_rdd import SpawnRDD
+
+__all__ = ["split_aggregate"]
+
+SeqOp = Callable[[Any, Any], Any]
+SplitOp = Callable[[Any, int, int], Any]
+ReduceOp = Callable[[Any, Any], Any]
+ConcatOp = Callable[[Sequence[Any]], Any]
+MergeOp = Callable[[Any, Any], Any]
+
+
+def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
+                    reduce_op: ReduceOp, concat_op: ConcatOp,
+                    parallelism: int = 4, *,
+                    merge_op: Optional[MergeOp] = None,
+                    topology_aware: bool = True) -> Any:
+    """Sparker's ``splitAggregate`` (blocking driver call).
+
+    Returns the fully reduced value of type ``V`` (Figure 6: the action's
+    result type is the segment type, produced by ``concatOp``).
+    """
+    if parallelism < 1:
+        raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+    sc = rdd.sc
+
+    if merge_op is None:
+        def merge_op(a: Any, b: Any) -> Any:  # noqa: F811 - documented default
+            return reduce_op(split_op(a, 0, 1), split_op(b, 0, 1))
+
+    if rdd.num_partitions() == 0:
+        z = fresh_zero(zero)
+        return concat_op([split_op(z, i, parallelism)
+                          for i in range(parallelism)])
+
+    began = sc.now
+
+    # ---- stage 1: reduced-result stage with in-memory merge ---------------
+    def partial_func(_idx: int, data: list, ctx: TaskContext) -> Any:
+        acc = fresh_zero(zero)
+        for x in data:
+            ctx.charge(cost_of(seq_op, acc, x) + ELEMENT_OVERHEAD)
+            acc = seq_op(acc, x)
+        return acc
+
+    holders = sc.run_reduced_job(rdd, partial_func, merge_op)
+    compute_done = sc.now
+
+    # ---- stage 2: SpawnRDD + scalable reduce-scatter, then gather ---------
+    slot_by_id = {slot.executor_id: slot for slot in sc.cluster.executors}
+    slots = [slot_by_id[executor_id] for executor_id, _ in holders]
+    comm = ScalableCommunicator(sc.cluster, parallelism=parallelism,
+                                topology_aware=topology_aware, slots=slots)
+    spawned = SpawnRDD.from_holders(sc, holders)
+    # The SpawnRDD launch validates static placement and reads each
+    # executor's aggregator; its (cheap) results stay executor-side — the
+    # ring operates on the very same in-memory objects.
+    object_by_executor = dict(holders)
+    values = []
+    for slot in comm.ranked:
+        executor = sc.executor_by_id(slot.executor_id)
+        value = executor.object_manager.get(
+            object_by_executor[slot.executor_id])
+        values.append(value)
+    spawn_results = sc.run_job(
+        spawned, lambda _i, data, _ctx: len(data))
+    if len(spawn_results) != len(holders):  # pragma: no cover - invariant
+        raise RuntimeError("SpawnRDD lost partitions")
+
+    proc = sc.env.process(comm.reduce_scatter_gather(
+        values, split_op, reduce_op, concat_op))
+    result = sc.env.run(until=proc)
+
+    SpawnRDD.cleanup_holders(sc, holders)
+    sc.stopwatch.add("agg.compute", compute_done - began)
+    sc.stopwatch.add("agg.reduce", sc.now - compute_done)
+    return result

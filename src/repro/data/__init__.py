@@ -1,0 +1,30 @@
+"""Datasets: Table 2 surrogates, synthetic generators, libsvm IO."""
+
+from .libsvm import (
+    dump_libsvm,
+    format_libsvm_line,
+    load_libsvm,
+    parse_libsvm_line,
+)
+from .registry import (
+    DATASETS,
+    PAPER_LDA_TOPICS,
+    SURROGATE_LDA_TOPICS,
+    DatasetSpec,
+    dataset,
+)
+from .synthetic import lda_corpus, sparse_classification
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "dataset",
+    "PAPER_LDA_TOPICS",
+    "SURROGATE_LDA_TOPICS",
+    "sparse_classification",
+    "lda_corpus",
+    "load_libsvm",
+    "dump_libsvm",
+    "parse_libsvm_line",
+    "format_libsvm_line",
+]

@@ -1,0 +1,107 @@
+"""libsvm-format readers and writers.
+
+Table 2's classification datasets ship in libsvm format
+(``label idx:val idx:val ...``, indices 1-based). The reader lets anyone
+with the real avazu/criteo/kdd files run the workloads unscaled; the writer
+round-trips the synthetic surrogates for external tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, TextIO, Tuple, Union
+
+from ..ml.linalg import LabeledPoint, SparseVector
+
+__all__ = ["load_libsvm", "dump_libsvm", "parse_libsvm_line",
+           "format_libsvm_line"]
+
+
+def parse_libsvm_line(line: str, num_features: Optional[int] = None
+                      ) -> Optional[Tuple[float, List[int], List[float]]]:
+    """Parse one line into ``(label, indices_0based, values)``.
+
+    Returns ``None`` for blank/comment lines. Raises ``ValueError`` for
+    malformed records (bad pairs, non-increasing indices, out of range).
+    """
+    body = line.split("#", 1)[0].strip()
+    if not body:
+        return None
+    fields = body.split()
+    try:
+        label = float(fields[0])
+    except ValueError:
+        raise ValueError(f"bad label in libsvm line: {fields[0]!r}") from None
+    indices: List[int] = []
+    values: List[float] = []
+    last = 0
+    for pair in fields[1:]:
+        try:
+            raw_idx, raw_val = pair.split(":", 1)
+            idx = int(raw_idx)
+            val = float(raw_val)
+        except ValueError:
+            raise ValueError(f"bad feature pair {pair!r}") from None
+        if idx < 1:
+            raise ValueError(f"libsvm indices are 1-based, got {idx}")
+        if idx <= last:
+            raise ValueError(
+                f"indices must be strictly increasing: {idx} after {last}")
+        if num_features is not None and idx > num_features:
+            raise ValueError(
+                f"index {idx} exceeds declared dimension {num_features}")
+        last = idx
+        indices.append(idx - 1)
+        values.append(val)
+    return label, indices, values
+
+
+def format_libsvm_line(point: LabeledPoint) -> str:
+    """Render one labeled point as a libsvm record."""
+    pairs = " ".join(f"{int(i) + 1}:{v:.6g}"
+                     for i, v in zip(point.features.indices,
+                                     point.features.values))
+    label = point.label
+    head = f"{int(label)}" if float(label).is_integer() else f"{label:g}"
+    return f"{head} {pairs}".rstrip()
+
+
+def load_libsvm(source: Union[str, Path, TextIO],
+                num_features: Optional[int] = None) -> List[LabeledPoint]:
+    """Load a libsvm file (path or open text handle).
+
+    ``num_features`` fixes the dimensionality; when omitted it is inferred
+    as the largest index seen.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_libsvm(handle, num_features)
+    rows = []
+    max_idx = 0
+    for line in source:
+        parsed = parse_libsvm_line(line, num_features)
+        if parsed is None:
+            continue
+        label, indices, values = parsed
+        if indices:
+            max_idx = max(max_idx, indices[-1] + 1)
+        rows.append((label, indices, values))
+    dim = num_features if num_features is not None else max_idx
+    return [
+        LabeledPoint(label, SparseVector(dim, indices, values))
+        for label, indices, values in rows
+    ]
+
+
+def dump_libsvm(points: Iterable[LabeledPoint],
+                target: Union[str, Path, TextIO]) -> int:
+    """Write points in libsvm format; returns the record count."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            return dump_libsvm(points, handle)
+    count = 0
+    for point in points:
+        target.write(format_libsvm_line(point))
+        target.write("\n")
+        count += 1
+    return count

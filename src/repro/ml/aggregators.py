@@ -1,0 +1,175 @@
+"""Model aggregators mirroring the paper's Figure 7 (``Agg`` / ``AggSeg``).
+
+MLlib's ``RDDLossFunction`` folds samples into an aggregator object holding
+dense arrays (gradient sum + loss statistics). Figure 7 distils that into
+an abstract ``Agg`` (constructed by ``seqOp``, knows how to ``add`` a
+sample) and a merge-only ``AggSeg`` segment type, with ``splitA``/``concatA``
+slicing the underlying arrays.
+
+Here the aggregator state is one flat ``float64`` buffer::
+
+    [ payload (model-specific) ..., loss_sum, weight_sum ]
+
+so that splitting, merging, and concatenation are plain array slices and
+sums — exactly the structure split aggregation exploits. The buffer carries
+a *simulated* size (``dim_logical * 8`` bytes) so communication is costed
+at paper-scale aggregator sizes even when the surrogate dimensionality is
+laptop-sized (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..serde import segment_range
+
+__all__ = ["FlatAggregator", "AggregatorSegment",
+           "split_op", "reduce_op", "concat_op"]
+
+#: trailing statistics slots in every aggregator buffer
+_STATS_SLOTS = 2
+
+
+class AggregatorSegment:
+    """``AggSeg`` of Figure 7: a merge-only slice of an aggregator buffer."""
+
+    __slots__ = ("buf", "sim_bytes")
+
+    def __init__(self, buf: np.ndarray, sim_bytes: float):
+        self.buf = np.asarray(buf, dtype=np.float64)
+        self.sim_bytes = float(sim_bytes)
+        if self.sim_bytes < 0:
+            raise ValueError(f"negative simulated size: {sim_bytes}")
+
+    def __sim_size__(self) -> float:
+        return self.sim_bytes
+
+    def merge(self, other: "AggregatorSegment") -> "AggregatorSegment":
+        """Element-wise sum (both of Figure 7's ``merge`` methods)."""
+        if other.buf.shape != self.buf.shape:
+            raise ValueError(
+                f"segment shape mismatch: {self.buf.shape} vs "
+                f"{other.buf.shape}")
+        return AggregatorSegment(self.buf + other.buf,
+                                 max(self.sim_bytes, other.sim_bytes))
+
+    def __len__(self) -> int:
+        return int(self.buf.size)
+
+    def __repr__(self) -> str:
+        return (f"<AggregatorSegment n={self.buf.size} "
+                f"sim={self.sim_bytes:.0f}B>")
+
+
+class FlatAggregator:
+    """``Agg`` of Figure 7: a sample-foldable aggregator over a flat buffer.
+
+    Parameters
+    ----------
+    payload_size:
+        Physical length of the model-specific payload (e.g. the gradient
+        dimension, or K*V for LDA).
+    size_scale:
+        Ratio of the paper-scale aggregator size to the surrogate size;
+        the simulated byte size of the aggregator is
+        ``(payload_size + 2) * 8 * size_scale``.
+    """
+
+    __slots__ = ("buf", "payload_size", "size_scale")
+
+    def __init__(self, payload_size: int, size_scale: float = 1.0,
+                 buf: np.ndarray | None = None):
+        if payload_size < 0:
+            raise ValueError(f"negative payload size: {payload_size}")
+        if size_scale <= 0:
+            raise ValueError(f"size_scale must be positive: {size_scale}")
+        self.payload_size = int(payload_size)
+        self.size_scale = float(size_scale)
+        if buf is None:
+            self.buf = np.zeros(payload_size + _STATS_SLOTS)
+        else:
+            buf = np.asarray(buf, dtype=np.float64)
+            if buf.size != payload_size + _STATS_SLOTS:
+                raise ValueError(
+                    f"buffer length {buf.size} != payload {payload_size} "
+                    f"+ {_STATS_SLOTS}")
+            self.buf = buf
+
+    # ----------------------------------------------------------------- views
+    @property
+    def payload(self) -> np.ndarray:
+        """The model-specific array (a view: in-place updates intended)."""
+        return self.buf[:self.payload_size]
+
+    @property
+    def loss_sum(self) -> float:
+        return float(self.buf[-2])
+
+    @property
+    def weight_sum(self) -> float:
+        return float(self.buf[-1])
+
+    def add_stats(self, loss: float, weight: float = 1.0) -> None:
+        self.buf[-2] += loss
+        self.buf[-1] += weight
+
+    def __sim_size__(self) -> float:
+        return self.buf.size * 8.0 * self.size_scale
+
+    # ------------------------------------------------------------ operations
+    def merge(self, other: "FlatAggregator") -> "FlatAggregator":
+        """In-place element-wise sum; returns self (MLlib merge style)."""
+        if other.buf.size != self.buf.size:
+            raise ValueError(
+                f"aggregator size mismatch: {self.buf.size} vs "
+                f"{other.buf.size}")
+        self.buf += other.buf
+        return self
+
+    def copy(self) -> "FlatAggregator":
+        return FlatAggregator(self.payload_size, self.size_scale,
+                              self.buf.copy())
+
+    def split(self, index: int, num_segments: int) -> AggregatorSegment:
+        """``splitOp``: contiguous segment ``index`` of ``num_segments``."""
+        lo, hi = segment_range(self.buf.size, num_segments, index)
+        frac = (hi - lo) / self.buf.size if self.buf.size else 0.0
+        return AggregatorSegment(self.buf[lo:hi],
+                                 self.__sim_size__() * frac)
+
+    @staticmethod
+    def concat(segments: Sequence[AggregatorSegment],
+               size_scale: float = 1.0) -> "FlatAggregator":
+        """``concatOp``: reassemble segments into a full aggregator."""
+        if not segments:
+            raise ValueError("cannot concatenate zero segments")
+        buf = np.concatenate([s.buf for s in segments])
+        return FlatAggregator(buf.size - _STATS_SLOTS, size_scale, buf)
+
+    def __repr__(self) -> str:
+        return (f"<FlatAggregator payload={self.payload_size} "
+                f"loss={self.loss_sum:.4g} weight={self.weight_sum:g}>")
+
+
+# Module-level SAI callbacks (Figure 6 signatures) for FlatAggregator.
+def split_op(agg: FlatAggregator, index: int,
+             num_segments: int) -> AggregatorSegment:
+    """``splitOp(U, i, n) -> V`` for :class:`FlatAggregator`."""
+    return agg.split(index, num_segments)
+
+
+def reduce_op(a: AggregatorSegment, b: AggregatorSegment) -> AggregatorSegment:
+    """``reduceOp(V, V) -> V``: element-wise segment sum."""
+    return a.merge(b)
+
+
+def concat_op(segments: Sequence[AggregatorSegment]) -> FlatAggregator:
+    """``concatOp(Seq[V]) -> V`` (reassembled as a full aggregator)."""
+    if not segments:
+        raise ValueError("cannot concatenate zero segments")
+    physical = sum(len(s) for s in segments) * 8.0
+    simulated = sum(s.sim_bytes for s in segments)
+    scale = simulated / physical if physical > 0 else 1.0
+    return FlatAggregator.concat(segments, size_scale=max(scale, 1e-12))

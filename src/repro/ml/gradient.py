@@ -1,0 +1,77 @@
+"""Loss gradients (MLlib's ``Gradient`` hierarchy).
+
+Each gradient computes, for one labeled sample and the current weights, the
+sample's loss and its additive contribution to the gradient sum — written
+*in place* into the aggregator's payload buffer, the hot path MLlib also
+optimizes (``axpy`` into the shared gradient array).
+
+Labels follow MLlib conventions: binary classifiers take labels in
+``{0, 1}`` and internally map to ``{-1, +1}`` where needed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .linalg import LabeledPoint
+
+__all__ = ["Gradient", "LogisticGradient", "HingeGradient",
+           "LeastSquaresGradient"]
+
+
+class Gradient:
+    """Computes per-sample loss and in-place gradient contributions."""
+
+    def add_to(self, point: LabeledPoint, weights: np.ndarray,
+               grad_sum: np.ndarray) -> float:
+        """Accumulate this sample's gradient into ``grad_sum``; return loss."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    #: floating ops per non-zero (dot + axpy), for the compute cost model
+    flops_per_nnz: float = 4.0
+
+
+class LogisticGradient(Gradient):
+    """Binary logistic loss: ``log(1 + exp(-y * w.x))`` with y in {-1,+1}."""
+
+    def add_to(self, point: LabeledPoint, weights: np.ndarray,
+               grad_sum: np.ndarray) -> float:
+        # MLlib's formulation: margin = -w.x;
+        # multiplier = 1/(1 + exp(margin)) - label = sigma(w.x) - label.
+        margin = -point.features.dot(weights)
+        multiplier = (1.0 / (1.0 + math.exp(min(margin, 500.0)))
+                      - point.label)
+        point.features.add_to(grad_sum, multiplier)
+        # loss = log(1 + exp(margin))           for label 1
+        #      = log(1 + exp(margin)) - margin  for label 0
+        # computed stably for large |margin|.
+        if margin > 0:
+            log1p_exp = margin + math.log1p(math.exp(-margin))
+        else:
+            log1p_exp = math.log1p(math.exp(margin))
+        return log1p_exp if point.label > 0 else log1p_exp - margin
+
+
+class HingeGradient(Gradient):
+    """SVM hinge loss: ``max(0, 1 - y * w.x)`` with y in {-1,+1}."""
+
+    def add_to(self, point: LabeledPoint, weights: np.ndarray,
+               grad_sum: np.ndarray) -> float:
+        y = 2.0 * point.label - 1.0  # {0,1} -> {-1,+1}
+        dot = point.features.dot(weights)
+        if 1.0 - y * dot > 0:
+            point.features.add_to(grad_sum, -y)
+            return 1.0 - y * dot
+        return 0.0
+
+
+class LeastSquaresGradient(Gradient):
+    """Squared loss for linear regression: ``(w.x - y)^2 / 2``."""
+
+    def add_to(self, point: LabeledPoint, weights: np.ndarray,
+               grad_sum: np.ndarray) -> float:
+        diff = point.features.dot(weights) - point.label
+        point.features.add_to(grad_sum, diff)
+        return 0.5 * diff * diff

@@ -1,0 +1,47 @@
+"""Linear regression by distributed gradient descent.
+
+Completes the MLlib trio of generalized linear models over the shared
+:class:`~repro.ml.optimization.GradientDescent` optimizer — and therefore
+over the same tree/split aggregation backends the paper compares.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .classification import _SGDTrainer
+from .gradient import LeastSquaresGradient
+from .linalg import LabeledPoint, SparseVector
+
+__all__ = ["LinearRegressionModel", "LinearRegressionWithSGD"]
+
+
+class LinearRegressionModel:
+    """A fitted linear predictor ``y(x) = w . x``."""
+
+    def __init__(self, weights: np.ndarray, losses: List[float]):
+        self.weights = np.asarray(weights, dtype=np.float64)
+        #: mean squared-loss per iteration
+        self.losses = list(losses)
+
+    def predict(self, features: SparseVector) -> float:
+        return features.dot(self.weights)
+
+    def mean_squared_error(self, points: Sequence[LabeledPoint]) -> float:
+        if not points:
+            raise ValueError("MSE of an empty sample")
+        errors = [(self.predict(p.features) - p.label) ** 2 for p in points]
+        return float(np.mean(errors))
+
+    # Keep the LinearModel-compatible surface for shared tooling.
+    def margin(self, features: SparseVector) -> float:
+        return self.predict(features)
+
+
+class LinearRegressionWithSGD(_SGDTrainer):
+    """Least-squares regression through the shared SGD trainer."""
+
+    gradient_cls = LeastSquaresGradient
+    model_cls = LinearRegressionModel

@@ -1,0 +1,58 @@
+"""Weight updaters (MLlib's ``Updater`` hierarchy).
+
+An updater applies one gradient step at the driver::
+
+    new_weights, reg_loss = updater.compute(weights, gradient, step_size,
+                                            iteration, reg_param)
+
+The step-size schedule matches MLlib's GradientDescent:
+``step_size / sqrt(iteration)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["Updater", "SimpleUpdater", "SquaredL2Updater"]
+
+
+class Updater:
+    """Applies one (possibly regularized) gradient step."""
+
+    def compute(self, weights: np.ndarray, gradient: np.ndarray,
+                step_size: float, iteration: int,
+                reg_param: float) -> Tuple[np.ndarray, float]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    @staticmethod
+    def _step(step_size: float, iteration: int) -> float:
+        if iteration < 1:
+            raise ValueError(f"iteration must be >= 1, got {iteration}")
+        return step_size / math.sqrt(iteration)
+
+
+class SimpleUpdater(Updater):
+    """Unregularized step: ``w -= (step/sqrt(t)) * g``."""
+
+    def compute(self, weights: np.ndarray, gradient: np.ndarray,
+                step_size: float, iteration: int,
+                reg_param: float) -> Tuple[np.ndarray, float]:
+        this_step = self._step(step_size, iteration)
+        return weights - this_step * gradient, 0.0
+
+
+class SquaredL2Updater(Updater):
+    """L2 regularization: ``w = w(1 - step*reg) - step*g``; reg loss
+    ``reg/2 * ||w||^2`` (evaluated at the new weights, like MLlib)."""
+
+    def compute(self, weights: np.ndarray, gradient: np.ndarray,
+                step_size: float, iteration: int,
+                reg_param: float) -> Tuple[np.ndarray, float]:
+        this_step = self._step(step_size, iteration)
+        new_weights = weights * (1.0 - this_step * reg_param) \
+            - this_step * gradient
+        norm_sq = float(new_weights @ new_weights)
+        return new_weights, 0.5 * reg_param * norm_sq

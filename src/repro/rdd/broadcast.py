@@ -1,0 +1,49 @@
+"""Broadcast variables.
+
+Models Spark's TorrentBroadcast closely enough for cost purposes: the value
+is distributed from the driver to every cluster node along a binomial tree
+(so broadcast time grows with ``log(nodes)``, not ``nodes``), and executors
+on a node read the local copy. ML training broadcasts the model weights
+every iteration, so this cost sits inside the per-iteration "computation"
+component of the paper's decompositions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..serde import sim_sizeof
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import SparkerContext
+
+__all__ = ["Broadcast"]
+
+
+class Broadcast:
+    """A read-only value replicated to every node."""
+
+    _next_id = 0
+
+    def __init__(self, sc: "SparkerContext", value: Any):
+        self.sc = sc
+        self._value = value
+        self.id = Broadcast._next_id
+        Broadcast._next_id += 1
+        self.sim_bytes = sim_sizeof(value)
+        self._destroyed = False
+
+    @property
+    def value(self) -> Any:
+        if self._destroyed:
+            raise RuntimeError(f"broadcast {self.id} has been destroyed")
+        return self._value
+
+    def destroy(self) -> None:
+        """Release the broadcast (no further reads allowed)."""
+        self._destroyed = True
+        self._value = None
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else f"{self.sim_bytes:.0f}B"
+        return f"<Broadcast {self.id} {state}>"

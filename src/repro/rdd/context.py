@@ -1,0 +1,288 @@
+"""SparkerContext: the driver-side entry point.
+
+Owns the simulated cluster, the executors, the schedulers and trackers, and
+exposes the blocking user-facing API (``parallelize`` + actions). Each
+action submits a job process to the simulation and runs the event loop
+until it completes, so user code reads sequentially while the cluster
+simulation runs underneath — exactly the Spark driver experience.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+from ..cluster import Cluster, ClusterConfig
+from ..serde import SerdeModel, sim_sizeof
+from ..sim import Environment, Resource, Stopwatch
+from .accumulators import Accumulator, AccumulatorRegistry
+from .broadcast import Broadcast
+from .costing import ELEMENT_OVERHEAD, cost_of
+from .executor import Executor
+from .rdd import RDD, ParallelCollectionRDD
+from .scheduler import DAGScheduler
+from .shuffle import MapOutputTracker
+from .storage import BlockTracker
+from .task_context import TaskContext
+
+__all__ = ["SparkerContext"]
+
+
+class SparkerContext:
+    """Driver for the simulated Spark/Sparker engine.
+
+    Parameters
+    ----------
+    config:
+        Cluster platform; defaults to the small ``laptop`` preset.
+    default_parallelism:
+        Partition count used when ``parallelize`` is not told otherwise;
+        defaults to the cluster's total executor cores (Spark's default).
+    driver_colocated:
+        Place the driver on node 0 instead of a dedicated host.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 default_parallelism: Optional[int] = None,
+                 driver_colocated: bool = False):
+        self.config = config or ClusterConfig.laptop()
+        self.env = Environment()
+        self.cluster = Cluster(self.env, self.config,
+                               driver_colocated=driver_colocated)
+        self.serde = SerdeModel.from_config(self.config)
+        self.block_tracker = BlockTracker()
+        self.map_output_tracker = MapOutputTracker()
+        self.accumulators = AccumulatorRegistry()
+        self.executors: List[Executor] = [
+            Executor(self, slot) for slot in self.cluster.executors
+        ]
+        self._executor_index: Dict[int, Executor] = {
+            e.executor_id: e for e in self.executors
+        }
+        self.dag = DAGScheduler(self)
+        self.driver_cpu = Resource(self.env, 1, name="driver")
+        self.driver_getters = Resource(self.env,
+                                       self.config.driver_result_threads,
+                                       name="driver-getters")
+        self.stopwatch = Stopwatch(self.env)
+        self.default_parallelism = (default_parallelism
+                                    or self.cluster.total_cores)
+        self._next_rdd_id = 0
+        self._next_shuffle_id = 0
+        self._next_job_id = 0
+        self._stopped = False
+
+    # ----------------------------------------------------------------- plumbing
+    def _register_rdd(self, _rdd: RDD) -> int:
+        rdd_id = self._next_rdd_id
+        self._next_rdd_id += 1
+        return rdd_id
+
+    def shuffle_manager_new_id(self) -> int:
+        shuffle_id = self._next_shuffle_id
+        self._next_shuffle_id += 1
+        return shuffle_id
+
+    def new_job_id(self) -> int:
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        return job_id
+
+    def executor_by_id(self, executor_id: int) -> Executor:
+        try:
+            return self._executor_index[executor_id]
+        except KeyError:
+            raise KeyError(f"no executor {executor_id}") from None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds since context creation)."""
+        return self.env.now
+
+    def driver_work(self, seconds: float) -> Generator:
+        """Process body: occupy the single driver thread for ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"negative driver work: {seconds}")
+        yield self.driver_cpu.acquire()
+        try:
+            if seconds > 0:
+                yield self.env.timeout(seconds)
+        finally:
+            self.driver_cpu.release()
+
+    def driver_fetch_work(self, seconds: float) -> Generator:
+        """Process body: occupy one result-getter thread for ``seconds``.
+
+        Spark deserializes incoming task results on a small thread pool
+        (``task-result-getter``, 4 threads by default), separate from the
+        single-threaded user/merge path.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative driver work: {seconds}")
+        yield self.driver_getters.acquire()
+        try:
+            if seconds > 0:
+                yield self.env.timeout(seconds)
+        finally:
+            self.driver_getters.release()
+
+    # --------------------------------------------------------------- creation
+    def parallelize(self, data: Sequence[Any],
+                    num_slices: Optional[int] = None) -> RDD:
+        """Distribute a driver-side collection."""
+        if self._stopped:
+            raise RuntimeError("context is stopped")
+        if num_slices is None:
+            num_slices = self.default_parallelism
+        return ParallelCollectionRDD(self, data, num_slices)
+
+    def range(self, n: int, num_slices: Optional[int] = None) -> RDD:
+        """An RDD of ``0..n-1``."""
+        return self.parallelize(range(n), num_slices)
+
+    def accumulator(self, zero: Any = 0,
+                    add_op: Optional[Callable[[Any, Any], Any]] = None,
+                    name: str = "") -> Accumulator:
+        """Create a write-only shared counter (Spark's accumulator).
+
+        ``add_op`` defaults to ``+``; pass a custom associative op for
+        other monoids (max, list concat, ...).
+        """
+        if add_op is None:
+            add_op = lambda a, b: a + b  # noqa: E731
+        return self.accumulators.create(self, zero, add_op, name)
+
+    def broadcast(self, value: Any) -> Broadcast:
+        """Replicate ``value`` to every node (binomial tree, blocking)."""
+        bc = Broadcast(self, value)
+        proc = self.env.process(self.cluster.network.broadcast_tree(
+            self.cluster.driver_node, self.cluster.nodes, bc.sim_bytes))
+        self.env.run(until=proc)
+        return bc
+
+    # ------------------------------------------------------------------- jobs
+    def run_job(self, rdd: RDD,
+                func: Callable[[int, list, TaskContext], Any],
+                partitions: Optional[Sequence[int]] = None) -> list:
+        """Run ``func`` over partitions and return its results (blocking)."""
+        if self._stopped:
+            raise RuntimeError("context is stopped")
+        proc = self.env.process(self.dag.run_job(rdd, func, partitions),
+                                name="job")
+        return self.env.run(until=proc)
+
+    def run_reduced_job(self, rdd: RDD,
+                        func: Callable[[int, list, TaskContext], Any],
+                        reduce_op: Callable[[Any, Any], Any]) -> list:
+        """Run an IMM reduced-result stage (blocking).
+
+        Returns ``[(executor_id, object_id), ...]``; read the merged values
+        with ``sc.executor_by_id(eid).object_manager.get(oid)``.
+        """
+        if self._stopped:
+            raise RuntimeError("context is stopped")
+        job_id = self.new_job_id()
+        proc = self.env.process(
+            self.dag.run_reduced_job(rdd, func, reduce_op, job_id),
+            name="reduced-job")
+        return self.env.run(until=proc)
+
+    # ----------------------------------------------------------------- actions
+    def collect(self, rdd: RDD) -> list:
+        chunks = self.run_job(rdd, lambda _i, data, _ctx: list(data))
+        out: list = []
+        for chunk in chunks:
+            out.extend(chunk)
+        return out
+
+    def count(self, rdd: RDD) -> int:
+        return sum(self.run_job(
+            rdd, lambda _i, data, ctx: (
+                ctx.charge(len(data) * ELEMENT_OVERHEAD), len(data))[1]))
+
+    def take(self, rdd: RDD, n: int) -> list:
+        """First ``n`` elements, scanning partitions incrementally."""
+        if n < 0:
+            raise ValueError(f"take(n) needs n >= 0, got {n}")
+        if n == 0:
+            return []
+        out: list = []
+        total = rdd.num_partitions()
+        scanned = 0
+        wave = 1
+        while scanned < total and len(out) < n:
+            parts = list(range(scanned, min(total, scanned + wave)))
+            for chunk in self.run_job(
+                    rdd, lambda _i, data, _ctx: list(data), parts):
+                out.extend(chunk)
+            scanned += len(parts)
+            wave *= 4  # Spark's quadruple-and-retry scan policy
+        return out[:n]
+
+    def reduce(self, rdd: RDD, op: Callable[[Any, Any], Any]) -> Any:
+        def fold_partition(_i: int, data: list, ctx: TaskContext) -> Any:
+            if not data:
+                return None
+            acc = data[0]
+            for x in data[1:]:
+                acc = op(acc, x)
+                ctx.charge(cost_of(op, acc, x) + ELEMENT_OVERHEAD)
+            return acc
+
+        partials = [p for p in self.run_job(rdd, fold_partition)
+                    if p is not None]
+        if not partials:
+            raise ValueError("reduce() of an empty RDD")
+        return self._driver_merge(partials, op)
+
+    def fold(self, rdd: RDD, zero: Any, op: Callable[[Any, Any], Any]) -> Any:
+        def fold_partition(_i: int, data: list, ctx: TaskContext) -> Any:
+            acc = zero
+            for x in data:
+                acc = op(acc, x)
+                ctx.charge(cost_of(op, acc, x) + ELEMENT_OVERHEAD)
+            return acc
+
+        partials = self.run_job(rdd, fold_partition)
+        return self._driver_merge([zero] + partials, op)
+
+    def aggregate(self, rdd: RDD, zero: Any, seq_op: Callable,
+                  comb_op: Callable) -> Any:
+        def fold_partition(_i: int, data: list, ctx: TaskContext) -> Any:
+            acc = zero
+            for x in data:
+                acc = seq_op(acc, x)
+                ctx.charge(cost_of(seq_op, acc, x) + ELEMENT_OVERHEAD)
+            return acc
+
+        partials = self.run_job(rdd, fold_partition)
+        return self._driver_merge([zero] + partials, comb_op)
+
+    def _driver_merge(self, values: list, op: Callable[[Any, Any], Any]) -> Any:
+        """Sequential merge on the driver thread (the non-scalable step)."""
+        if not values:
+            raise ValueError("nothing to merge")
+
+        def body() -> Generator:
+            acc = values[0]
+            merge_bw = self.config.merge_bandwidth
+            for value in values[1:]:
+                acc = op(acc, value)
+                yield from self.driver_work(
+                    sim_sizeof(acc) / merge_bw + cost_of(op, acc, value))
+            return acc
+
+        proc = self.env.process(body(), name="driver-merge")
+        return self.env.run(until=proc)
+
+    # ------------------------------------------------------------------ faults
+    def kill_executor(self, executor_id: int) -> None:
+        """Fault injection: lose an executor and everything it holds."""
+        self.executor_by_id(executor_id).kill()
+
+    def stop(self) -> None:
+        """Shut the context down (further jobs are rejected)."""
+        self._stopped = True
+
+    def __repr__(self) -> str:
+        return (f"<SparkerContext {self.config.name!r} "
+                f"executors={len(self.executors)} now={self.env.now:.3f}s>")

@@ -1,0 +1,193 @@
+"""Executors: where tasks actually run.
+
+Each executor owns ``executor_cores`` task slots, a memory store for cached
+blocks, a shuffle store, and — Sparker's addition — a mutable object
+manager for in-memory merge. Submitting a task returns a simulated process
+that resolves to the task's result (or fails with the task's exception).
+
+A task attempt's timeline::
+
+    [slot wait] -> task launch overhead -> shuffle fetches (network + deser)
+    -> user compute (virtual charges) -> output:
+         ShuffleMapTask   : buckets serialized locally (charged in run)
+         ResultTask       : serialize + ship result to the driver
+         ReducedResultTask: merge into the shared object under its lock
+                            (NO serialization — this is IMM's entire point)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..cluster.placement import ExecutorSlot
+from ..serde import sim_sizeof
+from ..sim import Interrupt, Process, Resource
+from .accumulators import pop_task_context, push_task_context
+from .shuffle import FetchFailed
+from .task_context import TaskContext
+from .tasks import ReducedResultTask, ResultTask, ShuffleMapTask, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import SparkerContext
+
+__all__ = ["Executor", "ExecutorLost", "TaskKilled"]
+
+
+class ExecutorLost(Exception):
+    """The executor died while (or before) running the task."""
+
+
+class TaskKilled(Exception):
+    """The task attempt was killed by fault injection."""
+
+
+class Executor:
+    """A simulated Spark executor bound to one cluster slot."""
+
+    def __init__(self, sc: "SparkerContext", slot: ExecutorSlot):
+        from .storage import MemoryStore
+        from .shuffle import ShuffleStore
+        from ..core.imm import MutableObjectManager
+
+        self.sc = sc
+        self.slot = slot
+        self.executor_id = slot.executor_id
+        self.node = slot.node
+        self.env = sc.env
+        self.alive = True
+        self.task_slots = Resource(sc.env, capacity=slot.cores,
+                                   name=f"exec{slot.executor_id}.slots")
+        self.memory_store = MemoryStore(
+            slot.executor_id, sc.cluster.config.executor_memory)
+        self.shuffle_store = ShuffleStore(slot.executor_id)
+        self.object_manager = MutableObjectManager(self)
+        self._running: set = set()
+        #: completed task attempts, for instrumentation
+        self.tasks_run = 0
+
+    # ------------------------------------------------------------------ submit
+    def submit(self, task: Task) -> Process:
+        """Launch ``task``; returns a process resolving to its result."""
+        proc = self.env.process(self._run(task),
+                                name=f"task:{task.stage_id}."
+                                     f"{task.partition}@{self.executor_id}")
+        self._running.add(proc)
+        proc.add_callback(lambda _e: self._running.discard(proc))
+        return proc
+
+    def _run(self, task: Task) -> Generator:
+        if not self.alive:
+            raise ExecutorLost(f"executor {self.executor_id} is dead")
+        env = self.env
+        cfg = self.sc.cluster.config
+        yield self.task_slots.acquire()
+        try:
+            if not self.alive:
+                raise ExecutorLost(f"executor {self.executor_id} died")
+            yield env.timeout(cfg.task_overhead)
+            ctx = TaskContext(task.stage_id, task.partition, task.attempt,
+                              executor=self)
+            for shuffle_id, reduce_index in task.fetch_plan():
+                yield from self._fetch_shuffle(shuffle_id, reduce_index, ctx)
+            push_task_context(ctx)
+            try:
+                result = task.run(ctx)
+            finally:
+                pop_task_context()
+            charged = ctx.drain_charges()
+            if charged > 0:
+                yield env.timeout(charged)
+            output = yield from self._emit(task, result, ctx)
+            self.tasks_run += 1
+            # Exactly-once accumulator semantics: only a fully successful
+            # attempt publishes its buffered updates.
+            if ctx.accumulator_updates:
+                self.sc.accumulators.publish(ctx.accumulator_updates)
+            return output
+        except Interrupt as intr:
+            raise TaskKilled(str(intr.cause)) from intr
+        finally:
+            self.task_slots.release()
+
+    # ------------------------------------------------------------------- output
+    def _emit(self, task: Task, result: Any, ctx: TaskContext) -> Generator:
+        env = self.env
+        sc = self.sc
+        if isinstance(task, ShuffleMapTask):
+            # Buckets were stored and their serialization charged in run();
+            # only the (tiny) MapStatus goes to the driver.
+            yield from sc.cluster.network.transfer(
+                self.node, sc.cluster.driver_node, sim_sizeof(result))
+            return result
+        if isinstance(task, ReducedResultTask):
+            # In-memory merge: the shared object absorbs the result locally.
+            yield from self.object_manager.merge(
+                task.object_id, task.stage_attempt, result, task.reduce_op)
+            return (self.executor_id, task.object_id)
+        if isinstance(task, ResultTask):
+            nbytes = sim_sizeof(result)
+            yield env.timeout(sc.serde.ser_time_bytes(nbytes))
+            yield from sc.cluster.network.transfer(
+                self.node, sc.cluster.driver_node, nbytes)
+            return (result, nbytes)
+        raise TypeError(f"unknown task type {type(task).__name__}")
+
+    # ------------------------------------------------------------------- fetch
+    def _fetch_shuffle(self, shuffle_id: int, reduce_index: int,
+                       ctx: TaskContext) -> Generator:
+        """Fetch every map output for ``(shuffle_id, reduce_index)``.
+
+        Remote buckets transfer concurrently (the flow network fair-shares
+        this node's ingress); deserialization of all buckets is charged to
+        the task.
+        """
+        env = self.env
+        sc = self.sc
+        tracker = sc.map_output_tracker
+        num_maps = tracker.num_maps(shuffle_id)
+        records: list = []
+        deser_bytes = 0.0
+        transfers = []
+        for map_index in range(num_maps):
+            status = tracker.status(shuffle_id, map_index)
+            if status is None:
+                raise FetchFailed(shuffle_id, map_index, -1)
+            source = sc.executor_by_id(status.executor_id)
+            if not source.alive:
+                raise FetchFailed(shuffle_id, map_index, status.executor_id)
+            bucket = source.shuffle_store.get_bucket(
+                shuffle_id, map_index, reduce_index)
+            if bucket is None:
+                raise FetchFailed(shuffle_id, map_index, status.executor_id)
+            data, nbytes = bucket
+            records.extend(data)
+            if nbytes <= 0:
+                continue
+            deser_bytes += nbytes
+            transfers.append(env.process(sc.cluster.network.transfer(
+                source.node, self.node, nbytes)))
+        for proc in transfers:
+            yield proc
+        if deser_bytes > 0:
+            yield env.timeout(sc.serde.deser_time_bytes(deser_bytes))
+        ctx.fetched[(shuffle_id, reduce_index)] = records
+
+    # -------------------------------------------------------------------- kill
+    def kill(self, reason: str = "fault injection") -> None:
+        """Simulate executor loss: drop state, interrupt running tasks."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.memory_store.clear()
+        self.shuffle_store.clear()
+        self.object_manager.clear_all()
+        self.sc.block_tracker.unregister_executor(self.executor_id)
+        self.sc.map_output_tracker.unregister_executor(self.executor_id)
+        for proc in list(self._running):
+            if proc.is_alive:
+                proc.interrupt(reason)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return (f"<Executor {self.executor_id} on {self.node.hostname} "
+                f"{state}>")

@@ -1,0 +1,343 @@
+"""The DAG scheduler: stages, task placement, retries, lineage recovery.
+
+Jobs arrive as ``(rdd, func, partitions)``. The scheduler walks the lineage
+for incomplete shuffle dependencies, runs their map stages bottom-up, then
+runs the final stage. Three stage flavours:
+
+* **ShuffleMapStage** — produces map outputs for one shuffle dependency,
+* **ResultStage** — applies the job function and returns results to the
+  driver (each result pays serialize → network → driver-CPU deserialize,
+  the cost chain the paper's tree aggregation is built on),
+* **ReducedResultStage** — the paper's IMM stage (§4.3): results merge into
+  executor-shared objects; *any* task failure aborts and resubmits the
+  whole stage, because shared mutable state breaks task independence.
+
+Fault handling mirrors Spark: plain task failures retry on another executor
+(up to 4 attempts); a ``FetchFailed`` resubmits the lost parent map stage
+and retries the current stage; lost cached blocks recompute through
+lineage in ``RDD.iterator``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..sim import Interrupt
+from .executor import Executor, ExecutorLost, TaskKilled
+from .rdd import RDD, ShuffleDependency
+from .shuffle import FetchFailed
+from .tasks import ReducedResultTask, ResultTask, ShuffleMapTask, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import SparkerContext
+
+__all__ = ["DAGScheduler", "StageInfo", "JobFailed"]
+
+#: task attempts before a job is failed
+MAX_TASK_FAILURES = 4
+#: stage resubmissions before a job is failed
+MAX_STAGE_ATTEMPTS = 4
+
+
+class JobFailed(Exception):
+    """The job could not complete within the retry budget."""
+
+
+@dataclass
+class StageInfo:
+    """One executed stage, recorded for tests and the benchmark harness."""
+
+    stage_id: int
+    kind: str  # "shuffle_map" | "result" | "reduced_result"
+    rdd_name: str
+    num_tasks: int
+    attempt: int
+    submitted_at: float
+    finished_at: float = field(default=float("nan"))
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.submitted_at
+
+
+class DAGScheduler:
+    """Builds and runs the stage graph for each job."""
+
+    def __init__(self, sc: "SparkerContext"):
+        self.sc = sc
+        self._next_stage_id = 0
+        #: every executed stage, in completion order
+        self.stage_log: List[StageInfo] = []
+
+    # ------------------------------------------------------------------- jobs
+    def run_job(self, rdd: RDD, func: Callable[[int, list, Any], Any],
+                partitions: Optional[Sequence[int]] = None) -> Generator:
+        """Process body: run a job, returning per-partition results."""
+        sc = self.sc
+        yield sc.env.timeout(sc.cluster.config.driver_job_overhead)
+        parts = list(partitions if partitions is not None
+                     else range(rdd.num_partitions()))
+        for attempt in range(MAX_STAGE_ATTEMPTS):
+            yield from self._ensure_shuffles(rdd)
+            stage_id = self._new_stage_id()
+            info = self._open_stage(stage_id, "result", rdd, len(parts),
+                                    attempt)
+
+            def factory(partition: int, task_attempt: int) -> Task:
+                return ResultTask(stage_id, attempt, rdd, partition,
+                                  task_attempt, func)
+
+            try:
+                raw = yield from self._run_tasks(rdd, parts, factory,
+                                                 retry_tasks=True)
+            except FetchFailed:
+                self._close_stage(info)
+                continue  # parent stage will be resubmitted
+            self._close_stage(info)
+            results: Dict[int, Any] = {}
+            # Task results deserialize concurrently on the driver's
+            # result-getter pool (4 threads in Spark).
+            desers = {
+                partition: sc.env.process(sc.driver_fetch_work(
+                    sc.serde.deser_time_bytes(nbytes)))
+                for partition, (_value, nbytes) in raw.items()
+            }
+            for partition, (value, _nbytes) in raw.items():
+                yield desers[partition]
+                results[partition] = value
+            return [results[p] for p in parts]
+        raise JobFailed(f"result stage of RDD {rdd.id} kept losing parents")
+
+    def run_reduced_job(self, rdd: RDD,
+                        func: Callable[[int, list, Any], Any],
+                        reduce_op: Callable[[Any, Any], Any],
+                        job_id: int) -> Generator:
+        """Process body: run an IMM reduced-result stage (paper §4.3).
+
+        Returns ``[(executor_id, object_id), ...]`` — one entry per executor
+        that holds a merged aggregator. Any task failure clears the shared
+        objects and resubmits the entire stage.
+        """
+        sc = self.sc
+        yield sc.env.timeout(sc.cluster.config.driver_job_overhead)
+        parts = list(range(rdd.num_partitions()))
+        stage_id = self._new_stage_id()
+        object_id = (job_id, stage_id)
+        for attempt in range(MAX_STAGE_ATTEMPTS):
+            yield from self._ensure_shuffles(rdd)
+            info = self._open_stage(stage_id, "reduced_result", rdd,
+                                    len(parts), attempt)
+
+            def factory(partition: int, task_attempt: int,
+                        _attempt: int = attempt) -> Task:
+                return ReducedResultTask(stage_id, _attempt, rdd, partition,
+                                         task_attempt, func, reduce_op,
+                                         object_id)
+
+            try:
+                raw = yield from self._run_tasks(rdd, parts, factory,
+                                                 retry_tasks=False)
+            except FetchFailed:
+                self._cleanup_objects(object_id)
+                self._close_stage(info)
+                continue
+            except (TaskKilled, ExecutorLost, Exception):
+                # IMM semantics: the shared value may be partially merged;
+                # clean up the whole stage and resubmit it (paper §3.2).
+                self._cleanup_objects(object_id)
+                self._close_stage(info)
+                continue
+            self._close_stage(info)
+            holders: List[Tuple[int, Tuple[int, int]]] = []
+            seen: Set[int] = set()
+            for _partition, (executor_id, obj_id) in sorted(raw.items()):
+                if executor_id not in seen:
+                    seen.add(executor_id)
+                    holders.append((executor_id, obj_id))
+            return holders
+        raise JobFailed(
+            f"reduced-result stage of RDD {rdd.id} failed "
+            f"{MAX_STAGE_ATTEMPTS} times")
+
+    def _cleanup_objects(self, object_id: Tuple[int, int]) -> None:
+        for executor in self.sc.executors:
+            executor.object_manager.clear(object_id)
+
+    # ------------------------------------------------------------ map stages
+    def _ensure_shuffles(self, rdd: RDD) -> Generator:
+        """Run map stages for every incomplete shuffle below ``rdd``."""
+        for dep in self._shuffle_deps_topo(rdd):
+            if not self.sc.map_output_tracker.is_complete(dep.shuffle_id):
+                yield from self._run_map_stage(dep)
+
+    @staticmethod
+    def _shuffle_deps_topo(rdd: RDD) -> List[ShuffleDependency]:
+        order: List[ShuffleDependency] = []
+        seen: Set[int] = set()
+
+        def visit(r: RDD) -> None:
+            if r.id in seen:
+                return
+            seen.add(r.id)
+            for dep in r.deps:
+                visit(dep.rdd)
+                if isinstance(dep, ShuffleDependency):
+                    order.append(dep)
+
+        visit(rdd)
+        return order
+
+    def _run_map_stage(self, dep: ShuffleDependency) -> Generator:
+        sc = self.sc
+        tracker = sc.map_output_tracker
+        for attempt in range(MAX_STAGE_ATTEMPTS):
+            missing = tracker.missing_maps(dep.shuffle_id)
+            if not missing:
+                return
+            stage_id = self._new_stage_id()
+            info = self._open_stage(stage_id, "shuffle_map", dep.rdd,
+                                    len(missing), attempt)
+
+            def factory(partition: int, task_attempt: int,
+                        _attempt: int = attempt) -> Task:
+                return ShuffleMapTask(stage_id, _attempt, dep.rdd, partition,
+                                      task_attempt, dep)
+
+            try:
+                raw = yield from self._run_tasks(dep.rdd, missing, factory,
+                                                 retry_tasks=True)
+            except FetchFailed:
+                self._close_stage(info)
+                # A grandparent shuffle lost outputs; rebuild it first.
+                yield from self._ensure_shuffles(dep.rdd)
+                continue
+            self._close_stage(info)
+            for partition, status in raw.items():
+                tracker.register_map_output(dep.shuffle_id, partition, status)
+            if not tracker.missing_maps(dep.shuffle_id):
+                return
+        raise JobFailed(f"map stage for shuffle {dep.shuffle_id} kept failing")
+
+    # ------------------------------------------------------------- task waves
+    def _run_tasks(self, rdd: RDD, partitions: Sequence[int],
+                   task_factory: Callable[[int, int], Task],
+                   retry_tasks: bool) -> Generator:
+        """Run one task per partition; returns ``{partition: output}``.
+
+        With ``retry_tasks`` each task retries independently (Spark's normal
+        path); without it the first failure aborts the whole wave after
+        interrupting its peers (IMM semantics).
+        """
+        sc = self.sc
+        env = sc.env
+        alive = [e for e in sc.executors if e.alive]
+        if not alive:
+            raise ExecutorLost("no alive executors in the cluster")
+
+        loops = [
+            env.process(
+                self._attempt_loop(rdd, partition, position, task_factory,
+                                   retry_tasks),
+                name=f"attempts:p{partition}")
+            for position, partition in enumerate(partitions)
+        ]
+        results: Dict[int, Any] = {}
+        failure: Optional[BaseException] = None
+        for loop in loops:
+            if failure is None:
+                try:
+                    partition, output = yield loop
+                    results[partition] = output
+                except BaseException as exc:  # noqa: BLE001
+                    failure = exc
+                    for other in loops:
+                        if other.is_alive:
+                            other.interrupt("stage aborted")
+            else:
+                try:
+                    yield loop
+                except BaseException:  # noqa: BLE001 - already aborting
+                    pass
+        if failure is not None:
+            raise failure
+        return results
+
+    def _attempt_loop(self, rdd: RDD, partition: int, position: int,
+                      task_factory: Callable[[int, int], Task],
+                      retry_tasks: bool) -> Generator:
+        sc = self.sc
+        tried: Set[int] = set()
+        current = None
+        failures = 0
+        try:
+            while True:
+                executor = self._pick_executor(rdd, partition, position,
+                                               tried)
+                task = task_factory(partition, failures)
+                current = executor.submit(task)
+                try:
+                    output = yield current
+                    return partition, output
+                except FetchFailed:
+                    raise
+                except (TaskKilled, ExecutorLost, Exception) as exc:
+                    if isinstance(exc, Interrupt):
+                        raise
+                    failures += 1
+                    tried.add(executor.executor_id)
+                    if not retry_tasks or failures >= MAX_TASK_FAILURES:
+                        raise
+        except Interrupt:
+            if current is not None and current.is_alive:
+                current.interrupt("stage aborted")
+            raise
+
+    def _pick_executor(self, rdd: RDD, partition: int, position: int,
+                       tried: Set[int]) -> Executor:
+        sc = self.sc
+        pinned = rdd.pinned_executor(partition)
+        if pinned is not None:
+            executor = sc.executor_by_id(pinned)
+            if not executor.alive:
+                raise ExecutorLost(
+                    f"task pinned to dead executor {pinned}")
+            return executor
+        for executor_id in rdd.preferred_executors(partition):
+            executor = sc.executor_by_id(executor_id)
+            if executor.alive and executor_id not in tried:
+                return executor
+        alive = [e for e in sc.executors if e.alive]
+        if not alive:
+            raise ExecutorLost("no alive executors in the cluster")
+        fresh = [e for e in alive if e.executor_id not in tried]
+        pool = fresh or alive
+        return pool[position % len(pool)]
+
+    # ------------------------------------------------------------ bookkeeping
+    def _new_stage_id(self) -> int:
+        stage_id = self._next_stage_id
+        self._next_stage_id += 1
+        return stage_id
+
+    def _open_stage(self, stage_id: int, kind: str, rdd: RDD,
+                    num_tasks: int, attempt: int) -> StageInfo:
+        info = StageInfo(stage_id=stage_id, kind=kind, rdd_name=rdd.name,
+                         num_tasks=num_tasks, attempt=attempt,
+                         submitted_at=self.sc.env.now)
+        self.stage_log.append(info)
+        return info
+
+    def _close_stage(self, info: StageInfo) -> None:
+        info.finished_at = self.sc.env.now

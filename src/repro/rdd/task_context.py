@@ -1,0 +1,49 @@
+"""Per-task execution context.
+
+A :class:`TaskContext` travels with one task attempt through user code. It
+accumulates the task's virtual compute cost (user functions annotated with
+:class:`~repro.rdd.costing.Costed` charge through it), carries pre-fetched
+shuffle inputs, and identifies the attempt for fault-injection tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .executor import Executor
+
+__all__ = ["TaskContext"]
+
+
+class TaskContext:
+    """State visible to user code while a task attempt runs."""
+
+    def __init__(self, stage_id: int, partition_id: int, attempt: int,
+                 executor: "Executor"):
+        self.stage_id = stage_id
+        self.partition_id = partition_id
+        self.attempt = attempt
+        self.executor = executor
+        #: accumulated virtual compute seconds, settled by the executor
+        self.charged = 0.0
+        #: shuffle inputs pre-fetched by the executor:
+        #: ``(shuffle_id, reduce_partition) -> list of (key, value)``
+        self.fetched: Dict[Tuple[int, int], list] = {}
+        #: per-attempt accumulator updates (published only on success)
+        self.accumulator_updates: Dict[int, Any] = {}
+
+    def charge(self, seconds: float) -> None:
+        """Add ``seconds`` of virtual compute time to this task."""
+        if seconds < 0:
+            raise ValueError(f"negative charge: {seconds}")
+        self.charged += seconds
+
+    def drain_charges(self) -> float:
+        """Return and reset the accumulated charge (engine hook)."""
+        charged, self.charged = self.charged, 0.0
+        return charged
+
+    def __repr__(self) -> str:
+        return (f"<TaskContext stage={self.stage_id} "
+                f"partition={self.partition_id} attempt={self.attempt}>")

@@ -1,0 +1,14 @@
+"""Serialization cost modelling: size estimation, scaled payloads, costs."""
+
+from .cost import SerdeModel
+from .payload import SizedPayload, segment_bounds, segment_range
+from .sizeof import SimSized, sim_sizeof
+
+__all__ = [
+    "SerdeModel",
+    "SizedPayload",
+    "segment_bounds",
+    "segment_range",
+    "SimSized",
+    "sim_sizeof",
+]

@@ -1,0 +1,75 @@
+"""Serialization / deserialization cost model.
+
+Spark serializes a value whenever it leaves a JVM: task results on their way
+to the driver, shuffle blocks, broadcast variables. Ousterhout et al. (NSDI
+'15, cited by the paper in §3.2) showed this can dominate; the paper's
+in-memory merge exists precisely to amortize it. The model here is linear
+with a fixed setup cost:
+
+    ser_time(B)   = ser_fixed + B / ser_bandwidth
+    deser_time(B) = ser_fixed + B / deser_bandwidth
+
+Both appear as virtual-time charges wherever the engine would really
+serialize.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from .sizeof import sim_sizeof
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.config import ClusterConfig
+
+__all__ = ["SerdeModel"]
+
+
+class SerdeModel:
+    """Linear serialization cost model bound to a platform's constants."""
+
+    def __init__(self, ser_bandwidth: float, deser_bandwidth: float,
+                 fixed: float = 0.0):
+        if ser_bandwidth <= 0 or deser_bandwidth <= 0:
+            raise ValueError("serde bandwidths must be positive")
+        if fixed < 0:
+            raise ValueError(f"negative fixed cost: {fixed}")
+        self.ser_bandwidth = float(ser_bandwidth)
+        self.deser_bandwidth = float(deser_bandwidth)
+        self.fixed = float(fixed)
+
+    @classmethod
+    def from_config(cls, config: "ClusterConfig") -> "SerdeModel":
+        """A model with the platform's serialization constants."""
+        return cls(config.ser_bandwidth, config.deser_bandwidth,
+                   config.ser_fixed)
+
+    # -------------------------------------------------------------- by bytes
+    def ser_time_bytes(self, nbytes: float) -> float:
+        """Time to serialize ``nbytes`` of payload."""
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes}")
+        return self.fixed + nbytes / self.ser_bandwidth
+
+    def deser_time_bytes(self, nbytes: float) -> float:
+        """Time to deserialize ``nbytes`` of payload."""
+        if nbytes < 0:
+            raise ValueError(f"negative size: {nbytes}")
+        return self.fixed + nbytes / self.deser_bandwidth
+
+    def round_trip_bytes(self, nbytes: float) -> float:
+        """Serialize + deserialize cost for ``nbytes``."""
+        return self.ser_time_bytes(nbytes) + self.deser_time_bytes(nbytes)
+
+    # -------------------------------------------------------------- by value
+    def ser_time(self, value: Any) -> float:
+        """Time to serialize ``value`` (size via :func:`sim_sizeof`)."""
+        return self.ser_time_bytes(sim_sizeof(value))
+
+    def deser_time(self, value: Any) -> float:
+        """Time to deserialize ``value``."""
+        return self.deser_time_bytes(sim_sizeof(value))
+
+    def __repr__(self) -> str:
+        return (f"<SerdeModel ser={self.ser_bandwidth:.3g}B/s "
+                f"deser={self.deser_bandwidth:.3g}B/s fixed={self.fixed:g}s>")

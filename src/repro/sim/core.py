@@ -1,0 +1,157 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns the virtual clock and the event queue. The queue is
+a binary heap ordered by ``(time, priority, sequence)``; the sequence number
+guarantees FIFO processing of same-time events, which in turn makes every
+simulation in this repository bit-for-bit deterministic for a fixed seed.
+
+Typical usage::
+
+    env = Environment()
+
+    def pinger():
+        yield env.timeout(1.0)
+        return "pong"
+
+    proc = env.process(pinger())
+    env.run()
+    assert env.now == 1.0 and proc.value == "pong"
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from .events import Event, Process, Timeout
+
+__all__ = ["Environment", "EmptySchedule"]
+
+#: Priority for ordinary events.
+NORMAL = 1
+#: Priority for "urgent" kernel bookkeeping events (fire before normal ones
+#: scheduled at the same instant).
+URGENT = 0
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value for the virtual clock (seconds).
+
+    Notes
+    -----
+    All times are ``float`` seconds. Sub-microsecond deltas are routine
+    (network latencies); accumulating them as floats is fine for the run
+    lengths in this repository (hours of virtual time at most).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []  # heap of (time, priority, seq, event)
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing (None outside process steps)."""
+        return self._active_process
+
+    # -- event construction --------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: Generator, name: str = "",
+                critical: bool = False) -> Process:
+        """Start a new :class:`Process` running ``generator``.
+
+        ``critical=True`` marks infrastructure that nobody joins: its
+        failures crash the simulation instead of being swallowed.
+        """
+        return Process(self, generator, name=name, critical=critical)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = NORMAL) -> None:
+        """Insert a triggered event into the queue ``delay`` from now."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the single next event (advancing the clock to it)."""
+        if not self._queue:
+            raise EmptySchedule()
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - heap invariant guard
+            raise AssertionError("event scheduled in the past")
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be
+
+        * ``None`` — run until the event queue drains,
+        * a number — run until the clock reaches that time,
+        * an :class:`Event` — run until that event is *processed*, returning
+          its value (re-raising its exception if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = {"done": False}
+
+            def _mark(_event: Event) -> None:
+                sentinel["done"] = True
+
+            until.add_callback(_mark)
+            while not sentinel["done"]:
+                if not self._queue:
+                    raise EmptySchedule(
+                        f"simulation ran dry before {until!r} fired"
+                    )
+                self.step()
+            if until.exception is not None:
+                raise until.exception
+            return until.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(
+                f"cannot run until {horizon:g}: clock is already at {self._now:g}"
+            )
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now:g} pending={len(self._queue)}>"

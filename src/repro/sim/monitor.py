@@ -1,0 +1,101 @@
+"""Lightweight instrumentation for simulations.
+
+:class:`Stopwatch` accumulates named spans of virtual time;
+:class:`Counter` accumulates named scalar tallies (bytes sent, messages,
+merges). Both are plain accumulators — they never affect simulation
+behaviour — and are the source of every decomposed-time figure in the
+benchmark harness (driver / non-agg / agg-compute / agg-reduce).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, Iterator, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+__all__ = ["Stopwatch", "Counter"]
+
+
+class Stopwatch:
+    """Accumulates virtual-time spans under string keys.
+
+    Spans are recorded explicitly (``add(key, seconds)``) or bracketed
+    (``start``/``stop``). Overlapping brackets for the same key are not
+    allowed — each key is a single logical timeline.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._total: Dict[str, float] = defaultdict(float)
+        self._open: Dict[str, float] = {}
+
+    def add(self, key: str, seconds: float) -> None:
+        """Record ``seconds`` of virtual time under ``key``."""
+        if seconds < 0:
+            raise ValueError(f"negative span for {key!r}: {seconds}")
+        self._total[key] += seconds
+
+    def start(self, key: str) -> None:
+        """Open a bracket for ``key`` at the current virtual time."""
+        if key in self._open:
+            raise RuntimeError(f"span {key!r} is already open")
+        self._open[key] = self.env.now
+
+    def stop(self, key: str) -> float:
+        """Close the bracket for ``key``; returns the elapsed span."""
+        try:
+            began = self._open.pop(key)
+        except KeyError:
+            raise RuntimeError(f"span {key!r} was never started") from None
+        span = self.env.now - began
+        self._total[key] += span
+        return span
+
+    def total(self, key: str) -> float:
+        """Accumulated time for ``key`` (0.0 if never recorded)."""
+        return self._total.get(key, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """All accumulated spans as a plain dict."""
+        return dict(self._total)
+
+    def clear(self) -> None:
+        """Drop all recorded spans and open brackets."""
+        self._total.clear()
+        self._open.clear()
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._total.items()))
+
+    def __repr__(self) -> str:
+        spans = ", ".join(f"{k}={v:.6g}" for k, v in self)
+        return f"<Stopwatch {spans}>"
+
+
+class Counter:
+    """Accumulates scalar tallies under string keys."""
+
+    def __init__(self) -> None:
+        self._total: Dict[str, float] = defaultdict(float)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to the tally under ``key``."""
+        self._total[key] += amount
+
+    def total(self, key: str) -> float:
+        """Accumulated tally for ``key`` (0.0 if never recorded)."""
+        return self._total.get(key, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """All tallies as a plain dict."""
+        return dict(self._total)
+
+    def clear(self) -> None:
+        """Drop all tallies."""
+        self._total.clear()
+
+    def __repr__(self) -> str:
+        tallies = ", ".join(f"{k}={v:g}" for k, v in sorted(self._total.items()))
+        return f"<Counter {tallies}>"

@@ -1,0 +1,83 @@
+"""Smoke tests for the figure experiments at reduced scale.
+
+The full-scale shapes are asserted by the benchmark suite; these verify
+the experiment plumbing (structure, monotonic basics) quickly.
+"""
+
+import pytest
+
+from repro.bench import (
+    aws_config_for_cores,
+    bic_config_for_cores,
+    fig12_p2p_latency,
+    fig15_reduce_scatter_scaling,
+    fig16_aggregation_scaling,
+    table1_clusters,
+    table2_datasets,
+    table3_models,
+)
+from repro.cluster import KB, MB
+
+
+def test_tables_render():
+    assert "BIC" in table1_clusters()
+    assert "kdd12" in table2_datasets()
+    assert "LDA" in table3_models()
+
+
+def test_bic_config_for_cores():
+    assert bic_config_for_cores(24).num_nodes == 1
+    assert bic_config_for_cores(192).num_nodes == 8
+    with pytest.raises(ValueError):
+        bic_config_for_cores(23)
+
+
+def test_aws_config_for_cores_multi_node():
+    cfg = aws_config_for_cores(960)
+    assert cfg.num_nodes == 10
+    assert cfg.num_executors * cfg.executor_cores == 960
+
+
+def test_aws_config_for_cores_intra_node():
+    cfg = aws_config_for_cores(8)
+    assert cfg.num_nodes == 1
+    assert cfg.num_executors == 1
+    assert cfg.executor_cores == 8
+    cfg = aws_config_for_cores(48)
+    assert cfg.num_executors == 6
+
+
+def test_aws_config_validation():
+    with pytest.raises(ValueError):
+        aws_config_for_cores(100)
+    with pytest.raises(ValueError):
+        aws_config_for_cores(7)
+
+
+def test_fig12_structure():
+    latencies = fig12_p2p_latency()
+    assert set(latencies) == {"BM", "SC", "MPI"}
+    assert latencies["MPI"] < latencies["SC"] < latencies["BM"]
+
+
+def test_fig15_reduced_scale():
+    rows = fig15_reduce_scatter_scaling(executor_counts=(6, 12),
+                                        sizes=(256 * KB,))
+    assert len(rows) == 2
+    (_b1, n1, sc1, mpi1), (_b2, n2, sc2, mpi2) = rows
+    assert (n1, n2) == (6, 12)
+    assert sc2 > sc1  # latency-bound: more executors, more time
+    assert mpi1 > 0 and mpi2 > 0
+
+
+def test_fig15_rejects_bad_executor_counts():
+    with pytest.raises(ValueError):
+        fig15_reduce_scatter_scaling(executor_counts=(5,),
+                                     sizes=(256 * KB,))
+
+
+def test_fig16_reduced_scale_checks_results():
+    rows = fig16_aggregation_scaling(node_counts=(1,), sizes=(1 * MB,),
+                                     methods=("tree", "split"))
+    times = {m: s for (_b, _n, m, s) in rows}
+    assert times["tree"] > 0 and times["split"] > 0

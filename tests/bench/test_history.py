@@ -1,0 +1,109 @@
+"""Tests for the stage-log analyzer (the paper's §2.3 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import BreakdownRecorder
+from repro.bench.history import analyze_stage_log, render_stage_log
+from repro.cluster import MB, ClusterConfig
+from repro.rdd import SparkerContext
+from repro.serde import SizedPayload
+
+
+def run_aggregation(method="tree", nodes=2):
+    sc = SparkerContext(ClusterConfig.bic(num_nodes=nodes))
+    n = sc.cluster.total_cores
+    data = [SizedPayload(np.ones(32), sim_bytes=16 * MB) for _ in range(n)]
+    rdd = sc.parallelize(data, n).cache()
+    rdd.count()
+    mark = len(sc.dag.stage_log)
+    recorder = BreakdownRecorder(sc)
+    zero = lambda: SizedPayload(np.zeros(32), sim_bytes=16 * MB)  # noqa: E731
+    if method == "split":
+        rdd.split_aggregate(zero, lambda a, x: a.merge_inplace(x),
+                            lambda u, i, k: u.split(i, k),
+                            lambda a, b: a.merge(b), SizedPayload.concat)
+    else:
+        rdd.tree_aggregate(zero, lambda a, x: a.merge_inplace(x),
+                           lambda a, b: a.merge(b))
+    return sc, sc.dag.stage_log[mark:], recorder.finish()
+
+
+def test_tree_aggregation_stages_classified():
+    _sc, stages, _b = run_aggregation("tree")
+    analysis = analyze_stage_log(stages)
+    assert analysis.num_stages >= 2
+    assert analysis.agg_compute > 0
+    assert analysis.agg_reduce > 0
+    assert analysis.aggregation_share > 0.9  # pure aggregation job
+
+
+def test_split_aggregation_stages_classified():
+    _sc, stages, _b = run_aggregation("split")
+    analysis = analyze_stage_log(stages)
+    assert analysis.stage_kinds.get("reduced_result") == 1
+    assert analysis.agg_compute > 0
+
+
+def test_log_analysis_agrees_with_stopwatch():
+    """The log-derived compute matches the stopwatch-derived compute (it
+    is literally the first stage's duration for the tree path)."""
+    _sc, stages, breakdown = run_aggregation("tree")
+    analysis = analyze_stage_log(stages)
+    assert analysis.agg_compute == pytest.approx(breakdown.agg_compute,
+                                                 rel=1e-6)
+
+
+def test_analysis_of_non_aggregation_job():
+    sc = SparkerContext(ClusterConfig.laptop())
+    sc.parallelize(range(100), 8).map(lambda x: x + 1).count()
+    analysis = analyze_stage_log(sc.dag.stage_log)
+    assert analysis.agg_compute == 0
+    assert analysis.agg_reduce == 0
+    assert analysis.other > 0
+    assert analysis.aggregation_share == 0.0
+
+
+def test_empty_log():
+    analysis = analyze_stage_log([])
+    assert analysis.num_stages == 0
+    assert analysis.total_stage_time == 0.0
+    assert analysis.aggregation_share == 0.0
+
+
+def test_render_stage_log():
+    _sc, stages, _b = run_aggregation("tree")
+    text = render_stage_log(stages, title="T")
+    assert "treeAgg:level0" in text
+    assert "Bucket" in text
+    assert text.count("\n") >= len(stages) + 2
+
+
+def test_history_round_trips_through_json(tmp_path):
+    from repro.bench import dump_history, load_history
+
+    _sc, stages, _b = run_aggregation("tree")
+    path = tmp_path / "history.jsonl"
+    assert dump_history(stages, path) == len(stages)
+    loaded = load_history(path)
+    assert len(loaded) == len(stages)
+    for orig, back in zip(stages, loaded):
+        assert back.stage_id == orig.stage_id
+        assert back.kind == orig.kind
+        assert back.rdd_name == orig.rdd_name
+        assert back.duration == pytest.approx(orig.duration)
+    # Analysis of the loaded log matches analysis of the live log.
+    live = analyze_stage_log(stages)
+    filed = analyze_stage_log(loaded)
+    assert filed.agg_compute == pytest.approx(live.agg_compute)
+    assert filed.agg_reduce == pytest.approx(live.agg_reduce)
+
+
+def test_load_history_skips_blank_lines(tmp_path):
+    from repro.bench import dump_history, load_history
+
+    _sc, stages, _b = run_aggregation("tree")
+    path = tmp_path / "history.jsonl"
+    dump_history(stages, path)
+    path.write_text(path.read_text() + "\n\n", encoding="utf-8")
+    assert len(load_history(path)) == len(stages)

@@ -1,0 +1,89 @@
+"""Tests for cluster configurations (Table 1 presets)."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import GB, ClusterConfig
+
+
+def test_bic_preset_matches_table1():
+    bic = ClusterConfig.bic()
+    assert bic.name == "BIC"
+    assert bic.num_nodes == 8
+    assert bic.cores_per_node == 56
+    assert bic.memory_per_node == 256 * GB
+    assert bic.executors_per_node == 6
+    assert bic.executor_cores == 4
+    assert bic.executor_memory == 30 * GB
+    assert bic.num_executors == 48
+    assert bic.total_cores == 192
+
+
+def test_aws_preset_matches_table1():
+    aws = ClusterConfig.aws()
+    assert aws.name == "AWS"
+    assert aws.num_nodes == 10
+    assert aws.cores_per_node == 96
+    assert aws.memory_per_node == 384 * GB
+    assert aws.executors_per_node == 12
+    assert aws.executor_cores == 8
+    assert aws.num_executors == 120
+    assert aws.total_cores == 960
+
+
+def test_presets_validate():
+    ClusterConfig.bic().validate()
+    ClusterConfig.aws().validate()
+    ClusterConfig.laptop().validate()
+
+
+def test_with_nodes_scales():
+    cfg = ClusterConfig.bic().with_nodes(2)
+    assert cfg.num_nodes == 2
+    assert cfg.num_executors == 12
+    # All platform constants preserved.
+    assert cfg.nic_bandwidth == ClusterConfig.bic().nic_bandwidth
+
+
+def test_with_nodes_rejects_zero():
+    with pytest.raises(ValueError):
+        ClusterConfig.bic().with_nodes(0)
+
+
+def test_with_executors_per_node():
+    cfg = ClusterConfig.aws().with_executors_per_node(2, 4)
+    assert cfg.executors_per_node == 2
+    assert cfg.executor_cores == 4
+    assert cfg.num_executors == 20
+
+
+def test_validate_rejects_core_oversubscription():
+    cfg = dataclasses.replace(ClusterConfig.bic(), executors_per_node=20)
+    with pytest.raises(ValueError, match="cores"):
+        cfg.validate()
+
+
+def test_validate_rejects_memory_oversubscription():
+    cfg = dataclasses.replace(ClusterConfig.bic(), executor_memory=100 * GB)
+    with pytest.raises(ValueError, match="memory"):
+        cfg.validate()
+
+
+def test_validate_rejects_stream_above_nic():
+    cfg = dataclasses.replace(ClusterConfig.bic(),
+                              tcp_stream_bandwidth=10e12)
+    with pytest.raises(ValueError, match="stream"):
+        cfg.validate()
+
+
+def test_config_is_immutable():
+    cfg = ClusterConfig.bic()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.num_nodes = 4  # type: ignore[misc]
+
+
+def test_stream_slower_than_nic_in_both_presets():
+    # This gap is what makes channel parallelism pay off (Figures 13/14).
+    for cfg in (ClusterConfig.bic(), ClusterConfig.aws()):
+        assert cfg.tcp_stream_bandwidth * 2 < cfg.nic_bandwidth

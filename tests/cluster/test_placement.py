@@ -1,0 +1,67 @@
+"""Tests for executor placement and the Cluster facade."""
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.sim import Environment
+
+
+def make(num_nodes=4, **kwargs):
+    env = Environment()
+    return env, Cluster(env, ClusterConfig.bic(num_nodes=num_nodes), **kwargs)
+
+
+def test_executor_count_matches_config():
+    _env, cluster = make(num_nodes=4)
+    assert cluster.num_executors == 4 * 6
+    assert cluster.total_cores == 4 * 6 * 4
+
+
+def test_round_robin_placement():
+    _env, cluster = make(num_nodes=4)
+    for slot in cluster.executors:
+        assert slot.node.node_id == slot.executor_id % 4
+
+
+def test_driver_has_own_host_by_default():
+    _env, cluster = make()
+    assert cluster.driver_node.hostname == "driver-host"
+    assert all(n is not cluster.driver_node for n in cluster.nodes)
+
+
+def test_driver_colocated_option():
+    _env, cluster = make(driver_colocated=True)
+    assert cluster.driver_node is cluster.nodes[0]
+
+
+def test_executors_on_node():
+    _env, cluster = make(num_nodes=4)
+    on_zero = cluster.executors_on(cluster.nodes[0])
+    assert len(on_zero) == 6
+    assert all(s.node.node_id == 0 for s in on_zero)
+
+
+def test_hostname_sort_groups_same_node_executors():
+    _env, cluster = make(num_nodes=4)
+    ranked = cluster.sorted_by_hostname()
+    hosts = [s.hostname for s in ranked]
+    # Hostname-sorted ranking visits each host as one contiguous block.
+    blocks = 1 + sum(1 for a, b in zip(hosts, hosts[1:]) if a != b)
+    assert blocks == 4
+
+
+def test_id_sort_interleaves_nodes():
+    _env, cluster = make(num_nodes=4)
+    ranked = cluster.sorted_by_id()
+    hosts = [s.hostname for s in ranked]
+    # Registration order interleaves: adjacent ranks are on different hosts.
+    transitions = sum(1 for a, b in zip(hosts, hosts[1:]) if a != b)
+    assert transitions == len(hosts) - 1
+
+
+def test_hostname_sort_is_stable_for_ties():
+    _env, cluster = make(num_nodes=2)
+    ranked = cluster.sorted_by_hostname()
+    per_host = {}
+    for slot in ranked:
+        per_host.setdefault(slot.hostname, []).append(slot.executor_id)
+    for ids in per_host.values():
+        assert ids == sorted(ids)

@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for communication-layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.serde import SizedPayload
+from repro.sim import Environment
+
+
+@pytest.fixture
+def bic2():
+    """A 2-node BIC cluster (12 executors)."""
+    env = Environment()
+    return env, Cluster(env, ClusterConfig.bic(num_nodes=2))
+
+
+@pytest.fixture
+def bic4():
+    """A 4-node BIC cluster (24 executors)."""
+    env = Environment()
+    return env, Cluster(env, ClusterConfig.bic(num_nodes=4))
+
+
+def make_values(n, elems=64, seed=0, sim_bytes=None):
+    """One random SizedPayload per rank, plus their exact elementwise sum."""
+    rng = np.random.default_rng(seed)
+    values = [
+        SizedPayload(rng.integers(-100, 100, size=elems).astype(float),
+                     sim_bytes=sim_bytes)
+        for _ in range(n)
+    ]
+    expected = np.sum([v.data for v in values], axis=0)
+    return values, expected
+
+
+def split_op(value, i, n):
+    return value.split(i, n)
+
+
+def reduce_op(a, b):
+    return a.merge(b)
+
+
+def concat_op(segments):
+    return SizedPayload.concat(segments)

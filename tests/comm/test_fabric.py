@@ -1,0 +1,119 @@
+"""Tests for transports and the point-to-point fabric."""
+
+import pytest
+
+from repro.cluster import US, Cluster, ClusterConfig
+from repro.comm import (
+    CommFabric,
+    TransportSpec,
+    bm_transport,
+    measure_latency,
+    mpi_transport,
+    sc_transport,
+)
+from repro.sim import Environment
+
+
+def make(num_nodes=2):
+    env = Environment()
+    return env, Cluster(env, ClusterConfig.bic(num_nodes=num_nodes))
+
+
+def test_transport_specs_ordering():
+    cfg = ClusterConfig.bic()
+    mpi, sc, bm = mpi_transport(cfg), sc_transport(cfg), bm_transport(cfg)
+    assert mpi.overhead < sc.overhead < bm.overhead
+    # Native MPI saturates the NIC with a single stream; JVM stacks do not.
+    assert mpi.stream_bandwidth == cfg.nic_bandwidth
+    assert sc.stream_bandwidth is None
+
+
+def test_transport_validation():
+    with pytest.raises(ValueError):
+        TransportSpec("x", overhead=-1.0, stream_bandwidth=None)
+    with pytest.raises(ValueError):
+        TransportSpec("x", overhead=0.0, stream_bandwidth=0.0)
+
+
+def test_send_recv_delivers_payload():
+    env, cluster = make()
+    fabric = CommFabric(cluster.network, sc_transport(cluster.config))
+    fabric.register(0, cluster.nodes[0])
+    fabric.register(1, cluster.nodes[1])
+
+    def sender():
+        yield from fabric.send(0, 1, {"hello": 1}, tag="t")
+
+    def receiver():
+        msg = yield from fabric.recv(1, tag="t")
+        return msg
+
+    env.process(sender())
+    proc = env.process(receiver())
+    assert env.run(until=proc) == {"hello": 1}
+    assert fabric.delivered == 1
+
+
+def test_tags_isolate_messages():
+    env, cluster = make()
+    fabric = CommFabric(cluster.network, sc_transport(cluster.config))
+    fabric.register(0, cluster.nodes[0])
+    fabric.register(1, cluster.nodes[1])
+
+    def sender():
+        yield from fabric.send(0, 1, "A", tag="a")
+        yield from fabric.send(0, 1, "B", tag="b")
+
+    def receiver():
+        # Receive in the opposite tag order.
+        b = yield from fabric.recv(1, tag="b")
+        a = yield from fabric.recv(1, tag="a")
+        return a, b
+
+    env.process(sender())
+    proc = env.process(receiver())
+    assert env.run(until=proc) == ("A", "B")
+
+
+def test_duplicate_rank_registration_rejected():
+    env, cluster = make()
+    fabric = CommFabric(cluster.network, sc_transport(cluster.config))
+    fabric.register(0, cluster.nodes[0])
+    with pytest.raises(ValueError):
+        fabric.register(0, cluster.nodes[1])
+
+
+def test_unregistered_rank_rejected():
+    env, cluster = make()
+    fabric = CommFabric(cluster.network, sc_transport(cluster.config))
+    with pytest.raises(KeyError):
+        fabric.node_of(3)
+
+
+def test_latency_matches_paper_figure12():
+    """One-way latencies land on the paper's measurements (Figure 12)."""
+    env, cluster = make()
+    mpi = measure_latency(cluster, mpi_transport(cluster.config))
+    assert mpi == pytest.approx(15.94 * US, rel=0.02)
+
+    env, cluster = make()
+    sc = measure_latency(cluster, sc_transport(cluster.config))
+    assert sc == pytest.approx(72.73 * US, rel=0.02)
+
+    env, cluster = make()
+    bm = measure_latency(cluster, bm_transport(cluster.config))
+    assert bm == pytest.approx(3861.25 * US, rel=0.02)
+
+    # And the paper's headline ratios: SC ~4.6x MPI, BM ~242x MPI.
+    assert sc / mpi == pytest.approx(4.56, rel=0.05)
+    assert bm / mpi == pytest.approx(242.24, rel=0.05)
+
+
+def test_ping_pong_round_validation():
+    env, cluster = make()
+    fabric = CommFabric(cluster.network, sc_transport(cluster.config))
+    fabric.register(0, cluster.nodes[0])
+    fabric.register(1, cluster.nodes[1])
+    proc = env.process(fabric.ping_pong(0, 1, rounds=0))
+    with pytest.raises(ValueError):
+        env.run(until=proc)

@@ -1,0 +1,81 @@
+"""Tests for the point-to-point micro-benchmark helpers (Figures 12/13)."""
+
+import pytest
+
+from repro.cluster import MB, Cluster, ClusterConfig
+from repro.comm import (
+    measure_latency,
+    measure_throughput,
+    mpi_transport,
+    sc_transport,
+)
+from repro.sim import Environment
+
+
+def fresh_cluster(num_nodes=2):
+    env = Environment()
+    return Cluster(env, ClusterConfig.bic(num_nodes=num_nodes))
+
+
+def test_throughput_single_sc_channel_hits_stream_cap():
+    cluster = fresh_cluster()
+    cfg = cluster.config
+    bw = measure_throughput(cluster, sc_transport(cfg), nbytes=8 * MB,
+                            parallelism=1)
+    assert bw == pytest.approx(cfg.tcp_stream_bandwidth, rel=0.02)
+
+
+def test_throughput_grows_with_parallelism_then_saturates():
+    cfg = ClusterConfig.bic()
+    bws = {}
+    for p in (1, 2, 4):
+        bws[p] = measure_throughput(fresh_cluster(), sc_transport(cfg),
+                                    nbytes=8 * MB, parallelism=p)
+    assert bws[2] == pytest.approx(2 * bws[1], rel=0.05)
+    # 4 channels exceed the NIC: capped near line rate, not 4x.
+    assert bws[4] < 4 * bws[1]
+    assert bws[4] == pytest.approx(cfg.nic_bandwidth, rel=0.05)
+
+
+def test_sc_4_channels_reach_97_percent_of_mpi():
+    """The paper's Figure 13 headline: SC reaches 97.1% of line rate."""
+    cfg = ClusterConfig.bic()
+    mpi = measure_throughput(fresh_cluster(), mpi_transport(cfg),
+                             nbytes=256 * MB, parallelism=1)
+    sc4 = measure_throughput(fresh_cluster(), sc_transport(cfg),
+                             nbytes=256 * MB, parallelism=4)
+    assert 0.90 < sc4 / mpi <= 1.0
+
+
+def test_gc_drag_dents_large_message_bandwidth():
+    """Figure 13: SC bandwidth 'gets worse when the message size is large'."""
+    cfg = ClusterConfig.bic()
+    mid = measure_throughput(fresh_cluster(), sc_transport(cfg),
+                             nbytes=32 * MB, parallelism=4)
+    big = measure_throughput(fresh_cluster(), sc_transport(cfg),
+                             nbytes=256 * MB, parallelism=4)
+    assert big < mid
+
+
+def test_mpi_latency_beats_sc():
+    cfg = ClusterConfig.bic()
+    mpi = measure_latency(fresh_cluster(), mpi_transport(cfg))
+    sc = measure_latency(fresh_cluster(), sc_transport(cfg))
+    assert mpi < sc
+
+
+def test_throughput_validation():
+    cluster = fresh_cluster()
+    cfg = cluster.config
+    with pytest.raises(ValueError):
+        measure_throughput(cluster, sc_transport(cfg), nbytes=0)
+    with pytest.raises(ValueError):
+        measure_throughput(cluster, sc_transport(cfg), nbytes=1,
+                           parallelism=0)
+
+
+def test_single_node_cluster_rejected_for_p2p():
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig.bic(num_nodes=1))
+    with pytest.raises(ValueError):
+        measure_latency(cluster, sc_transport(cluster.config))

@@ -1,0 +1,103 @@
+"""Tests for libsvm-format IO."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    dump_libsvm,
+    format_libsvm_line,
+    load_libsvm,
+    parse_libsvm_line,
+    sparse_classification,
+)
+from repro.ml import LabeledPoint, SparseVector
+
+
+def test_parse_basic_line():
+    label, idx, vals = parse_libsvm_line("1 3:0.5 7:-2")
+    assert label == 1.0
+    assert idx == [2, 6]  # converted to 0-based
+    assert vals == [0.5, -2.0]
+
+
+def test_parse_blank_and_comment_lines():
+    assert parse_libsvm_line("") is None
+    assert parse_libsvm_line("   ") is None
+    assert parse_libsvm_line("# comment") is None
+    assert parse_libsvm_line("1 2:3 # trailing")[1] == [1]
+
+
+def test_parse_errors():
+    with pytest.raises(ValueError, match="label"):
+        parse_libsvm_line("abc 1:2")
+    with pytest.raises(ValueError, match="pair"):
+        parse_libsvm_line("1 nonsense")
+    with pytest.raises(ValueError, match="1-based"):
+        parse_libsvm_line("1 0:2")
+    with pytest.raises(ValueError, match="increasing"):
+        parse_libsvm_line("1 3:1 2:1")
+    with pytest.raises(ValueError, match="exceeds"):
+        parse_libsvm_line("1 11:1", num_features=10)
+
+
+def test_format_line():
+    point = LabeledPoint(1.0, SparseVector(5, [0, 4], [1.5, -2.0]))
+    assert format_libsvm_line(point) == "1 1:1.5 5:-2"
+
+
+def test_round_trip_through_string_buffer():
+    points, _ = sparse_classification(40, 25, 6, seed=17)
+    buffer = io.StringIO()
+    count = dump_libsvm(points, buffer)
+    assert count == 40
+    buffer.seek(0)
+    loaded = load_libsvm(buffer, num_features=25)
+    assert len(loaded) == 40
+    for original, parsed in zip(points, loaded):
+        assert parsed.label == original.label
+        assert list(parsed.features.indices) == \
+            list(original.features.indices)
+        for a, b in zip(parsed.features.values, original.features.values):
+            assert a == pytest.approx(b, rel=1e-5)  # %.6g rounding
+
+
+def test_round_trip_through_file(tmp_path):
+    points, _ = sparse_classification(10, 12, 4, seed=23)
+    path = tmp_path / "data.libsvm"
+    dump_libsvm(points, path)
+    loaded = load_libsvm(path, num_features=12)
+    assert len(loaded) == 10
+    assert loaded[3].label == points[3].label
+
+
+def test_dimension_inference():
+    buffer = io.StringIO("1 2:1 9:1\n0 1:1\n")
+    loaded = load_libsvm(buffer)
+    assert loaded[0].features.size == 9  # largest index seen
+
+
+def test_empty_file():
+    assert load_libsvm(io.StringIO("")) == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(label=st.sampled_from([0.0, 1.0, -1.0, 3.5]),
+       seed=st.integers(0, 200))
+def test_format_parse_identity(label, seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    nnz = int(rng.integers(0, 8))
+    idx = np.sort(rng.choice(20, size=nnz, replace=False))
+    vals = np.round(rng.standard_normal(nnz), 4)
+    point = LabeledPoint(label, SparseVector(20, idx, vals))
+    parsed = parse_libsvm_line(format_libsvm_line(point), num_features=20)
+    assert parsed is not None
+    plabel, pidx, pvals = parsed
+    assert plabel == label
+    assert pidx == list(idx)
+    for a, b in zip(pvals, vals):
+        assert a == pytest.approx(b, rel=1e-4)

@@ -1,0 +1,168 @@
+"""Tests for gradients (vs numerical differentiation) and updaters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    HingeGradient,
+    LabeledPoint,
+    LeastSquaresGradient,
+    LogisticGradient,
+    SimpleUpdater,
+    SparseVector,
+    SquaredL2Updater,
+)
+
+
+def numerical_gradient(loss_fn, weights, eps=1e-6):
+    grad = np.zeros_like(weights)
+    for i in range(weights.size):
+        up, down = weights.copy(), weights.copy()
+        up[i] += eps
+        down[i] -= eps
+        grad[i] = (loss_fn(up) - loss_fn(down)) / (2 * eps)
+    return grad
+
+
+def make_point(label, dense):
+    return LabeledPoint(label, SparseVector.from_dense(dense))
+
+
+# ---------------------------------------------------------------- logistic
+@pytest.mark.parametrize("label", [0.0, 1.0])
+def test_logistic_gradient_matches_numerical(label):
+    rng = np.random.default_rng(3)
+    weights = rng.standard_normal(5) * 0.5
+    x = rng.standard_normal(5)
+    point = make_point(label, x)
+    gradient = LogisticGradient()
+
+    def loss_fn(w):
+        g = np.zeros_like(w)
+        return LogisticGradient().add_to(point, w, g)
+
+    analytic = np.zeros(5)
+    loss = gradient.add_to(point, weights, analytic)
+    assert loss >= 0
+    numeric = numerical_gradient(loss_fn, weights)
+    np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+def test_logistic_loss_decreases_along_negative_gradient():
+    rng = np.random.default_rng(5)
+    weights = rng.standard_normal(4)
+    point = make_point(1.0, rng.standard_normal(4))
+    gradient = LogisticGradient()
+    g = np.zeros(4)
+    loss0 = gradient.add_to(point, weights, g)
+    g2 = np.zeros(4)
+    loss1 = gradient.add_to(point, weights - 0.01 * g, g2)
+    assert loss1 < loss0
+
+
+def test_logistic_extreme_margin_is_stable():
+    point = make_point(1.0, [1000.0, 0.0])
+    g = np.zeros(2)
+    loss = LogisticGradient().add_to(point, np.array([100.0, 0.0]), g)
+    assert np.isfinite(loss)
+    assert np.all(np.isfinite(g))
+
+
+# ------------------------------------------------------------------- hinge
+@pytest.mark.parametrize("label", [0.0, 1.0])
+def test_hinge_gradient_matches_numerical_off_kink(label):
+    rng = np.random.default_rng(7)
+    weights = rng.standard_normal(5)
+    x = rng.standard_normal(5)
+    point = make_point(label, x)
+    y = 2 * label - 1
+    if abs(1 - y * point.features.dot(weights)) < 1e-3:
+        weights = weights * 2  # move away from the hinge kink
+
+    def loss_fn(w):
+        g = np.zeros_like(w)
+        return HingeGradient().add_to(point, w, g)
+
+    analytic = np.zeros(5)
+    HingeGradient().add_to(point, weights, analytic)
+    numeric = numerical_gradient(loss_fn, weights)
+    np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+def test_hinge_zero_beyond_margin():
+    point = make_point(1.0, [1.0, 0.0])
+    g = np.zeros(2)
+    loss = HingeGradient().add_to(point, np.array([5.0, 0.0]), g)
+    assert loss == 0.0
+    np.testing.assert_allclose(g, 0.0)
+
+
+# ----------------------------------------------------------- least squares
+def test_least_squares_gradient_matches_numerical():
+    rng = np.random.default_rng(9)
+    weights = rng.standard_normal(4)
+    point = make_point(2.5, rng.standard_normal(4))
+
+    def loss_fn(w):
+        g = np.zeros_like(w)
+        return LeastSquaresGradient().add_to(point, w, g)
+
+    analytic = np.zeros(4)
+    LeastSquaresGradient().add_to(point, weights, analytic)
+    numeric = numerical_gradient(loss_fn, weights)
+    np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+def test_gradients_accumulate_in_place():
+    point = make_point(1.0, [1.0, 2.0])
+    g = np.array([5.0, 5.0])
+    before = g.copy()
+    LeastSquaresGradient().add_to(point, np.zeros(2), g)
+    assert not np.allclose(g, before)  # contribution added on top
+
+
+# ----------------------------------------------------------------- updaters
+def test_simple_updater_step_schedule():
+    w = np.array([1.0, 1.0])
+    g = np.array([1.0, 0.0])
+    w1, reg1 = SimpleUpdater().compute(w, g, step_size=1.0, iteration=1,
+                                       reg_param=0.0)
+    w4, _ = SimpleUpdater().compute(w, g, step_size=1.0, iteration=4,
+                                    reg_param=0.0)
+    np.testing.assert_allclose(w1, [0.0, 1.0])
+    np.testing.assert_allclose(w4, [0.5, 1.0])  # 1/sqrt(4) step
+    assert reg1 == 0.0
+
+
+def test_l2_updater_shrinks_and_reports_reg_loss():
+    w = np.array([2.0, -2.0])
+    g = np.zeros(2)
+    new_w, reg_loss = SquaredL2Updater().compute(w, g, step_size=1.0,
+                                                 iteration=1, reg_param=0.1)
+    assert np.all(np.abs(new_w) < np.abs(w))
+    assert reg_loss == pytest.approx(0.05 * float(new_w @ new_w))
+
+
+def test_updater_iteration_validation():
+    with pytest.raises(ValueError):
+        SimpleUpdater().compute(np.zeros(2), np.zeros(2), 1.0, 0, 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 500), label=st.sampled_from([0.0, 1.0]))
+def test_logistic_gradient_property(seed, label):
+    rng = np.random.default_rng(seed)
+    dim = rng.integers(2, 8)
+    weights = rng.standard_normal(dim)
+    point = make_point(label, rng.standard_normal(dim))
+
+    def loss_fn(w):
+        g = np.zeros_like(w)
+        return LogisticGradient().add_to(point, w, g)
+
+    analytic = np.zeros(dim)
+    LogisticGradient().add_to(point, weights, analytic)
+    numeric = numerical_gradient(loss_fn, weights)
+    np.testing.assert_allclose(analytic, numeric, atol=1e-4)

@@ -1,0 +1,206 @@
+"""Tests for L-BFGS optimization and the StandardScaler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.data import sparse_classification
+from repro.ml import (
+    LBFGS,
+    LabeledPoint,
+    LogisticGradient,
+    SparseVector,
+    StandardScaler,
+)
+from repro.rdd import SparkerContext
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return sparse_classification(400, 50, 10, seed=51)
+
+
+def make_rdd(points, nodes=2, parts=8):
+    sc = SparkerContext(ClusterConfig.laptop(num_nodes=nodes))
+    rdd = sc.parallelize(points, parts).cache()
+    rdd.count()
+    return sc, rdd
+
+
+# -------------------------------------------------------------------- LBFGS
+def test_lbfgs_reduces_loss(dataset):
+    points, _ = dataset
+    _sc, rdd = make_rdd(points)
+    optimizer = LBFGS(LogisticGradient(), max_iterations=10)
+    weights, losses = optimizer.optimize(rdd, np.zeros(50))
+    assert losses[-1] < 0.5 * losses[0]
+
+
+def test_lbfgs_beats_sgd_per_iteration(dataset):
+    """L-BFGS converges in far fewer passes than first-order GD."""
+    from repro.ml import GradientDescent, SimpleUpdater
+
+    points, _ = dataset
+    _sc, rdd = make_rdd(points)
+    _w, lbfgs_losses = LBFGS(LogisticGradient(), max_iterations=8) \
+        .optimize(rdd, np.zeros(50))
+
+    _sc2, rdd2 = make_rdd(points)
+    _w2, gd_losses = GradientDescent(
+        LogisticGradient(), SimpleUpdater(), step_size=1.0,
+        num_iterations=8).optimize(rdd2, np.zeros(50))
+    assert lbfgs_losses[-1] < gd_losses[-1]
+
+
+def test_lbfgs_backends_agree(dataset):
+    points, _ = dataset
+    weights = {}
+    for backend in ("tree", "split"):
+        _sc, rdd = make_rdd(points)
+        w, _losses = LBFGS(LogisticGradient(), max_iterations=4,
+                           aggregation=backend).optimize(rdd, np.zeros(50))
+        weights[backend] = w
+    np.testing.assert_allclose(weights["tree"], weights["split"])
+
+
+def test_lbfgs_regularization_bounds_weights(dataset):
+    points, _ = dataset
+    _sc, rdd = make_rdd(points)
+    w_plain, _ = LBFGS(LogisticGradient(), max_iterations=6) \
+        .optimize(rdd, np.zeros(50))
+    _sc2, rdd2 = make_rdd(points)
+    w_reg, _ = LBFGS(LogisticGradient(), max_iterations=6,
+                     reg_param=1.0).optimize(rdd2, np.zeros(50))
+    assert np.linalg.norm(w_reg) < np.linalg.norm(w_plain)
+
+
+def test_lbfgs_convergence_tolerance_stops_early(dataset):
+    points, _ = dataset
+    _sc, rdd = make_rdd(points)
+    _w, losses = LBFGS(LogisticGradient(), max_iterations=50,
+                       convergence_tol=1e-2).optimize(rdd, np.zeros(50))
+    assert len(losses) < 50
+
+
+def test_lbfgs_charges_driver_time(dataset):
+    points, _ = dataset
+    sc, rdd = make_rdd(points)
+    LBFGS(LogisticGradient(), max_iterations=3).optimize(rdd, np.zeros(50))
+    assert sc.stopwatch.total("ml.driver") > 0
+    assert sc.stopwatch.total("agg.compute") > 0
+
+
+def test_lbfgs_validation():
+    with pytest.raises(ValueError):
+        LBFGS(LogisticGradient(), history=0)
+    with pytest.raises(ValueError):
+        LBFGS(LogisticGradient(), max_iterations=0)
+    with pytest.raises(ValueError):
+        LBFGS(LogisticGradient(), aggregation="bogus")
+
+
+# ----------------------------------------------------------- StandardScaler
+def test_scaler_matches_numpy_statistics(dataset):
+    points, _ = dataset
+    _sc, rdd = make_rdd(points)
+    model = StandardScaler().fit(rdd, 50)
+
+    dense = np.stack([p.features.to_dense() for p in points])
+    np.testing.assert_allclose(model.mean, dense.mean(axis=0), atol=1e-9)
+    np.testing.assert_allclose(model.variance, dense.var(axis=0, ddof=1),
+                               atol=1e-9)
+    assert model.count == len(points)
+
+
+def test_scaler_backends_agree(dataset):
+    points, _ = dataset
+    stats = {}
+    for backend in ("tree", "tree_imm", "split"):
+        _sc, rdd = make_rdd(points)
+        stats[backend] = StandardScaler(aggregation=backend).fit(rdd, 50)
+    np.testing.assert_allclose(stats["tree"].mean, stats["split"].mean)
+    np.testing.assert_allclose(stats["tree"].variance,
+                               stats["tree_imm"].variance)
+
+
+def test_scaler_transform_unit_variance(dataset):
+    points, _ = dataset
+    _sc, rdd = make_rdd(points)
+    model = StandardScaler().fit(rdd, 50)
+    scaled = [model.transform_point(p) for p in points]
+    dense = np.stack([p.features.to_dense() for p in scaled])
+    variances = dense.var(axis=0, ddof=1)
+    active = model.variance > 0
+    np.testing.assert_allclose(variances[active], 1.0, rtol=1e-9)
+
+
+def test_scaler_transform_preserves_sparsity(dataset):
+    points, _ = dataset
+    _sc, rdd = make_rdd(points)
+    model = StandardScaler().fit(rdd, 50)
+    out = model.transform(points[0].features)
+    assert list(out.indices) == list(points[0].features.indices)
+
+
+def test_scaler_zero_variance_feature_passes_through():
+    # Feature 1 is constant across the two points -> zero variance.
+    points = [
+        LabeledPoint(0, SparseVector(3, [0, 1], [1.0, 5.0])),
+        LabeledPoint(1, SparseVector(3, [0, 1], [3.0, 5.0])),
+    ]
+    sc = SparkerContext(ClusterConfig.laptop())
+    rdd = sc.parallelize(points, 2)
+    model = StandardScaler().fit(rdd, 3)
+    assert model.variance[1] == pytest.approx(0.0)
+    out = model.transform(points[0].features)
+    assert out.values[1] == pytest.approx(5.0)  # unscaled
+
+
+def test_scaler_transform_rdd(dataset):
+    points, _ = dataset
+    _sc, rdd = make_rdd(points)
+    model = StandardScaler().fit(rdd, 50)
+    scaled = model.transform_rdd(rdd).collect()
+    assert len(scaled) == len(points)
+    assert all(isinstance(p, LabeledPoint) for p in scaled[:5])
+
+
+def test_scaler_improves_conditioning_for_training():
+    """Badly scaled features train poorly; scaling fixes it."""
+    rng = np.random.default_rng(61)
+    w_true = rng.standard_normal(20)
+    points = []
+    scales = 10.0 ** rng.uniform(-2, 2, 20)  # wildly mixed feature scales
+    for _ in range(300):
+        idx = np.sort(rng.choice(20, 6, replace=False))
+        vals = rng.standard_normal(6) * scales[idx]
+        margin = float(w_true[idx] @ (vals / scales[idx]))
+        points.append(LabeledPoint(1.0 if margin > 0 else 0.0,
+                                   SparseVector(20, idx, vals)))
+
+    from repro.ml import LogisticRegressionWithSGD
+
+    sc = SparkerContext(ClusterConfig.laptop(num_nodes=2))
+    raw_rdd = sc.parallelize(points, 8).cache()
+    raw_rdd.count()
+    raw_model = LogisticRegressionWithSGD.train(raw_rdd, 20,
+                                                num_iterations=15)
+
+    scaler = StandardScaler().fit(raw_rdd, 20)
+    scaled_points = [scaler.transform_point(p) for p in points]
+    sc2 = SparkerContext(ClusterConfig.laptop(num_nodes=2))
+    scaled_rdd = sc2.parallelize(scaled_points, 8).cache()
+    scaled_rdd.count()
+    scaled_model = LogisticRegressionWithSGD.train(scaled_rdd, 20,
+                                                   num_iterations=15)
+    assert scaled_model.accuracy(scaled_points) >= \
+        raw_model.accuracy(points)
+
+
+def test_scaler_validation(dataset):
+    points, _ = dataset
+    _sc, rdd = make_rdd(points)
+    with pytest.raises(ValueError):
+        StandardScaler(aggregation="bogus")
+    with pytest.raises(ValueError):
+        StandardScaler().fit(rdd, 0)

@@ -1,0 +1,103 @@
+"""Tests for online variational LDA."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.data import lda_corpus
+from repro.ml import LDA, OnlineLDA, log_perplexity
+from repro.rdd import SparkerContext
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return lda_corpus(n_docs=300, vocab_size=60, n_topics=4,
+                      doc_length=40, seed=71)
+
+
+def fit(docs, vocab, **kwargs):
+    sc = SparkerContext(ClusterConfig.laptop(num_nodes=2))
+    rdd = sc.parallelize(docs, 8).cache()
+    rdd.count()
+    defaults = dict(k=4, num_iterations=20, mini_batch_fraction=0.3,
+                    seed=5)
+    defaults.update(kwargs)
+    return OnlineLDA(**defaults).fit(rdd, vocab), sc
+
+
+def test_recovers_planted_topics(corpus):
+    docs, true_topics = corpus
+    model, _sc = fit(docs, 60, num_iterations=25)
+    learned = model.topics / np.linalg.norm(model.topics, axis=1,
+                                            keepdims=True)
+    planted = true_topics / np.linalg.norm(true_topics, axis=1,
+                                           keepdims=True)
+    assert (learned @ planted.T).max(axis=0).min() > 0.85
+
+
+def test_topics_are_distributions(corpus):
+    docs, _ = corpus
+    model, _sc = fit(docs, 60, num_iterations=5)
+    np.testing.assert_allclose(model.topics.sum(axis=1), 1.0, rtol=1e-9)
+    assert np.all(model.topics >= 0)
+
+
+def test_more_iterations_improve_perplexity(corpus):
+    docs, _ = corpus
+    long_model, _ = fit(docs, 60, num_iterations=30)
+    short_model, _ = fit(docs, 60, num_iterations=2)
+    held_out = docs[:60]
+    assert log_perplexity(long_model, held_out) < \
+        log_perplexity(short_model, held_out)
+
+
+def test_online_approaches_em_quality(corpus):
+    """Online VB with enough mini-batches gets close to full-batch EM."""
+    docs, _ = corpus
+    online, _ = fit(docs, 60, num_iterations=30)
+    sc = SparkerContext(ClusterConfig.laptop(num_nodes=2))
+    rdd = sc.parallelize(docs, 8).cache()
+    rdd.count()
+    em = LDA(k=4, num_iterations=12, seed=5).fit(rdd, 60)
+    held_out = docs[:60]
+    online_ppl = log_perplexity(online, held_out)
+    em_ppl = log_perplexity(em, held_out)
+    assert online_ppl < em_ppl * 1.15  # within 15%
+
+
+def test_full_batch_mode(corpus):
+    docs, _ = corpus
+    model, _sc = fit(docs, 60, mini_batch_fraction=1.0, num_iterations=5)
+    assert np.all(np.isfinite(model.topics))
+
+
+def test_backends_identical(corpus):
+    docs, _ = corpus
+    tree_model, _ = fit(docs, 60, num_iterations=4, aggregation="tree")
+    split_model, _ = fit(docs, 60, num_iterations=4, aggregation="split")
+    np.testing.assert_allclose(tree_model.topics, split_model.topics)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        OnlineLDA(k=1)
+    with pytest.raises(ValueError):
+        OnlineLDA(mini_batch_fraction=0.0)
+    with pytest.raises(ValueError):
+        OnlineLDA(kappa=0.3)  # below convergence bound
+    with pytest.raises(ValueError):
+        OnlineLDA(aggregation="bogus")
+    sc = SparkerContext(ClusterConfig.laptop())
+    with pytest.raises(ValueError):
+        OnlineLDA().fit(sc.parallelize([], 2), 10)
+
+
+def test_mini_batch_cheaper_per_iteration_than_full(corpus):
+    docs, _ = corpus
+    _model, sc_mini = fit(docs, 60, num_iterations=4,
+                          mini_batch_fraction=0.2)
+    _model2, sc_full = fit(docs, 60, num_iterations=4,
+                           mini_batch_fraction=1.0)
+    # Mini-batches do less E-step work per iteration.
+    assert sc_mini.stopwatch.total("agg.compute") < \
+        sc_full.stopwatch.total("agg.compute")

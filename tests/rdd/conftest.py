@@ -1,0 +1,18 @@
+"""Fixtures for dataflow-engine tests."""
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.rdd import SparkerContext
+
+
+@pytest.fixture
+def sc():
+    """A small 2-node laptop-class context (8 cores total)."""
+    return SparkerContext(ClusterConfig.laptop(num_nodes=2))
+
+
+@pytest.fixture
+def sc_bic():
+    """A 2-node BIC context (48 cores)."""
+    return SparkerContext(ClusterConfig.bic(num_nodes=2))

@@ -1,0 +1,105 @@
+"""Tests for the extended RDD operations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterConfig
+from repro.rdd import SparkerContext
+
+
+def test_zip_with_index_global_order(sc):
+    data = ["a", "b", "c", "d", "e"]
+    result = sc.parallelize(data, 3).zip_with_index().collect()
+    assert result == [(x, i) for i, x in enumerate(data)]
+
+
+def test_zip_with_index_empty_partitions(sc):
+    result = sc.parallelize([10, 20], 5).zip_with_index().collect()
+    assert result == [(10, 0), (20, 1)]
+
+
+def test_cartesian(sc):
+    left = sc.parallelize([1, 2], 2)
+    right = sc.parallelize(["a", "b"], 2)
+    assert sorted(left.cartesian(right).collect()) == [
+        (1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+
+def test_cartesian_with_empty(sc):
+    assert sc.parallelize([1], 1).cartesian(
+        sc.parallelize([], 1)).collect() == []
+
+
+def test_intersection(sc):
+    a = sc.parallelize([1, 2, 2, 3, 4], 3)
+    b = sc.parallelize([2, 3, 3, 5], 2)
+    assert sorted(a.intersection(b).collect()) == [2, 3]
+
+
+def test_intersection_disjoint(sc):
+    a = sc.parallelize([1, 2], 2)
+    b = sc.parallelize([3, 4], 2)
+    assert a.intersection(b).collect() == []
+
+
+def test_subtract(sc):
+    a = sc.parallelize([1, 1, 2, 3], 2)
+    b = sc.parallelize([2], 1)
+    # Multiset semantics: both copies of 1 survive.
+    assert sorted(a.subtract(b).collect()) == [1, 1, 3]
+
+
+def test_count_by_key(sc):
+    rdd = sc.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+    assert rdd.count_by_key() == {"a": 2, "b": 1}
+
+
+def test_count_by_value(sc):
+    rdd = sc.parallelize(["x", "y", "x", "x"], 2)
+    assert rdd.count_by_value() == {"x": 3, "y": 1}
+
+
+def test_top(sc):
+    data = [5, 1, 9, 3, 7]
+    assert sc.parallelize(data, 3).top(2) == [9, 7]
+
+
+def test_top_with_key(sc):
+    data = ["aaa", "b", "cc"]
+    assert sc.parallelize(data, 2).top(2, key=len) == ["aaa", "cc"]
+
+
+def test_take_ordered(sc):
+    data = [5, 1, 9, 3, 7]
+    assert sc.parallelize(data, 3).take_ordered(3) == [1, 3, 5]
+
+
+def test_take_ordered_zero_and_validation(sc):
+    rdd = sc.parallelize([1, 2], 2)
+    assert rdd.take_ordered(0) == []
+    with pytest.raises(ValueError):
+        rdd.take_ordered(-1)
+
+
+def test_take_ordered_more_than_size(sc):
+    assert sc.parallelize([3, 1], 2).take_ordered(10) == [1, 3]
+
+
+@settings(max_examples=20, deadline=None)
+@given(values=st.lists(st.integers(-100, 100), max_size=40),
+       n=st.integers(0, 10), slices=st.integers(1, 6))
+def test_take_ordered_property(values, n, slices):
+    sc = SparkerContext(ClusterConfig.laptop(num_nodes=1))
+    assert sc.parallelize(values, slices).take_ordered(n) == \
+        sorted(values)[:n]
+
+
+@settings(max_examples=15, deadline=None)
+@given(left=st.lists(st.integers(0, 10), max_size=25),
+       right=st.lists(st.integers(0, 10), max_size=25))
+def test_intersection_property(left, right):
+    sc = SparkerContext(ClusterConfig.laptop(num_nodes=1))
+    got = sorted(sc.parallelize(left, 3).intersection(
+        sc.parallelize(right, 3)).collect())
+    assert got == sorted(set(left) & set(right))

@@ -1,0 +1,92 @@
+"""Tests for cogroup / join / sortBy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterConfig
+from repro.rdd import SparkerContext
+
+
+def test_cogroup_groups_both_sides(sc):
+    left = sc.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+    right = sc.parallelize([("a", "x"), ("c", "y")], 2)
+    result = dict(left.cogroup(right).collect())
+    assert sorted(result["a"][0]) == [1, 3]
+    assert result["a"][1] == ["x"]
+    assert result["b"] == ([2], [])
+    assert result["c"] == ([], ["y"])
+
+
+def test_inner_join(sc):
+    left = sc.parallelize([(1, "a"), (2, "b"), (2, "c")], 2)
+    right = sc.parallelize([(2, "X"), (2, "Y"), (3, "Z")], 2)
+    rows = sorted(left.join(right).collect())
+    assert rows == [(2, ("b", "X")), (2, ("b", "Y")),
+                    (2, ("c", "X")), (2, ("c", "Y"))]
+
+
+def test_left_outer_join(sc):
+    left = sc.parallelize([(1, "a"), (2, "b")], 2)
+    right = sc.parallelize([(2, "X")], 1)
+    rows = sorted(left.left_outer_join(right).collect())
+    assert rows == [(1, ("a", None)), (2, ("b", "X"))]
+
+
+def test_join_empty_right(sc):
+    left = sc.parallelize([(1, "a")], 1)
+    right = sc.parallelize([], 1)
+    assert left.join(right).collect() == []
+
+
+def test_sort_by_ascending(sc):
+    data = [5, 3, 9, 1, 7, 2, 8]
+    result = sc.parallelize(data, 3).sort_by(lambda x: x)
+    assert result.collect() == sorted(data)
+
+
+def test_sort_by_descending(sc):
+    data = [5, 3, 9, 1, 7]
+    result = sc.parallelize(data, 2).sort_by(lambda x: x, ascending=False)
+    assert result.collect() == sorted(data, reverse=True)
+
+
+def test_sort_by_key_function(sc):
+    data = [("bb", 2), ("a", 1), ("ccc", 3)]
+    result = sc.parallelize(data, 2).sort_by(lambda kv: len(kv[0]))
+    assert result.collect() == [("a", 1), ("bb", 2), ("ccc", 3)]
+
+
+def test_sort_empty(sc):
+    assert sc.parallelize([], 2).sort_by(lambda x: x).collect() == []
+
+
+def test_sort_with_duplicates(sc):
+    data = [3, 1, 3, 2, 1, 3]
+    assert sc.parallelize(data, 3).sort_by(lambda x: x).collect() == \
+        sorted(data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(values=st.lists(st.integers(-1000, 1000), max_size=50),
+       slices=st.integers(1, 6))
+def test_sort_property(values, slices):
+    sc = SparkerContext(ClusterConfig.laptop(num_nodes=1))
+    assert sc.parallelize(values, slices).sort_by(lambda x: x).collect() \
+        == sorted(values)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    left=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 100)),
+                  max_size=20),
+    right=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 100)),
+                   max_size=20),
+)
+def test_join_matches_reference(left, right):
+    sc = SparkerContext(ClusterConfig.laptop(num_nodes=1))
+    got = sorted(sc.parallelize(left, 3).join(
+        sc.parallelize(right, 3)).collect())
+    expected = sorted(
+        (k, (lv, rv)) for k, lv in left for k2, rv in right if k == k2)
+    assert got == expected

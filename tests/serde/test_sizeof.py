@@ -1,0 +1,111 @@
+"""Tests for simulated size estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serde import sim_sizeof
+
+
+def test_none_is_tiny():
+    assert sim_sizeof(None) == 1.0
+
+
+def test_numpy_array_uses_nbytes():
+    arr = np.zeros(1000, dtype=np.float64)
+    assert sim_sizeof(arr) == pytest.approx(8000, abs=64)
+
+
+def test_numpy_scalar():
+    assert sim_sizeof(np.float64(1.0)) == pytest.approx(10.0)
+
+
+def test_scalars():
+    assert sim_sizeof(3) == pytest.approx(10.0)
+    assert sim_sizeof(3.5) == pytest.approx(10.0)
+    assert sim_sizeof(True) == 1.0
+
+
+def test_string_utf8_length():
+    assert sim_sizeof("abcd") == pytest.approx(4 + 16)
+    assert sim_sizeof("é") == pytest.approx(2 + 16)
+
+
+def test_bytes():
+    assert sim_sizeof(b"12345") == pytest.approx(5 + 16)
+
+
+def test_list_scales_with_length():
+    small = sim_sizeof([1.0] * 10)
+    big = sim_sizeof([1.0] * 1000)
+    assert big > 50 * small / 10
+
+
+def test_large_list_extrapolated_consistently():
+    exact = sim_sizeof([1.0] * 64)
+    extrapolated = sim_sizeof([1.0] * 6400)
+    assert extrapolated == pytest.approx(
+        (exact - 16) * 100 + 16, rel=0.01)
+
+
+def test_dict_counts_keys_and_values():
+    d = {i: float(i) for i in range(10)}
+    assert sim_sizeof(d) > sim_sizeof(list(d.values()))
+
+
+def test_sim_sized_protocol_wins():
+    class Declared:
+        def __sim_size__(self):
+            return 12345.0
+
+    assert sim_sizeof(Declared()) == 12345.0
+
+
+def test_sim_sized_negative_rejected():
+    class Bad:
+        def __sim_size__(self):
+            return -1.0
+
+    with pytest.raises(ValueError):
+        sim_sizeof(Bad())
+
+
+def test_plain_object_uses_dict():
+    class Holder:
+        def __init__(self):
+            self.arr = np.zeros(100)
+            self.tag = "x"
+
+    size = sim_sizeof(Holder())
+    assert size > 800
+
+
+def test_slots_object():
+    class Slotted:
+        __slots__ = ("a", "b")
+
+        def __init__(self):
+            self.a = np.zeros(10)
+            # b intentionally unset
+
+    assert sim_sizeof(Slotted()) > 80
+
+
+def test_empty_containers():
+    assert sim_sizeof([]) == 16.0
+    assert sim_sizeof({}) == 16.0
+    assert sim_sizeof(()) == 16.0
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+def test_array_size_monotone_in_length(n):
+    assert sim_sizeof(np.zeros(n)) == pytest.approx(8 * n + 16)
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False),
+                max_size=30))
+def test_list_size_positive_and_deterministic(values):
+    a = sim_sizeof(values)
+    b = sim_sizeof(values)
+    assert a == b > 0

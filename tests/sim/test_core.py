@@ -1,0 +1,241 @@
+"""Unit tests for the simulation environment and event loop."""
+
+import pytest
+
+from repro.sim import EmptySchedule, Environment, SimulationError
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(2.5)
+    env.run()
+    assert env.now == 2.5
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+    env.timeout(1.0)
+    env.timeout(10.0)
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.timeout(3.0)
+    env.run()
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_process_returns_value():
+    env = Environment()
+
+    def body():
+        yield env.timeout(1.0)
+        return 42
+
+    proc = env.process(body())
+    result = env.run(until=proc)
+    assert result == 42
+    assert env.now == 1.0
+
+
+def test_process_exception_propagates_through_run():
+    env = Environment()
+
+    def body():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    proc = env.process(body())
+    with pytest.raises(ValueError, match="boom"):
+        env.run(until=proc)
+
+
+def test_yield_on_process_joins():
+    env = Environment()
+
+    def child():
+        yield env.timeout(3.0)
+        return "done"
+
+    def parent():
+        value = yield env.process(child())
+        return (env.now, value)
+
+    proc = env.process(parent())
+    assert env.run(until=proc) == (3.0, "done")
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def body():
+        yield 17  # not an event
+
+    proc = env.process(body())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run(until=proc)
+
+
+def test_same_time_events_fire_fifo():
+    env = Environment()
+    order = []
+
+    def make(tag):
+        def body():
+            yield env.timeout(1.0)
+            order.append(tag)
+        return body
+
+    for tag in range(10):
+        env.process(make(tag)())
+    env.run()
+    assert order == list(range(10))
+
+
+def test_event_succeed_value():
+    env = Environment()
+    trigger = env.event()
+
+    def waiter():
+        value = yield trigger
+        return value
+
+    proc = env.process(waiter())
+
+    def firer():
+        yield env.timeout(2.0)
+        trigger.succeed("payload")
+
+    env.process(firer())
+    assert env.run(until=proc) == "payload"
+    assert env.now == 2.0
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    trigger = env.event()
+
+    def waiter():
+        try:
+            yield trigger
+        except RuntimeError as exc:
+            return f"caught:{exc}"
+
+    proc = env.process(waiter())
+    trigger.fail(RuntimeError("bad"))
+    assert env.run(until=proc) == "caught:bad"
+
+
+def test_double_trigger_is_error():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_waiting_on_already_processed_event():
+    env = Environment()
+    ev = env.timeout(1.0, value="early")
+    env.run()
+
+    def late_waiter():
+        value = yield ev
+        return value
+
+    proc = env.process(late_waiter())
+    assert env.run(until=proc) == "early"
+
+
+def test_run_until_event_from_dry_schedule_raises():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(EmptySchedule):
+        env.run(until=never)
+
+
+def test_value_of_pending_event_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_active_process_visible_during_step():
+    env = Environment()
+    seen = []
+
+    def body():
+        seen.append(env.active_process)
+        yield env.timeout(0.0)
+        seen.append(env.active_process)
+
+    proc = env.process(body())
+    env.run()
+    assert seen == [proc, proc]
+    assert env.active_process is None
+
+
+def test_nested_processes_interleave_deterministically():
+    env = Environment()
+    log = []
+
+    def worker(tag, delay):
+        yield env.timeout(delay)
+        log.append((env.now, tag))
+        yield env.timeout(delay)
+        log.append((env.now, tag))
+
+    env.process(worker("a", 1.0))
+    env.process(worker("b", 1.5))
+    env.run()
+    assert log == [(1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b")]
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def body():
+        got = yield env.timeout(1.0, value="v")
+        return got
+
+    proc = env.process(body())
+    assert env.run(until=proc) == "v"
+
+
+def test_process_body_must_be_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)  # type: ignore[arg-type]

@@ -1,0 +1,68 @@
+"""Tests for the Stopwatch and Counter instrumentation."""
+
+import pytest
+
+from repro.sim import Counter, Environment, Stopwatch
+
+
+def test_stopwatch_add():
+    env = Environment()
+    sw = Stopwatch(env)
+    sw.add("x", 1.5)
+    sw.add("x", 0.5)
+    assert sw.total("x") == 2.0
+    assert sw.total("missing") == 0.0
+
+
+def test_stopwatch_rejects_negative():
+    sw = Stopwatch(Environment())
+    with pytest.raises(ValueError):
+        sw.add("x", -1.0)
+
+
+def test_stopwatch_brackets_follow_virtual_time():
+    env = Environment()
+    sw = Stopwatch(env)
+
+    def body():
+        sw.start("span")
+        yield env.timeout(2.5)
+        assert sw.stop("span") == 2.5
+
+    env.run(until=env.process(body()))
+    assert sw.total("span") == 2.5
+
+
+def test_stopwatch_bracket_misuse():
+    sw = Stopwatch(Environment())
+    with pytest.raises(RuntimeError):
+        sw.stop("never-started")
+    sw.start("x")
+    with pytest.raises(RuntimeError):
+        sw.start("x")
+
+
+def test_stopwatch_iteration_sorted():
+    sw = Stopwatch(Environment())
+    sw.add("b", 1.0)
+    sw.add("a", 2.0)
+    assert [k for k, _v in sw] == ["a", "b"]
+
+
+def test_stopwatch_clear():
+    sw = Stopwatch(Environment())
+    sw.add("x", 1.0)
+    sw.clear()
+    assert sw.as_dict() == {}
+
+
+def test_counter():
+    c = Counter()
+    c.add("messages")
+    c.add("messages", 2)
+    c.add("bytes", 100.5)
+    assert c.total("messages") == 3
+    assert c.total("bytes") == 100.5
+    assert c.total("none") == 0.0
+    c.clear()
+    assert c.as_dict() == {}
