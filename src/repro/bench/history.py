@@ -15,8 +15,9 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
+from ..obs.analysis import classify_stage
 from .harness import format_table
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -24,12 +25,6 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["StageLogAnalysis", "analyze_stage_log", "render_stage_log",
            "dump_history", "load_history"]
-
-#: RDD names that mark the *first* stage of an aggregation (the seqOp
-#: pass; tree level 0's map side contains the partial aggregation)
-_AGG_COMPUTE_MARKERS = ("partialAggregate", "treeAgg:level0")
-#: RDD names that mark reduction stages of an aggregation
-_AGG_REDUCE_MARKERS = ("treeAgg:", "treeAggValues", "SpawnRDD")
 
 
 @dataclass
@@ -41,6 +36,8 @@ class StageLogAnalysis:
     agg_reduce: float
     other: float
     stage_kinds: Dict[str, int]
+    #: stages that were submitted but never finished (excluded from totals)
+    unfinished: int = 0
 
     @property
     def total_stage_time(self) -> float:
@@ -56,29 +53,27 @@ class StageLogAnalysis:
 def _classify(stage: "StageInfo") -> str:
     """Which decomposition bucket a stage belongs to.
 
-    Matches the authors' log analysis: the partial-aggregation pass is
-    compute; tree levels, SpawnRDD launches, and the aggregation's result
-    stages are reduction; everything else is other work. The reduced-result
-    (IMM) stage computes partials, so it counts as compute.
+    Delegates to :func:`repro.obs.analysis.classify_stage`, the shared
+    home of the authors' log-mining rule — the live event-log pipeline
+    and this stage-log miner must agree bucket for bucket.
     """
-    name = stage.rdd_name
-    if stage.kind == "reduced_result":
-        return "agg_compute"
-    if any(name.startswith(m) for m in _AGG_COMPUTE_MARKERS):
-        return "agg_compute"
-    if any(name.startswith(m) for m in _AGG_REDUCE_MARKERS):
-        return "agg_reduce"
-    return "other"
+    return classify_stage(stage.kind, stage.rdd_name)
 
 
 def analyze_stage_log(stages: Sequence["StageInfo"]) -> StageLogAnalysis:
-    """Classify and total a window of the DAG scheduler's stage log."""
+    """Classify and total a window of the DAG scheduler's stage log.
+
+    Stages that never finished (``duration is None``) are counted in
+    ``unfinished`` and excluded from the time totals.
+    """
     agg_compute = agg_reduce = other = 0.0
+    unfinished = 0
     kinds: Dict[str, int] = {}
     for stage in stages:
         kinds[stage.kind] = kinds.get(stage.kind, 0) + 1
         duration = stage.duration
-        if duration != duration:  # NaN: stage never closed
+        if duration is None:
+            unfinished += 1
             continue
         bucket = _classify(stage)
         if bucket == "agg_compute":
@@ -90,7 +85,8 @@ def analyze_stage_log(stages: Sequence["StageInfo"]) -> StageLogAnalysis:
     return StageLogAnalysis(num_stages=len(stages),
                             agg_compute=agg_compute,
                             agg_reduce=agg_reduce,
-                            other=other, stage_kinds=kinds)
+                            other=other, stage_kinds=kinds,
+                            unfinished=unfinished)
 
 
 def render_stage_log(stages: Sequence["StageInfo"],
@@ -98,10 +94,11 @@ def render_stage_log(stages: Sequence["StageInfo"],
     """A Spark-UI-flavoured text rendering of the stage timeline."""
     rows = []
     for stage in stages:
+        duration = stage.duration
         rows.append((stage.stage_id, stage.kind, stage.rdd_name,
                      stage.num_tasks, stage.attempt,
                      round(stage.submitted_at, 4),
-                     round(stage.duration, 4),
+                     "-" if duration is None else round(duration, 4),
                      _classify(stage)))
     return format_table(
         ["Stage", "Kind", "RDD", "Tasks", "Attempt", "Submitted",
@@ -144,6 +141,8 @@ def load_history(source: Union[str, Path]) -> List["StageInfo"]:
         if not line:
             continue
         raw = json.loads(line)
+        finished: Optional[float] = (None if raw["finished_at"] is None
+                                     else float(raw["finished_at"]))
         stages.append(StageInfo(
             stage_id=int(raw["stage_id"]),
             kind=str(raw["kind"]),
@@ -151,6 +150,6 @@ def load_history(source: Union[str, Path]) -> List["StageInfo"]:
             num_tasks=int(raw["num_tasks"]),
             attempt=int(raw["attempt"]),
             submitted_at=float(raw["submitted_at"]),
-            finished_at=float(raw["finished_at"]),
+            finished_at=finished,
         ))
     return stages

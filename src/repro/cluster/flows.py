@@ -136,6 +136,16 @@ class FlowNetwork:
                 return flow.rate
         raise KeyError("no active flow for that event")
 
+    def link_rate(self, link: Link) -> float:
+        """Aggregate allocated rate (bytes/s) crossing ``link`` right now.
+
+        Read-only: used by NIC-utilization monitors; 0.0 for an idle link.
+        """
+        members = self._link_flows.get(link)
+        if not members:
+            return 0.0
+        return sum(flow.rate for flow in members.values())
+
     # --------------------------------------------------------------- internals
     def _settle(self, flow: _Flow) -> None:
         now = self.env.now

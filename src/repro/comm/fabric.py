@@ -21,10 +21,11 @@ every algorithm, so no reordering ambiguity exists).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Hashable, Tuple
+from typing import Any, Dict, Generator, Hashable, Optional, Tuple
 
 from ..cluster.network import Network
 from ..cluster.node import Node
+from ..obs import EventBus, MessageDelivered, MessageSent, channel_str
 from ..serde import sim_sizeof
 from ..sim import Process, Store
 from .transport import TransportSpec
@@ -32,12 +33,44 @@ from .transport import TransportSpec
 __all__ = ["CommFabric"]
 
 
-class CommFabric:
-    """Tagged point-to-point messaging between ranked endpoints."""
+#: memoized tag -> (channel, hop); tags repeat across iterations, and the
+#: string building would otherwise run once per traced message
+_TAG_CACHE: Dict[Hashable, Tuple[str, Optional[int]]] = {}
 
-    def __init__(self, network: Network, transport: TransportSpec):
+
+def _tag_channel_hop(tag: Hashable) -> Tuple[str, Optional[int]]:
+    """Split a message tag into a channel name and an optional hop index.
+
+    Every collective here tags messages ``(channel, iteration)``; other
+    users pass flat tags, which map to a channel with no hop.
+    """
+    parsed = _TAG_CACHE.get(tag)
+    if parsed is None:
+        if (isinstance(tag, tuple) and len(tag) == 2
+                and isinstance(tag[1], int)):
+            parsed = channel_str(tag[0]), tag[1]
+        else:
+            parsed = channel_str(tag), None
+        if len(_TAG_CACHE) < 65536:
+            _TAG_CACHE[tag] = parsed
+    return parsed
+
+
+class CommFabric:
+    """Tagged point-to-point messaging between ranked endpoints.
+
+    ``bus`` (optional) receives a :class:`MessageSent` per ``send`` and a
+    :class:`MessageDelivered` per ``recv`` — including the mailbox dwell
+    time between arrival and consumption. Tracing never alters message
+    timing: mailbox entries always carry the same metadata tuple whether
+    or not a bus is attached.
+    """
+
+    def __init__(self, network: Network, transport: TransportSpec,
+                 bus: Optional[EventBus] = None):
         self.network = network
         self.transport = transport
+        self.bus = bus
         self.env = network.env
         self._nodes: Dict[int, Node] = {}
         self._mailboxes: Dict[Tuple[int, Hashable], Store] = {}
@@ -82,6 +115,12 @@ class CommFabric:
         src_node = self.node_of(src)
         dst_node = self.node_of(dst)
         size = sim_sizeof(payload) if nbytes is None else float(nbytes)
+        sent_at = self.env.now
+        if self.bus is not None and self.bus.active:
+            channel, hop = _tag_channel_hop(tag)
+            self.bus.emit(MessageSent(
+                time=sent_at, transport=self.transport.name, src=src,
+                dst=dst, channel=channel, hop=hop, nbytes=size))
         yield from self.network.transfer(
             src_node, dst_node, size,
             stream_bandwidth=self.transport.stream_bandwidth,
@@ -90,7 +129,8 @@ class CommFabric:
             overhead=self.transport.overhead,
             gc_prone=self.transport.gc_prone,
         )
-        self._mailbox(dst, tag).put(payload)
+        self._mailbox(dst, tag).put((payload, src, size, sent_at,
+                                     self.env.now))
         self.delivered += 1
 
     def isend(self, src: int, dst: int, payload: Any, tag: Hashable = 0,
@@ -103,7 +143,15 @@ class CommFabric:
 
     def recv(self, rank: int, tag: Hashable = 0) -> Generator:
         """Generator: receive the next message for ``(rank, tag)``."""
-        payload = yield self._mailbox(rank, tag).get()
+        payload, src, size, sent_at, arrived_at = yield self._mailbox(
+            rank, tag).get()
+        if self.bus is not None and self.bus.active:
+            channel, hop = _tag_channel_hop(tag)
+            self.bus.emit(MessageDelivered(
+                time=self.env.now, transport=self.transport.name, src=src,
+                dst=rank, channel=channel, hop=hop, nbytes=size,
+                queue_wait=self.env.now - arrived_at,
+                flight_time=arrived_at - sent_at))
         return payload
 
     # ------------------------------------------------------------ conveniences

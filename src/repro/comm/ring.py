@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 from ..cluster.placement import Cluster, ExecutorSlot
+from ..obs import EventBus, MessageDelivered, MessageSent, RingHop, channel_str
 from ..serde import SerdeModel, sim_sizeof
 from ..sim import Environment
 from .fabric import CommFabric
@@ -47,6 +48,8 @@ def ring_reduce_scatter_rank(
     reduce_op: ReduceOp,
     merge_bandwidth: float,
     channel: Any = 0,
+    bus: Optional[EventBus] = None,
+    executor_id: int = -1,
 ) -> Generator:
     """Per-rank ring reduce-scatter over ``size`` ranks (one channel).
 
@@ -58,6 +61,9 @@ def ring_reduce_scatter_rank(
     ``(r - k) mod N`` to rank ``(r + 1) mod N`` and merges the incoming
     segment ``(r - k - 1) mod N`` from rank ``(r - 1) mod N``; after
     ``N - 1`` iterations each segment has traversed the whole ring.
+
+    With ``bus`` attached, each iteration emits one :class:`RingHop`
+    spanning send-off to send-drained, tagged with ``executor_id``.
     """
     env = fabric.env
     n = size
@@ -65,12 +71,17 @@ def ring_reduce_scatter_rank(
         return 0, segments[0]
     nxt = (rank + 1) % n
     current = dict(segments)
+    channel_key = channel_str(channel)
     for k in range(n - 1):
         send_idx = (rank - k) % n
         recv_idx = (rank - k - 1) % n
         tag = (channel, k)
+        tracing = bus is not None and bus.active
+        began = env.now
+        send_bytes = sim_sizeof(current[send_idx]) if tracing else 0.0
         in_flight = fabric.isend(rank, nxt, current[send_idx], tag=tag)
         incoming = yield from fabric.recv(rank, tag=tag)
+        recv_bytes = sim_sizeof(incoming) if tracing else 0.0
         merged = reduce_op(current[recv_idx], incoming)
         merge_cost = sim_sizeof(merged) / merge_bandwidth
         if merge_cost > 0:
@@ -79,6 +90,12 @@ def ring_reduce_scatter_rank(
         # The channel is a single connection: do not start iteration k+1's
         # send until iteration k's has fully left.
         yield in_flight
+        if tracing and bus.active:
+            bus.emit(RingHop(time=env.now, rank=rank,
+                             executor_id=executor_id,
+                             channel=channel_key, hop=k,
+                             send_bytes=send_bytes, recv_bytes=recv_bytes,
+                             began=began, merge_time=merge_cost))
     owned = (rank + 1) % n
     return owned, current[owned]
 
@@ -90,6 +107,8 @@ def ring_allgather_rank(
     owned_index: int,
     owned_value: Any,
     channel: Any = "ag",
+    bus: Optional[EventBus] = None,
+    executor_id: int = -1,
 ) -> Generator:
     """Per-rank ring allgather: circulate owned segments to every rank.
 
@@ -97,18 +116,30 @@ def ring_allgather_rank(
     segments. Combined with :func:`ring_reduce_scatter_rank` this yields
     the bandwidth-optimal ring allreduce.
     """
+    env = fabric.env
     n = size
     if n == 1:
         return {owned_index: owned_value}
     nxt = (rank + 1) % n
     have: Dict[int, Any] = {owned_index: owned_value}
     carry_idx, carry_val = owned_index, owned_value
+    channel_key = channel_str(channel)
     for k in range(n - 1):
         tag = (channel, k)
+        tracing = bus is not None and bus.active
+        began = env.now
+        send_bytes = sim_sizeof(carry_val) if tracing else 0.0
         in_flight = fabric.isend(rank, nxt, (carry_idx, carry_val), tag=tag)
         carry_idx, carry_val = yield from fabric.recv(rank, tag=tag)
         have[carry_idx] = carry_val
         yield in_flight
+        if tracing and bus.active:
+            bus.emit(RingHop(time=env.now, rank=rank,
+                             executor_id=executor_id,
+                             channel=channel_key, hop=k,
+                             send_bytes=send_bytes,
+                             recv_bytes=sim_sizeof(carry_val),
+                             began=began, merge_time=0.0))
     return have
 
 
@@ -129,12 +160,16 @@ class ScalableCommunicator:
         Messaging stack; defaults to the JeroMQ-grade SC transport.
     slots:
         Restrict the ring to a subset of executors (scalability sweeps).
+    bus:
+        Optional :class:`~repro.obs.EventBus`; when attached, every fabric
+        message and every ring-hop span is traced.
     """
 
     def __init__(self, cluster: Cluster, parallelism: int = 4,
                  topology_aware: bool = True,
                  transport: Optional[TransportSpec] = None,
-                 slots: Optional[Sequence[ExecutorSlot]] = None):
+                 slots: Optional[Sequence[ExecutorSlot]] = None,
+                 bus: Optional[EventBus] = None):
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
         self.cluster = cluster
@@ -143,6 +178,7 @@ class ScalableCommunicator:
         self.topology_aware = topology_aware
         self.transport = transport or sc_transport(cluster.config)
         self.serde = SerdeModel.from_config(cluster.config)
+        self.bus = bus
 
         chosen = list(slots) if slots is not None else list(cluster.executors)
         if not chosen:
@@ -154,7 +190,7 @@ class ScalableCommunicator:
         self.ranked: List[ExecutorSlot] = chosen
         self.size = len(chosen)
 
-        self.fabric = CommFabric(cluster.network, self.transport)
+        self.fabric = CommFabric(cluster.network, self.transport, bus=bus)
         for rank, slot in enumerate(self.ranked):
             self.fabric.register(rank, slot.node)
 
@@ -208,7 +244,8 @@ class ScalableCommunicator:
                 channel_procs.append(env.process(
                     ring_reduce_scatter_rank(
                         self.fabric, rank, n, local_segments, reduce_op,
-                        merge_bw, channel=p),
+                        merge_bw, channel=p, bus=self.bus,
+                        executor_id=self.ranked[rank].executor_id),
                     name=f"rs:r{rank}c{p}",
                 ))
             results: Dict[int, Any] = {}
@@ -241,10 +278,23 @@ class ScalableCommunicator:
 
         def ship(rank: int, results: Dict[int, Any]):
             slot = self.ranked[rank]
+            bus = self.bus
             total = sum(sim_sizeof(v) for v in results.values())
             yield env.timeout(self.serde.ser_time_bytes(total))
+            sent_at = env.now
+            if bus is not None and bus.active:
+                bus.emit(MessageSent(
+                    time=sent_at, transport=self.transport.name, src=rank,
+                    dst=-1, channel="gather", hop=rank, nbytes=total))
             yield from network.transfer(slot.node, driver, total)
+            arrived_at = env.now
             yield env.timeout(self.serde.deser_time_bytes(total))
+            if bus is not None and bus.active:
+                bus.emit(MessageDelivered(
+                    time=env.now, transport=self.transport.name, src=rank,
+                    dst=-1, channel="gather", hop=rank, nbytes=total,
+                    queue_wait=env.now - arrived_at,
+                    flight_time=arrived_at - sent_at))
             for idx, value in results.items():
                 collected[idx] = value
 
@@ -289,7 +339,9 @@ class ScalableCommunicator:
                 (global_idx, value), = entries
                 chans.append(env.process(ring_allgather_rank(
                     self.fabric, rank, n, global_idx % n, value,
-                    channel=("ag", p)), name=f"ag:r{rank}c{p}"))
+                    channel=("ag", p), bus=self.bus,
+                    executor_id=self.ranked[rank].executor_id),
+                    name=f"ag:r{rank}c{p}"))
             everything: Dict[int, Any] = {}
             for p, proc in enumerate(chans):
                 have = yield proc

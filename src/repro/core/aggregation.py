@@ -132,19 +132,20 @@ def tree_aggregate(rdd: RDD, zero: Any, seq_op: Callable[[Any, Any], Any],
                 acc = seq_op(acc, x)
             return acc
 
-        holders = sc.run_reduced_job(rdd, partial_func, comb_op)
-        compute_done = sc.now
-        spawned = SpawnRDD.from_holders(sc, holders)
-        result = _tree_reduce_phase(sc, spawned, comb_op, depth)
-        SpawnRDD.cleanup_holders(sc, holders)
-        sc.stopwatch.add("agg.compute", compute_done - began)
-        sc.stopwatch.add("agg.reduce", sc.now - compute_done)
+        with sc.stopwatch.span("agg.compute"):
+            holders = sc.run_reduced_job(rdd, partial_func, comb_op)
+        with sc.stopwatch.span("agg.reduce"):
+            spawned = SpawnRDD.from_holders(sc, holders)
+            result = _tree_reduce_phase(sc, spawned, comb_op, depth)
+            SpawnRDD.cleanup_holders(sc, holders)
         return result
 
     partial = _partial_aggregate_rdd(rdd, zero, seq_op)
     result = _tree_reduce_phase(sc, partial, comb_op, depth)
     # Decompose: the first new stage materialized the partials (compute);
-    # everything after it is reduction (paper §2.3 methodology).
+    # everything after it is reduction (paper §2.3 methodology). The first
+    # new stage always closed inside _tree_reduce_phase, so its duration
+    # is a real number here.
     new_stages = sc.dag.stage_log[log_mark:]
     compute = new_stages[0].duration if new_stages else 0.0
     total = sc.now - began

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Tuple
 
+from ..obs import ImmMerge
 from ..serde import sim_sizeof
 from ..sim import Resource
 
@@ -79,7 +80,11 @@ class MutableObjectManager:
             raise StaleMergeError(
                 f"stage attempt {stage_attempt} of {object_id} was cleaned "
                 f"up (current: {entry.stage_attempt})")
+        bus = self.executor.sc.event_bus
+        lock_asked = self.env.now
         yield entry.lock.acquire()
+        lock_wait = self.env.now - lock_asked
+        merge_began = self.env.now
         try:
             # Re-check under the lock: a cleanup may have raced in.
             live = self._entries.get(object_id)
@@ -97,6 +102,14 @@ class MutableObjectManager:
                     yield self.env.timeout(cost)
                 entry.value = merged
             entry.merge_count += 1
+            if bus.active:
+                job_id, stage_id = object_id
+                bus.emit(ImmMerge(
+                    time=self.env.now,
+                    executor_id=self.executor.executor_id, job_id=job_id,
+                    stage_id=stage_id, merge_index=entry.merge_count - 1,
+                    nbytes=sim_sizeof(value), lock_wait=lock_wait,
+                    merge_time=self.env.now - merge_began))
         finally:
             entry.lock.release()
 

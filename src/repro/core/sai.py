@@ -68,8 +68,6 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
         return concat_op([split_op(z, i, parallelism)
                           for i in range(parallelism)])
 
-    began = sc.now
-
     # ---- stage 1: reduced-result stage with in-memory merge ---------------
     def partial_func(_idx: int, data: list, ctx: TaskContext) -> Any:
         acc = fresh_zero(zero)
@@ -78,35 +76,36 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
             acc = seq_op(acc, x)
         return acc
 
-    holders = sc.run_reduced_job(rdd, partial_func, merge_op)
-    compute_done = sc.now
+    with sc.stopwatch.span("agg.compute"):
+        holders = sc.run_reduced_job(rdd, partial_func, merge_op)
 
     # ---- stage 2: SpawnRDD + scalable reduce-scatter, then gather ---------
-    slot_by_id = {slot.executor_id: slot for slot in sc.cluster.executors}
-    slots = [slot_by_id[executor_id] for executor_id, _ in holders]
-    comm = ScalableCommunicator(sc.cluster, parallelism=parallelism,
-                                topology_aware=topology_aware, slots=slots)
-    spawned = SpawnRDD.from_holders(sc, holders)
-    # The SpawnRDD launch validates static placement and reads each
-    # executor's aggregator; its (cheap) results stay executor-side — the
-    # ring operates on the very same in-memory objects.
-    object_by_executor = dict(holders)
-    values = []
-    for slot in comm.ranked:
-        executor = sc.executor_by_id(slot.executor_id)
-        value = executor.object_manager.get(
-            object_by_executor[slot.executor_id])
-        values.append(value)
-    spawn_results = sc.run_job(
-        spawned, lambda _i, data, _ctx: len(data))
-    if len(spawn_results) != len(holders):  # pragma: no cover - invariant
-        raise RuntimeError("SpawnRDD lost partitions")
+    with sc.stopwatch.span("agg.reduce"):
+        slot_by_id = {slot.executor_id: slot
+                      for slot in sc.cluster.executors}
+        slots = [slot_by_id[executor_id] for executor_id, _ in holders]
+        comm = ScalableCommunicator(sc.cluster, parallelism=parallelism,
+                                    topology_aware=topology_aware,
+                                    slots=slots, bus=sc.event_bus)
+        spawned = SpawnRDD.from_holders(sc, holders)
+        # The SpawnRDD launch validates static placement and reads each
+        # executor's aggregator; its (cheap) results stay executor-side —
+        # the ring operates on the very same in-memory objects.
+        object_by_executor = dict(holders)
+        values = []
+        for slot in comm.ranked:
+            executor = sc.executor_by_id(slot.executor_id)
+            value = executor.object_manager.get(
+                object_by_executor[slot.executor_id])
+            values.append(value)
+        spawn_results = sc.run_job(
+            spawned, lambda _i, data, _ctx: len(data))
+        if len(spawn_results) != len(holders):  # pragma: no cover
+            raise RuntimeError("SpawnRDD lost partitions")
 
-    proc = sc.env.process(comm.reduce_scatter_gather(
-        values, split_op, reduce_op, concat_op))
-    result = sc.env.run(until=proc)
+        proc = sc.env.process(comm.reduce_scatter_gather(
+            values, split_op, reduce_op, concat_op))
+        result = sc.env.run(until=proc)
 
-    SpawnRDD.cleanup_holders(sc, holders)
-    sc.stopwatch.add("agg.compute", compute_done - began)
-    sc.stopwatch.add("agg.reduce", sc.now - compute_done)
+        SpawnRDD.cleanup_holders(sc, holders)
     return result

@@ -153,14 +153,14 @@ class LBFGS:
         loss, grad = self._loss_and_gradient(data, weights)
         losses.append(loss)
         for _iteration in range(self.max_iterations):
-            t_drv = sc.now
-            direction = self._direction(grad, pairs)
-            # Two-loop recursion: ~4*history passes over the weight vector.
-            drv = (4 * max(len(pairs), 1) * dim * 8.0 * self.size_scale
-                   / sc.cluster.config.merge_bandwidth)
-            proc = sc.env.process(sc.driver_work(drv))
-            sc.env.run(until=proc)
-            sc.stopwatch.add("ml.driver", sc.now - t_drv)
+            with sc.stopwatch.span("ml.driver"):
+                direction = self._direction(grad, pairs)
+                # Two-loop recursion: ~4*history passes over the weight
+                # vector.
+                drv = (4 * max(len(pairs), 1) * dim * 8.0 * self.size_scale
+                       / sc.cluster.config.merge_bandwidth)
+                proc = sc.env.process(sc.driver_work(drv))
+                sc.env.run(until=proc)
 
             descent = float(grad @ direction)
             if descent >= 0:  # not a descent direction: restart memory

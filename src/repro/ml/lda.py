@@ -116,10 +116,9 @@ class LDA:
         per_token = self.token_time * self.sample_scale
 
         for _iteration in range(1, self.num_iterations + 1):
-            t_bc = sc.now
-            bc = sc.broadcast(ScaledPayloadValue(
-                beta, k * vocab * 8.0 * self.size_scale))
-            sc.stopwatch.add("ml.broadcast", sc.now - t_bc)
+            with sc.stopwatch.span("ml.broadcast"):
+                bc = sc.broadcast(ScaledPayloadValue(
+                    beta, k * vocab * 8.0 * self.size_scale))
 
             def fold(agg: FlatAggregator, doc: SparseVector
                      ) -> FlatAggregator:
@@ -159,20 +158,20 @@ class LDA:
             bc.destroy()
 
             # --- driver M-step: renormalize counts into the new beta ------
-            t_drv = sc.now
-            counts = agg.payload.reshape(k, vocab)
-            beta = counts + eta
-            beta /= beta.sum(axis=1, keepdims=True)
-            log_likelihoods.append(agg.loss_sum)
-            # MLlib's EM driver step is many passes over the K x V global
-            # parameters (normalization, ELBO terms, Dirichlet updates in
-            # Breeze, plus the attendant JVM allocation churn) — modeled as
-            # ~20 memory passes. This is the non-scalable "Driver" slice
-            # that §6 calls the next bottleneck at 960 cores.
-            driver_seconds = (20.0 * k * vocab * 8.0 * self.size_scale
-                              / sc.cluster.config.merge_bandwidth)
-            proc = sc.env.process(sc.driver_work(driver_seconds))
-            sc.env.run(until=proc)
-            sc.stopwatch.add("ml.driver", sc.now - t_drv)
+            with sc.stopwatch.span("ml.driver"):
+                counts = agg.payload.reshape(k, vocab)
+                beta = counts + eta
+                beta /= beta.sum(axis=1, keepdims=True)
+                log_likelihoods.append(agg.loss_sum)
+                # MLlib's EM driver step is many passes over the K x V
+                # global parameters (normalization, ELBO terms, Dirichlet
+                # updates in Breeze, plus the attendant JVM allocation
+                # churn) — modeled as ~20 memory passes. This is the
+                # non-scalable "Driver" slice that §6 calls the next
+                # bottleneck at 960 cores.
+                driver_seconds = (20.0 * k * vocab * 8.0 * self.size_scale
+                                  / sc.cluster.config.merge_bandwidth)
+                proc = sc.env.process(sc.driver_work(driver_seconds))
+                sc.env.run(until=proc)
 
         return LDAModel(beta, log_likelihoods, alpha, eta)

@@ -90,10 +90,9 @@ class OnlineLDA:
                 lam.sum(axis=1, keepdims=True))
             exp_e_log_beta = np.exp(e_log_beta)
 
-            t_bc = sc.now
-            bc = sc.broadcast(ScaledPayloadValue(
-                exp_e_log_beta, k * vocab * 8.0 * self.size_scale))
-            sc.stopwatch.add("ml.broadcast", sc.now - t_bc)
+            with sc.stopwatch.span("ml.broadcast"):
+                bc = sc.broadcast(ScaledPayloadValue(
+                    exp_e_log_beta, k * vocab * 8.0 * self.size_scale))
 
             batch = (corpus if self.mini_batch_fraction >= 1.0
                      else corpus.sample(self.mini_batch_fraction,
@@ -137,18 +136,17 @@ class OnlineLDA:
                 continue  # empty mini-batch: skip the update
 
             # --- driver update: natural-gradient step on lambda ----------
-            t_drv = sc.now
-            stats = agg.payload.reshape(k, vocab)
-            rho = (self.tau0 + iteration) ** (-self.kappa)
-            lam_hat = eta + (corpus_size / batch_docs) * stats
-            lam = (1.0 - rho) * lam + rho * lam_hat
-            log_likelihoods.append(
-                agg.loss_sum * corpus_size / batch_docs)
-            driver_seconds = (20.0 * k * vocab * 8.0 * self.size_scale
-                              / sc.cluster.config.merge_bandwidth)
-            proc = sc.env.process(sc.driver_work(driver_seconds))
-            sc.env.run(until=proc)
-            sc.stopwatch.add("ml.driver", sc.now - t_drv)
+            with sc.stopwatch.span("ml.driver"):
+                stats = agg.payload.reshape(k, vocab)
+                rho = (self.tau0 + iteration) ** (-self.kappa)
+                lam_hat = eta + (corpus_size / batch_docs) * stats
+                lam = (1.0 - rho) * lam + rho * lam_hat
+                log_likelihoods.append(
+                    agg.loss_sum * corpus_size / batch_docs)
+                driver_seconds = (20.0 * k * vocab * 8.0 * self.size_scale
+                                  / sc.cluster.config.merge_bandwidth)
+                proc = sc.env.process(sc.driver_work(driver_seconds))
+                sc.env.run(until=proc)
 
         topics = lam / lam.sum(axis=1, keepdims=True)
         return LDAModel(topics, log_likelihoods, alpha, eta)

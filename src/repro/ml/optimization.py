@@ -122,10 +122,9 @@ class GradientDescent:
                                       self.flop_time)
 
         for iteration in range(1, self.num_iterations + 1):
-            t_bc = sc.now
-            bc = sc.broadcast(ScaledPayloadValue(
-                weights, dim * 8.0 * self.size_scale))
-            sc.stopwatch.add("ml.broadcast", sc.now - t_bc)
+            with sc.stopwatch.span("ml.broadcast"):
+                bc = sc.broadcast(ScaledPayloadValue(
+                    weights, dim * 8.0 * self.size_scale))
 
             agg = self._aggregate(data, bc, dim, sample_cost, iteration)
             bc.destroy()
@@ -137,17 +136,17 @@ class GradientDescent:
                     "(mini-batch too small?)")
 
             # --- driver update (the paper's non-scalable "Driver" slice) --
-            t_drv = sc.now
-            grad = agg.payload / count
-            new_weights, reg_loss = self.updater.compute(
-                weights, grad, self.step_size, iteration, self.reg_param)
-            losses.append(agg.loss_sum / count + reg_loss)
-            # A few passes over a paper-scale weight vector on one thread.
-            driver_seconds = 3.0 * dim * self.size_scale \
-                / sc.cluster.config.merge_bandwidth * 8.0
-            proc = sc.env.process(sc.driver_work(driver_seconds))
-            sc.env.run(until=proc)
-            sc.stopwatch.add("ml.driver", sc.now - t_drv)
+            with sc.stopwatch.span("ml.driver"):
+                grad = agg.payload / count
+                new_weights, reg_loss = self.updater.compute(
+                    weights, grad, self.step_size, iteration, self.reg_param)
+                losses.append(agg.loss_sum / count + reg_loss)
+                # A few passes over a paper-scale weight vector on one
+                # thread.
+                driver_seconds = 3.0 * dim * self.size_scale \
+                    / sc.cluster.config.merge_bandwidth * 8.0
+                proc = sc.env.process(sc.driver_work(driver_seconds))
+                sc.env.run(until=proc)
 
             delta = float(np.linalg.norm(new_weights - weights))
             weights = new_weights

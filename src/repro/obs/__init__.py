@@ -1,0 +1,114 @@
+"""Structured observability for the simulated engine (``repro.obs``).
+
+The paper's own methodology (§2.3) is observability: the authors located
+MLlib's bottleneck by mining Spark history logs. This package generalizes
+that from stage granularity down to tasks, messages and ring hops:
+
+* :mod:`repro.obs.events` — the typed event vocabulary (``JobStart``,
+  ``TaskEnd`` with :class:`~repro.obs.events.TaskMetrics`, ``RingHop``,
+  ``ImmMerge``, ...), each serializable to one JSON object,
+* :mod:`repro.obs.bus` — the :class:`EventBus` (Spark's ``ListenerBus``
+  analogue) owned by every :class:`~repro.rdd.context.SparkerContext`;
+  with no listeners attached every emission is a constant-time no-op and
+  the simulation is bit-for-bit identical to an uninstrumented run,
+* :mod:`repro.obs.log` — JSON-lines event-log export/import with a
+  versioned schema (a superset of ``bench.history``'s stage log),
+* :mod:`repro.obs.chrome_trace` — a Chrome ``trace_event`` / Perfetto
+  exporter laying out executors×cores, the driver, and NIC lanes on the
+  virtual-time axis,
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry, a
+  bus-fed :class:`MetricsListener`, and a :class:`NicMonitor` process
+  sampling NIC utilization,
+* :mod:`repro.obs.analysis` — the Figure-2-style decomposition, straggler
+  detection and driver-NIC saturation windows, recomputed from an event
+  log (``python -m repro.obs events.jsonl``).
+
+Capture a trace::
+
+    from repro.obs import EventLogWriter
+
+    sc = SparkerContext(ClusterConfig.bic())
+    with EventLogWriter("events.jsonl").attached_to(sc.event_bus):
+        ...  # run the workload
+
+then ``python -m repro.obs events.jsonl`` for the decomposition, or
+``python -m repro.obs events.jsonl --chrome trace.json`` for Perfetto.
+"""
+
+from .analysis import (
+    TraceAnalysis,
+    analyze_events,
+    classify_stage,
+    phase_decomposition,
+)
+from .bus import EventBus, RecordingListener
+from .chrome_trace import chrome_trace, write_chrome_trace
+from .events import (
+    BlockEvent,
+    EVENT_TYPES,
+    ImmMerge,
+    JobEnd,
+    JobStart,
+    MessageDelivered,
+    MessageSent,
+    NicSample,
+    PhaseSpan,
+    RingHop,
+    StageCompleted,
+    StageSubmitted,
+    TaskEnd,
+    TaskMetrics,
+    TaskStart,
+    TraceEvent,
+    channel_str,
+    event_from_record,
+)
+from .log import SCHEMA_NAME, SCHEMA_VERSION, EventLogWriter, dump_events, load_events
+from .metrics import (
+    Gauge,
+    Histogram,
+    MetricCounter,
+    MetricsListener,
+    MetricsRegistry,
+    NicMonitor,
+)
+
+__all__ = [
+    "EventBus",
+    "RecordingListener",
+    "TraceEvent",
+    "EVENT_TYPES",
+    "event_from_record",
+    "channel_str",
+    "JobStart",
+    "JobEnd",
+    "StageSubmitted",
+    "StageCompleted",
+    "TaskStart",
+    "TaskEnd",
+    "TaskMetrics",
+    "BlockEvent",
+    "MessageSent",
+    "MessageDelivered",
+    "RingHop",
+    "ImmMerge",
+    "PhaseSpan",
+    "NicSample",
+    "EventLogWriter",
+    "dump_events",
+    "load_events",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "chrome_trace",
+    "write_chrome_trace",
+    "MetricsRegistry",
+    "MetricCounter",
+    "Gauge",
+    "Histogram",
+    "MetricsListener",
+    "NicMonitor",
+    "TraceAnalysis",
+    "analyze_events",
+    "phase_decomposition",
+    "classify_stage",
+]

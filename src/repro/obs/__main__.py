@@ -1,0 +1,144 @@
+"""CLI: analyze a recorded event log.
+
+``python -m repro.obs events.jsonl`` prints the Figure-2-style time
+decomposition (phase and stage buckets), straggler tasks (slower than a
+factor of their stage's median), and driver-NIC saturation windows.
+``--chrome trace.json`` additionally writes a Perfetto-loadable Chrome
+trace, and ``--metrics`` dumps the full metrics registry fed from the
+log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import TraceAnalysis, analyze_events
+from .chrome_trace import write_chrome_trace
+from .log import load_events
+from .metrics import MetricsListener
+
+_BUCKET_LABELS = {
+    "agg_compute": "Aggregation / compute",
+    "agg_reduce": "Aggregation / reduce",
+    "other": "Other stages",
+}
+
+
+def render_analysis(analysis: TraceAnalysis) -> str:
+    """Render a :class:`TraceAnalysis` as the CLI's text report."""
+    from ..bench.harness import format_seconds, format_table
+
+    out: List[str] = []
+    out.append(f"trace span: {format_seconds(analysis.total_time)} "
+               f"virtual ({analysis.job_count} jobs, "
+               f"{analysis.stage_count} stages, "
+               f"{analysis.task_count} tasks)")
+    if analysis.task_failures:
+        out.append(f"task failures: {analysis.task_failures}")
+    if analysis.unfinished_stages:
+        out.append(f"unfinished stages: {analysis.unfinished_stages} "
+                   "(submitted but never completed)")
+
+    if analysis.phases:
+        total = sum(analysis.phases.values())
+        rows = [[key, format_seconds(seconds),
+                 f"{100.0 * seconds / total:.1f}%"]
+                for key, seconds in sorted(analysis.phases.items(),
+                                           key=lambda kv: -kv[1])]
+        out.append("")
+        out.append(format_table(["phase", "time", "share"], rows,
+                                title="Phase decomposition (stopwatch)"))
+
+    if analysis.stage_totals:
+        total = sum(analysis.stage_totals.values())
+        rows = [[_BUCKET_LABELS.get(bucket, bucket),
+                 format_seconds(seconds),
+                 f"{100.0 * seconds / total:.1f}%"]
+                for bucket, seconds in sorted(analysis.stage_totals.items(),
+                                              key=lambda kv: -kv[1])]
+        out.append("")
+        out.append(format_table(
+            ["bucket", "time", "share"], rows,
+            title="Stage decomposition (Figure 2 buckets)"))
+        out.append(f"aggregation share of stage time: "
+                   f"{100.0 * analysis.aggregation_share:.1f}%")
+
+    if analysis.message_count:
+        out.append("")
+        out.append(f"messages: {analysis.message_count} "
+                   f"({analysis.message_bytes / 1e6:.2f} MB), "
+                   f"ring hops: {analysis.ring_hop_count}, "
+                   f"imm merges: {analysis.imm_merge_count}")
+
+    out.append("")
+    if analysis.stragglers:
+        rows = [[f"s{s.stage_id}.{s.stage_attempt}", s.partition,
+                 s.executor_id, format_seconds(s.duration),
+                 format_seconds(s.stage_median), f"{s.slowdown:.2f}x"]
+                for s in analysis.stragglers]
+        out.append(format_table(
+            ["stage", "part", "executor", "duration", "median", "slowdown"],
+            rows, title="Stragglers (duration > 2x stage median)"))
+    else:
+        out.append("stragglers: none")
+
+    out.append("")
+    if analysis.saturation:
+        rows = [[w.hostname, w.direction, f"{w.start:.4f}s",
+                 f"{w.end:.4f}s", format_seconds(w.duration),
+                 f"{100.0 * w.peak_utilization:.0f}%"]
+                for w in analysis.saturation]
+        out.append(format_table(
+            ["node", "dir", "start", "end", "duration", "peak"],
+            rows, title="Driver-NIC saturation windows"))
+    else:
+        out.append("driver-NIC saturation: none observed "
+                   "(no samples at/above threshold)")
+    return "\n".join(out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Analyze a repro.obs JSON-lines event log.")
+    parser.add_argument("events", help="path to the events.jsonl file")
+    parser.add_argument("--chrome", metavar="TRACE.json", default=None,
+                        help="also write a Chrome/Perfetto trace here")
+    parser.add_argument("--metrics", action="store_true",
+                        help="also print the metrics-registry summary")
+    parser.add_argument("--straggler-factor", type=float, default=2.0,
+                        help="flag tasks slower than this multiple of "
+                             "their stage median (default: 2.0)")
+    parser.add_argument("--saturation-threshold", type=float, default=0.9,
+                        help="NIC utilization that counts as saturated "
+                             "(default: 0.9)")
+    args = parser.parse_args(argv)
+
+    try:
+        events = load_events(args.events)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.events}: {exc}", file=sys.stderr)
+        return 2
+
+    analysis = analyze_events(
+        events, straggler_factor=args.straggler_factor,
+        saturation_threshold=args.saturation_threshold)
+    print(render_analysis(analysis))
+
+    if args.metrics:
+        listener = MetricsListener()
+        for event in events:
+            listener.on_event(event)
+        print()
+        print(listener.registry.summary())
+
+    if args.chrome:
+        count = write_chrome_trace(events, args.chrome)
+        print(f"\nwrote {count} trace events to {args.chrome}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

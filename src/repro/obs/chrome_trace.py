@@ -1,0 +1,204 @@
+"""Chrome ``trace_event`` / Perfetto export.
+
+Lays a recorded event stream out on the virtual-time axis in the JSON
+format Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` load
+natively:
+
+* one *process* per executor, with one *thread lane per core* — task
+  spans are packed greedily onto core lanes (an executor never runs more
+  concurrent tasks than cores, so the packing is exact) — plus extra
+  lanes for ring-hop spans (one per ring channel) and IMM merges,
+* a *driver* process with a job lane and a phase lane
+  (``agg.compute`` / ``ml.driver`` / ... spans from the stopwatch),
+* a *NIC* process carrying per-node utilization counter tracks sampled
+  by :class:`~repro.obs.metrics.NicMonitor`.
+
+Timestamps are microseconds of virtual time (the ``trace_event`` unit).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .events import TraceEvent
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+#: process ids of the fixed lanes
+DRIVER_PID = 1
+NIC_PID = 2
+#: executors start here: pid = EXECUTOR_PID_BASE + executor_id
+EXECUTOR_PID_BASE = 10
+
+_US = 1e6  # seconds -> trace_event microseconds
+
+
+def _meta(pid: int, name: str, tid: Optional[int] = None,
+          sort_index: Optional[int] = None) -> List[Dict[str, Any]]:
+    out: List[Dict[str, Any]] = []
+    if tid is None:
+        out.append({"ph": "M", "pid": pid, "name": "process_name",
+                    "args": {"name": name}})
+        if sort_index is not None:
+            out.append({"ph": "M", "pid": pid, "name": "process_sort_index",
+                        "args": {"sort_index": sort_index}})
+    else:
+        out.append({"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                    "args": {"name": name}})
+        if sort_index is not None:
+            out.append({"ph": "M", "pid": pid, "tid": tid,
+                        "name": "thread_sort_index",
+                        "args": {"sort_index": sort_index}})
+    return out
+
+
+def _span(pid: int, tid: int, name: str, began: float, ended: float,
+          cat: str, args: Dict[str, Any]) -> Dict[str, Any]:
+    return {"ph": "X", "pid": pid, "tid": tid, "name": name, "cat": cat,
+            "ts": began * _US, "dur": max(ended - began, 0.0) * _US,
+            "args": args}
+
+
+def _pack_lanes(spans: Sequence[Tuple[float, float, Any]]
+                ) -> List[Tuple[int, Any]]:
+    """Greedy interval packing: assign each (begin, end, item) a lane.
+
+    Spans are laid onto the first lane whose previous span has ended;
+    processing in begin order makes the packing deterministic and uses
+    the minimum number of lanes.
+    """
+    lane_free: List[float] = []  # lane index -> time it frees up
+    out: List[Tuple[int, Any]] = []
+    eps = 1e-12
+    for began, ended, item in sorted(spans, key=lambda s: (s[0], s[1])):
+        for lane, free_at in enumerate(lane_free):
+            if free_at <= began + eps:
+                lane_free[lane] = ended
+                out.append((lane, item))
+                break
+        else:
+            lane_free.append(ended)
+            out.append((len(lane_free) - 1, item))
+    return out
+
+
+def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
+    """Convert a trace-event stream into a Chrome trace JSON object."""
+    events = list(events)
+    out: List[Dict[str, Any]] = []
+    out += _meta(DRIVER_PID, "driver", sort_index=0)
+    out += _meta(DRIVER_PID, "jobs", tid=0, sort_index=0)
+    out += _meta(DRIVER_PID, "phases", tid=1, sort_index=1)
+
+    # ------------------------------------------------------------- driver
+    job_starts: Dict[int, TraceEvent] = {}
+    for event in events:
+        if event.kind == "job_start":
+            job_starts[event.job_id] = event
+        elif event.kind == "job_end":
+            start = job_starts.pop(event.job_id, None)
+            began = start.time if start is not None else event.time
+            name = (start.rdd_name if start is not None
+                    else f"job {event.job_id}")
+            out.append(_span(
+                DRIVER_PID, 0, f"{event.job_kind}:{name}", began,
+                event.time, "job",
+                {"job_id": event.job_id, "succeeded": event.succeeded}))
+    phase_spans = [(e.began, e.time, e) for e in events
+                   if e.kind == "phase"]
+    for lane, e in _pack_lanes(phase_spans):
+        out.append(_span(DRIVER_PID, 1 + lane, e.key, e.began, e.time,
+                         "phase", {"seconds": e.seconds}))
+
+    # ---------------------------------------------------------- executors
+    task_ends = [e for e in events if e.kind == "task_end"]
+    ring_hops = [e for e in events if e.kind == "ring_hop"]
+    imm_merges = [e for e in events if e.kind == "imm_merge"]
+    executor_ids = sorted(
+        {e.executor_id for e in task_ends}
+        | {e.executor_id for e in ring_hops}
+        | {e.executor_id for e in imm_merges})
+    for executor_id in executor_ids:
+        pid = EXECUTOR_PID_BASE + executor_id
+        host = next((e.host for e in task_ends
+                     if e.executor_id == executor_id), "")
+        label = (f"executor {executor_id} ({host})" if host
+                 else f"executor {executor_id}")
+        out += _meta(pid, label, sort_index=EXECUTOR_PID_BASE + executor_id)
+
+        mine = [(e.began, e.time, e) for e in task_ends
+                if e.executor_id == executor_id]
+        core_lanes = 0
+        for lane, e in _pack_lanes(mine):
+            core_lanes = max(core_lanes, lane + 1)
+            out.append(_span(
+                pid, lane, f"s{e.stage_id}.p{e.partition}", e.began,
+                e.time, "task",
+                {"status": e.status, "locality": e.metrics.locality,
+                 "compute": e.metrics.compute_time,
+                 "fetch_wait": e.metrics.fetch_wait,
+                 "result_bytes": e.metrics.result_bytes}))
+        for lane in range(core_lanes):
+            out += _meta(pid, f"core {lane}", tid=lane, sort_index=lane)
+
+        channels = sorted({e.channel for e in ring_hops
+                           if e.executor_id == executor_id})
+        for offset, channel in enumerate(channels):
+            tid = 100 + offset
+            out += _meta(pid, f"ring {channel}", tid=tid,
+                         sort_index=tid)
+            for e in ring_hops:
+                if e.executor_id == executor_id and e.channel == channel:
+                    out.append(_span(
+                        pid, tid, f"hop {e.hop}", e.began, e.time, "ring",
+                        {"rank": e.rank, "send_bytes": e.send_bytes,
+                         "recv_bytes": e.recv_bytes,
+                         "merge_time": e.merge_time}))
+        merges = [e for e in imm_merges if e.executor_id == executor_id]
+        if merges:
+            out += _meta(pid, "imm", tid=200, sort_index=200)
+            for e in merges:
+                out.append(_span(
+                    pid, 200, f"merge {e.merge_index}",
+                    e.time - e.merge_time - e.lock_wait, e.time, "imm",
+                    {"job_id": e.job_id, "stage_id": e.stage_id,
+                     "nbytes": e.nbytes, "lock_wait": e.lock_wait}))
+
+    # ---------------------------------------------------------------- NIC
+    nic_samples = [e for e in events if e.kind == "nic_sample"]
+    if nic_samples:
+        out += _meta(NIC_PID, "NIC", sort_index=1)
+        hosts = sorted({(e.node_id, e.hostname, e.is_driver)
+                        for e in nic_samples})
+        tids = {node_id: tid for tid, (node_id, _h, _d) in enumerate(hosts)}
+        for tid, (node_id, hostname, is_driver) in enumerate(hosts):
+            label = f"{hostname} (driver)" if is_driver else hostname
+            out += _meta(NIC_PID, label, tid=tid, sort_index=tid)
+        for e in nic_samples:
+            out.append({"ph": "C", "pid": NIC_PID,
+                        "tid": tids[e.node_id],
+                        "name": f"{e.hostname}.nic", "ts": e.time * _US,
+                        "args": {"in": e.in_utilization,
+                                 "out": e.out_utilization}})
+
+    return {"traceEvents": out, "displayTimeUnit": "ms",
+            "otherData": {"source": "repro.obs", "time_unit": "virtual"}}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent],
+                       target: Union[str, Path]) -> int:
+    """Write a Chrome trace JSON file; returns the trace-event count."""
+    trace = chrome_trace(events)
+    Path(target).write_text(json.dumps(trace), encoding="utf-8")
+    return len(trace["traceEvents"])

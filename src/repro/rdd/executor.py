@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator
 
 from ..cluster.placement import ExecutorSlot
+from ..obs import BlockEvent, TaskEnd, TaskMetrics, TaskStart
 from ..serde import sim_sizeof
 from ..sim import Interrupt, Process, Resource
 from .accumulators import pop_task_context, push_task_context
@@ -58,12 +59,23 @@ class Executor:
         self.task_slots = Resource(sc.env, capacity=slot.cores,
                                    name=f"exec{slot.executor_id}.slots")
         self.memory_store = MemoryStore(
-            slot.executor_id, sc.cluster.config.executor_memory)
+            slot.executor_id, sc.cluster.config.executor_memory,
+            on_event=self._block_event)
         self.shuffle_store = ShuffleStore(slot.executor_id)
         self.object_manager = MutableObjectManager(self)
         self._running: set = set()
         #: completed task attempts, for instrumentation
         self.tasks_run = 0
+
+    def _block_event(self, op: str, block_id: tuple, nbytes: float) -> None:
+        """Mirror a memory-store operation onto the event bus."""
+        bus = self.sc.event_bus
+        if bus.active:
+            rdd_id, partition = block_id
+            bus.emit(BlockEvent(time=self.env.now,
+                                executor_id=self.executor_id, op=op,
+                                rdd_id=rdd_id, partition=partition,
+                                nbytes=nbytes))
 
     # ------------------------------------------------------------------ submit
     def submit(self, task: Task) -> Process:
@@ -80,57 +92,116 @@ class Executor:
             raise ExecutorLost(f"executor {self.executor_id} is dead")
         env = self.env
         cfg = self.sc.cluster.config
+        bus = self.sc.event_bus
+        queued = env.now
         yield self.task_slots.acquire()
+        began = env.now
+        tracing = bus.active
+        if tracing:
+            bus.emit(TaskStart(time=began, stage_id=task.stage_id,
+                               stage_attempt=task.stage_attempt,
+                               partition=task.partition, attempt=task.attempt,
+                               executor_id=self.executor_id,
+                               host=self.node.hostname))
+        stats = {"slot_wait": began - queued, "fetch_wait": 0.0,
+                 "deserialize_time": 0.0, "compute_time": 0.0,
+                 "serialize_time": 0.0, "result_bytes": 0.0}
+        status = "ok"
         try:
             if not self.alive:
                 raise ExecutorLost(f"executor {self.executor_id} died")
             yield env.timeout(cfg.task_overhead)
             ctx = TaskContext(task.stage_id, task.partition, task.attempt,
                               executor=self)
+            fetch_began = env.now
             for shuffle_id, reduce_index in task.fetch_plan():
-                yield from self._fetch_shuffle(shuffle_id, reduce_index, ctx)
+                deser = yield from self._fetch_shuffle(shuffle_id,
+                                                       reduce_index, ctx)
+                stats["deserialize_time"] += deser
+            stats["fetch_wait"] = env.now - fetch_began
             push_task_context(ctx)
             try:
                 result = task.run(ctx)
             finally:
                 pop_task_context()
             charged = ctx.drain_charges()
+            stats["compute_time"] = charged
             if charged > 0:
                 yield env.timeout(charged)
-            output = yield from self._emit(task, result, ctx)
+            output = yield from self._emit(task, result, ctx, stats)
             self.tasks_run += 1
             # Exactly-once accumulator semantics: only a fully successful
             # attempt publishes its buffered updates.
             if ctx.accumulator_updates:
                 self.sc.accumulators.publish(ctx.accumulator_updates)
             return output
+        except FetchFailed:
+            status = "fetch_failed"
+            raise
         except Interrupt as intr:
+            status = "killed"
             raise TaskKilled(str(intr.cause)) from intr
+        except BaseException:
+            status = "failed"
+            raise
         finally:
             self.task_slots.release()
+            if tracing and bus.active:
+                bus.emit(TaskEnd(
+                    time=env.now, stage_id=task.stage_id,
+                    stage_attempt=task.stage_attempt,
+                    partition=task.partition, attempt=task.attempt,
+                    executor_id=self.executor_id, host=self.node.hostname,
+                    began=began, status=status,
+                    metrics=TaskMetrics(locality=self._locality(task),
+                                        **stats)))
 
     # ------------------------------------------------------------------- output
-    def _emit(self, task: Task, result: Any, ctx: TaskContext) -> Generator:
+    def _emit(self, task: Task, result: Any, ctx: TaskContext,
+              stats: dict) -> Generator:
         env = self.env
         sc = self.sc
         if isinstance(task, ShuffleMapTask):
             # Buckets were stored and their serialization charged in run();
             # only the (tiny) MapStatus goes to the driver.
+            nbytes = sim_sizeof(result)
+            stats["result_bytes"] = nbytes
             yield from sc.cluster.network.transfer(
-                self.node, sc.cluster.driver_node, sim_sizeof(result))
+                self.node, sc.cluster.driver_node, nbytes)
             return result
         if isinstance(task, ReducedResultTask):
             # In-memory merge: the shared object absorbs the result locally.
+            stats["result_bytes"] = sim_sizeof(result)
             yield from self.object_manager.merge(
                 task.object_id, task.stage_attempt, result, task.reduce_op)
             return (self.executor_id, task.object_id)
         if isinstance(task, ResultTask):
             nbytes = sim_sizeof(result)
-            yield env.timeout(sc.serde.ser_time_bytes(nbytes))
+            ser_time = sc.serde.ser_time_bytes(nbytes)
+            stats["serialize_time"] = ser_time
+            stats["result_bytes"] = nbytes
+            yield env.timeout(ser_time)
             yield from sc.cluster.network.transfer(
                 self.node, sc.cluster.driver_node, nbytes)
             return (result, nbytes)
         raise TypeError(f"unknown task type {type(task).__name__}")
+
+    def _locality(self, task: Task) -> str:
+        """Spark-style locality level of this attempt's placement."""
+        pinned = task.rdd.pinned_executor(task.partition)
+        if pinned == self.executor_id:
+            return "PROCESS_LOCAL"
+        preferred = task.rdd.preferred_executors(task.partition)
+        if self.executor_id in preferred:
+            return "PROCESS_LOCAL"
+        for executor_id in preferred:
+            try:
+                other = self.sc.executor_by_id(executor_id)
+            except KeyError:
+                continue
+            if other.node is self.node:
+                return "NODE_LOCAL"
+        return "ANY"
 
     # ------------------------------------------------------------------- fetch
     def _fetch_shuffle(self, shuffle_id: int, reduce_index: int,
@@ -139,7 +210,8 @@ class Executor:
 
         Remote buckets transfer concurrently (the flow network fair-shares
         this node's ingress); deserialization of all buckets is charged to
-        the task.
+        the task. Returns the deserialization seconds (the CPU share of
+        the fetch window), for task metrics.
         """
         env = self.env
         sc = self.sc
@@ -168,9 +240,12 @@ class Executor:
                 source.node, self.node, nbytes)))
         for proc in transfers:
             yield proc
+        deser_time = 0.0
         if deser_bytes > 0:
-            yield env.timeout(sc.serde.deser_time_bytes(deser_bytes))
+            deser_time = sc.serde.deser_time_bytes(deser_bytes)
+            yield env.timeout(deser_time)
         ctx.fetched[(shuffle_id, reduce_index)] = records
+        return deser_time
 
     # -------------------------------------------------------------------- kill
     def kill(self, reason: str = "fault injection") -> None:

@@ -34,6 +34,7 @@ from typing import (
     Tuple,
 )
 
+from ..obs import JobEnd, JobStart, StageCompleted, StageSubmitted
 from ..sim import Interrupt
 from .executor import Executor, ExecutorLost, TaskKilled
 from .rdd import RDD, ShuffleDependency
@@ -65,10 +66,22 @@ class StageInfo:
     num_tasks: int
     attempt: int
     submitted_at: float
-    finished_at: float = field(default=float("nan"))
+    finished_at: Optional[float] = field(default=None)
 
     @property
-    def duration(self) -> float:
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Wall time of the stage, or ``None`` while still running.
+
+        A stage interrupted mid-flight (driver crash, aborted run) never
+        closes; ``None`` forces callers to handle that case instead of
+        silently propagating NaN through totals.
+        """
+        if self.finished_at is None:
+            return None
         return self.finished_at - self.submitted_at
 
 
@@ -86,14 +99,16 @@ class DAGScheduler:
                 partitions: Optional[Sequence[int]] = None) -> Generator:
         """Process body: run a job, returning per-partition results."""
         sc = self.sc
-        yield sc.env.timeout(sc.cluster.config.driver_job_overhead)
         parts = list(partitions if partitions is not None
                      else range(rdd.num_partitions()))
+        job_id = sc.new_job_id()
+        self._job_start(job_id, "result", rdd, len(parts))
+        yield sc.env.timeout(sc.cluster.config.driver_job_overhead)
         for attempt in range(MAX_STAGE_ATTEMPTS):
-            yield from self._ensure_shuffles(rdd)
+            yield from self._ensure_shuffles(rdd, job_id)
             stage_id = self._new_stage_id()
             info = self._open_stage(stage_id, "result", rdd, len(parts),
-                                    attempt)
+                                    attempt, job_id)
 
             def factory(partition: int, task_attempt: int) -> Task:
                 return ResultTask(stage_id, attempt, rdd, partition,
@@ -103,9 +118,9 @@ class DAGScheduler:
                 raw = yield from self._run_tasks(rdd, parts, factory,
                                                  retry_tasks=True)
             except FetchFailed:
-                self._close_stage(info)
+                self._close_stage(info, job_id)
                 continue  # parent stage will be resubmitted
-            self._close_stage(info)
+            self._close_stage(info, job_id)
             results: Dict[int, Any] = {}
             # Task results deserialize concurrently on the driver's
             # result-getter pool (4 threads in Spark).
@@ -117,7 +132,9 @@ class DAGScheduler:
             for partition, (value, _nbytes) in raw.items():
                 yield desers[partition]
                 results[partition] = value
+            self._job_end(job_id, "result", succeeded=True)
             return [results[p] for p in parts]
+        self._job_end(job_id, "result", succeeded=False)
         raise JobFailed(f"result stage of RDD {rdd.id} kept losing parents")
 
     def run_reduced_job(self, rdd: RDD,
@@ -131,14 +148,15 @@ class DAGScheduler:
         objects and resubmits the entire stage.
         """
         sc = self.sc
-        yield sc.env.timeout(sc.cluster.config.driver_job_overhead)
         parts = list(range(rdd.num_partitions()))
+        self._job_start(job_id, "reduced_result", rdd, len(parts))
+        yield sc.env.timeout(sc.cluster.config.driver_job_overhead)
         stage_id = self._new_stage_id()
         object_id = (job_id, stage_id)
         for attempt in range(MAX_STAGE_ATTEMPTS):
-            yield from self._ensure_shuffles(rdd)
+            yield from self._ensure_shuffles(rdd, job_id)
             info = self._open_stage(stage_id, "reduced_result", rdd,
-                                    len(parts), attempt)
+                                    len(parts), attempt, job_id)
 
             def factory(partition: int, task_attempt: int,
                         _attempt: int = attempt) -> Task:
@@ -151,22 +169,24 @@ class DAGScheduler:
                                                  retry_tasks=False)
             except FetchFailed:
                 self._cleanup_objects(object_id)
-                self._close_stage(info)
+                self._close_stage(info, job_id)
                 continue
             except (TaskKilled, ExecutorLost, Exception):
                 # IMM semantics: the shared value may be partially merged;
                 # clean up the whole stage and resubmit it (paper §3.2).
                 self._cleanup_objects(object_id)
-                self._close_stage(info)
+                self._close_stage(info, job_id)
                 continue
-            self._close_stage(info)
+            self._close_stage(info, job_id)
             holders: List[Tuple[int, Tuple[int, int]]] = []
             seen: Set[int] = set()
             for _partition, (executor_id, obj_id) in sorted(raw.items()):
                 if executor_id not in seen:
                     seen.add(executor_id)
                     holders.append((executor_id, obj_id))
+            self._job_end(job_id, "reduced_result", succeeded=True)
             return holders
+        self._job_end(job_id, "reduced_result", succeeded=False)
         raise JobFailed(
             f"reduced-result stage of RDD {rdd.id} failed "
             f"{MAX_STAGE_ATTEMPTS} times")
@@ -176,11 +196,11 @@ class DAGScheduler:
             executor.object_manager.clear(object_id)
 
     # ------------------------------------------------------------ map stages
-    def _ensure_shuffles(self, rdd: RDD) -> Generator:
+    def _ensure_shuffles(self, rdd: RDD, job_id: int) -> Generator:
         """Run map stages for every incomplete shuffle below ``rdd``."""
         for dep in self._shuffle_deps_topo(rdd):
             if not self.sc.map_output_tracker.is_complete(dep.shuffle_id):
-                yield from self._run_map_stage(dep)
+                yield from self._run_map_stage(dep, job_id)
 
     @staticmethod
     def _shuffle_deps_topo(rdd: RDD) -> List[ShuffleDependency]:
@@ -199,7 +219,7 @@ class DAGScheduler:
         visit(rdd)
         return order
 
-    def _run_map_stage(self, dep: ShuffleDependency) -> Generator:
+    def _run_map_stage(self, dep: ShuffleDependency, job_id: int) -> Generator:
         sc = self.sc
         tracker = sc.map_output_tracker
         for attempt in range(MAX_STAGE_ATTEMPTS):
@@ -208,7 +228,7 @@ class DAGScheduler:
                 return
             stage_id = self._new_stage_id()
             info = self._open_stage(stage_id, "shuffle_map", dep.rdd,
-                                    len(missing), attempt)
+                                    len(missing), attempt, job_id)
 
             def factory(partition: int, task_attempt: int,
                         _attempt: int = attempt) -> Task:
@@ -219,11 +239,11 @@ class DAGScheduler:
                 raw = yield from self._run_tasks(dep.rdd, missing, factory,
                                                  retry_tasks=True)
             except FetchFailed:
-                self._close_stage(info)
+                self._close_stage(info, job_id)
                 # A grandparent shuffle lost outputs; rebuild it first.
-                yield from self._ensure_shuffles(dep.rdd)
+                yield from self._ensure_shuffles(dep.rdd, job_id)
                 continue
-            self._close_stage(info)
+            self._close_stage(info, job_id)
             for partition, status in raw.items():
                 tracker.register_map_output(dep.shuffle_id, partition, status)
             if not tracker.missing_maps(dep.shuffle_id):
@@ -332,12 +352,39 @@ class DAGScheduler:
         return stage_id
 
     def _open_stage(self, stage_id: int, kind: str, rdd: RDD,
-                    num_tasks: int, attempt: int) -> StageInfo:
+                    num_tasks: int, attempt: int, job_id: int) -> StageInfo:
         info = StageInfo(stage_id=stage_id, kind=kind, rdd_name=rdd.name,
                          num_tasks=num_tasks, attempt=attempt,
                          submitted_at=self.sc.env.now)
         self.stage_log.append(info)
+        bus = self.sc.event_bus
+        if bus.active:
+            bus.emit(StageSubmitted(
+                time=info.submitted_at, stage_id=stage_id,
+                attempt=attempt, stage_kind=kind, rdd_name=info.rdd_name,
+                num_tasks=num_tasks, job_id=job_id))
         return info
 
-    def _close_stage(self, info: StageInfo) -> None:
+    def _close_stage(self, info: StageInfo, job_id: int) -> None:
         info.finished_at = self.sc.env.now
+        bus = self.sc.event_bus
+        if bus.active:
+            bus.emit(StageCompleted(
+                time=info.finished_at, stage_id=info.stage_id,
+                attempt=info.attempt, stage_kind=info.kind,
+                rdd_name=info.rdd_name, num_tasks=info.num_tasks,
+                job_id=job_id, began=info.submitted_at))
+
+    def _job_start(self, job_id: int, job_kind: str, rdd: RDD,
+                   num_partitions: int) -> None:
+        bus = self.sc.event_bus
+        if bus.active:
+            bus.emit(JobStart(time=self.sc.env.now, job_id=job_id,
+                              job_kind=job_kind, rdd_name=rdd.name,
+                              num_partitions=num_partitions))
+
+    def _job_end(self, job_id: int, job_kind: str, succeeded: bool) -> None:
+        bus = self.sc.event_bus
+        if bus.active:
+            bus.emit(JobEnd(time=self.sc.env.now, job_id=job_id,
+                            job_kind=job_kind, succeeded=succeeded))

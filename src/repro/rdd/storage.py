@@ -10,7 +10,7 @@ blocks (lineage recompute picks up the pieces).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..serde import sim_sizeof
 
@@ -34,11 +34,20 @@ class _Block:
 
 
 class MemoryStore:
-    """One executor's in-memory block store."""
+    """One executor's in-memory block store.
 
-    def __init__(self, executor_id: int, capacity_bytes: float):
+    ``on_event(op, block_id, nbytes)`` — with ``op`` one of ``"put"``,
+    ``"fetch"`` (a get that hit) or ``"evict"`` — lets the owning executor
+    mirror block traffic onto the observability bus; the store itself
+    stays clock-free.
+    """
+
+    def __init__(self, executor_id: int, capacity_bytes: float,
+                 on_event: Optional[Callable[[str, BlockId, float],
+                                             None]] = None):
         self.executor_id = executor_id
         self.capacity_bytes = capacity_bytes
+        self.on_event = on_event
         self._blocks: Dict[BlockId, _Block] = {}
         self.used_bytes = 0.0
 
@@ -57,11 +66,17 @@ class MemoryStore:
             self.used_bytes -= old.sim_bytes
         self._blocks[block_id] = _Block(data, size)
         self.used_bytes += size
+        if self.on_event is not None:
+            self.on_event("put", block_id, size)
         return size
 
     def get(self, block_id: BlockId) -> Optional[Any]:
         block = self._blocks.get(block_id)
-        return None if block is None else block.data
+        if block is None:
+            return None
+        if self.on_event is not None:
+            self.on_event("fetch", block_id, block.sim_bytes)
+        return block.data
 
     def size_of(self, block_id: BlockId) -> Optional[float]:
         block = self._blocks.get(block_id)
@@ -75,6 +90,8 @@ class MemoryStore:
         if block is None:
             return False
         self.used_bytes -= block.sim_bytes
+        if self.on_event is not None:
+            self.on_event("evict", block_id, block.sim_bytes)
         return True
 
     def remove_rdd(self, rdd_id: int) -> int:

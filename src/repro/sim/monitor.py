@@ -10,7 +10,8 @@ benchmark harness (driver / non-agg / agg-compute / agg-reduce).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Dict, Iterator, Tuple
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from .core import Environment
@@ -21,13 +22,22 @@ __all__ = ["Stopwatch", "Counter"]
 class Stopwatch:
     """Accumulates virtual-time spans under string keys.
 
-    Spans are recorded explicitly (``add(key, seconds)``) or bracketed
-    (``start``/``stop``). Overlapping brackets for the same key are not
-    allowed — each key is a single logical timeline.
+    Spans are recorded explicitly (``add(key, seconds)``), bracketed
+    (``start``/``stop``), or scoped (``with sw.span(key): ...`` — the
+    exception-safe form call sites should prefer). Overlapping brackets
+    for the same key are not allowed — each key is a single logical
+    timeline.
+
+    ``on_record(key, seconds, now)`` is invoked after every recording;
+    the engine uses it to mirror spans onto its observability bus. The
+    callback must not advance virtual time.
     """
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: "Environment",
+                 on_record: Optional[Callable[[str, float, float],
+                                              None]] = None):
         self.env = env
+        self.on_record = on_record
         self._total: Dict[str, float] = defaultdict(float)
         self._open: Dict[str, float] = {}
 
@@ -36,6 +46,22 @@ class Stopwatch:
         if seconds < 0:
             raise ValueError(f"negative span for {key!r}: {seconds}")
         self._total[key] += seconds
+        if self.on_record is not None:
+            self.on_record(key, seconds, self.env.now)
+
+    @contextmanager
+    def span(self, key: str):
+        """Scoped bracket: records ``key`` even when the body raises.
+
+        The ``start``/``stop`` pair leaks an open bracket (and loses the
+        span) when an exception unwinds between the calls; ``span`` always
+        closes, charging whatever virtual time elapsed up to the raise.
+        """
+        began = self.env.now
+        try:
+            yield self
+        finally:
+            self.add(key, self.env.now - began)
 
     def start(self, key: str) -> None:
         """Open a bracket for ``key`` at the current virtual time."""
@@ -50,7 +76,7 @@ class Stopwatch:
         except KeyError:
             raise RuntimeError(f"span {key!r} was never started") from None
         span = self.env.now - began
-        self._total[key] += span
+        self.add(key, span)
         return span
 
     def total(self, key: str) -> float:

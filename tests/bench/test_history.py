@@ -99,6 +99,32 @@ def test_history_round_trips_through_json(tmp_path):
     assert filed.agg_reduce == pytest.approx(live.agg_reduce)
 
 
+def test_unfinished_stage_has_none_duration_and_is_skipped(tmp_path):
+    """Regression: a submitted-but-never-finished stage used to report a
+    NaN duration; it now reports None and is excluded (but counted)."""
+    from repro.bench import dump_history, load_history
+    from repro.rdd.scheduler import StageInfo
+
+    open_stage = StageInfo(stage_id=9, kind="result", rdd_name="map@9",
+                           num_tasks=4, attempt=0, submitted_at=1.5)
+    assert not open_stage.finished
+    assert open_stage.duration is None
+
+    _sc, stages, _b = run_aggregation("tree")
+    full = analyze_stage_log(stages)
+    analysis = analyze_stage_log(list(stages) + [open_stage])
+    assert analysis.unfinished == 1
+    assert analysis.num_stages == full.num_stages + 1
+    assert analysis.total_stage_time == pytest.approx(full.total_stage_time)
+
+    # rendering and the JSON round-trip survive the open stage too
+    assert "map@9" in render_stage_log([open_stage])
+    path = tmp_path / "open.jsonl"
+    dump_history([open_stage], path)
+    (loaded,) = load_history(path)
+    assert loaded.duration is None
+
+
 def test_load_history_skips_blank_lines(tmp_path):
     from repro.bench import dump_history, load_history
 

@@ -1,0 +1,113 @@
+"""Tests for event-log analysis: decomposition, stragglers, saturation."""
+
+import pytest
+
+from repro.obs import (
+    NicSample,
+    PhaseSpan,
+    TaskEnd,
+    analyze_events,
+    classify_stage,
+    phase_decomposition,
+)
+from repro.obs.analysis import _median
+
+
+def test_classify_stage_buckets():
+    assert classify_stage("result", "partialAggregate") == "agg_compute"
+    assert classify_stage("result", "treeAgg:level0") == "agg_compute"
+    assert classify_stage("reduced_result", "whatever") == "agg_compute"
+    assert classify_stage("result", "treeAgg:level1") == "agg_reduce"
+    assert classify_stage("result", "treeAggValues") == "agg_reduce"
+    assert classify_stage("shuffle_map", "SpawnRDD") == "agg_reduce"
+    assert classify_stage("result", "map@7") == "other"
+
+
+def test_classification_shared_with_bench_history():
+    """bench.history and obs.analysis must be the same rule."""
+    from repro.bench.history import _classify
+    from repro.rdd.scheduler import StageInfo
+
+    stage = StageInfo(stage_id=0, kind="result", rdd_name="treeAgg:level2",
+                      num_tasks=4, attempt=0, submitted_at=0.0)
+    assert _classify(stage) == classify_stage("result", "treeAgg:level2")
+
+
+def test_phase_decomposition_sums_by_key():
+    events = [PhaseSpan(time=1.0, key="a", seconds=0.5),
+              PhaseSpan(time=2.0, key="a", seconds=0.25),
+              PhaseSpan(time=2.0, key="b", seconds=1.0)]
+    assert phase_decomposition(events) == {"a": 0.75, "b": 1.0}
+
+
+def test_median():
+    assert _median([]) == 0.0
+    assert _median([3.0]) == 3.0
+    assert _median([1.0, 3.0]) == 2.0
+    assert _median([1.0, 2.0, 10.0]) == 2.0
+
+
+def _task(partition, began, ended, stage=1, executor=0, status="ok"):
+    return TaskEnd(time=ended, stage_id=stage, stage_attempt=0,
+                   partition=partition, attempt=0, executor_id=executor,
+                   host="n", began=began, status=status)
+
+
+def test_straggler_detection():
+    events = [_task(0, 0.0, 1.0), _task(1, 0.0, 1.0), _task(2, 0.0, 1.1),
+              _task(3, 0.0, 5.0, executor=3)]
+    analysis = analyze_events(events)
+    assert len(analysis.stragglers) == 1
+    straggler = analysis.stragglers[0]
+    assert straggler.partition == 3
+    assert straggler.executor_id == 3
+    assert straggler.stage_median == pytest.approx(1.05)
+    assert straggler.slowdown == pytest.approx(5.0 / 1.05)
+
+
+def test_straggler_needs_peers_and_factor():
+    # A lone task is never a straggler; 1.5x the median is under 2x.
+    events = [_task(0, 0.0, 9.0, stage=7),
+              _task(0, 0.0, 1.0, stage=8), _task(1, 0.0, 1.5, stage=8)]
+    assert analyze_events(events).stragglers == []
+
+
+def test_failed_tasks_excluded_from_skew():
+    events = [_task(0, 0.0, 1.0), _task(1, 0.0, 1.0),
+              _task(2, 0.0, 50.0, status="killed")]
+    analysis = analyze_events(events)
+    assert analysis.task_failures == 1
+    assert analysis.stragglers == []
+
+
+def _sample(t, util, node=-1, driver=True, direction="out"):
+    return NicSample(time=t, node_id=node, hostname="driver-host",
+                     is_driver=driver, in_rate=0.0, out_rate=0.0,
+                     in_utilization=util if direction == "in" else 0.0,
+                     out_utilization=util if direction == "out" else 0.0)
+
+
+def test_saturation_windows():
+    events = [_sample(0.0, 0.2), _sample(0.1, 0.95), _sample(0.2, 0.99),
+              _sample(0.3, 0.5), _sample(0.4, 0.91), _sample(0.5, 0.92)]
+    analysis = analyze_events(events)
+    assert len(analysis.saturation) == 2
+    first, second = analysis.saturation
+    assert (first.start, first.end) == (0.1, 0.2)
+    assert first.direction == "out"
+    assert first.peak_utilization == pytest.approx(0.99)
+    assert (second.start, second.end) == (0.4, 0.5)
+
+
+def test_saturation_ignores_worker_nodes_by_default():
+    events = [_sample(0.0, 0.99, node=1, driver=False)]
+    assert analyze_events(events).saturation == []
+    scanned = analyze_events(events, driver_only_saturation=False)
+    assert len(scanned.saturation) == 1
+
+
+def test_empty_stream():
+    analysis = analyze_events([])
+    assert analysis.total_time == 0.0
+    assert analysis.stage_count == 0
+    assert analysis.aggregation_share == 0.0

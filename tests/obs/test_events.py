@@ -1,0 +1,91 @@
+"""Serialization round-trips for every event type."""
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    BlockEvent,
+    ImmMerge,
+    JobEnd,
+    JobStart,
+    MessageDelivered,
+    MessageSent,
+    NicSample,
+    PhaseSpan,
+    RingHop,
+    StageCompleted,
+    StageSubmitted,
+    TaskEnd,
+    TaskMetrics,
+    TaskStart,
+    channel_str,
+    event_from_record,
+)
+
+SAMPLES = [
+    JobStart(time=0.1, job_id=1, job_kind="result", rdd_name="r",
+             num_partitions=8),
+    JobEnd(time=0.2, job_id=1, job_kind="result", succeeded=True),
+    StageSubmitted(time=0.1, stage_id=3, attempt=0, stage_kind="result",
+                   rdd_name="treeAgg:level0", num_tasks=8, job_id=1),
+    StageCompleted(time=0.4, stage_id=3, attempt=0, stage_kind="result",
+                   rdd_name="treeAgg:level0", num_tasks=8, job_id=1,
+                   began=0.1),
+    TaskStart(time=0.15, stage_id=3, stage_attempt=0, partition=2,
+              attempt=0, executor_id=5, host="node1"),
+    TaskEnd(time=0.35, stage_id=3, stage_attempt=0, partition=2, attempt=0,
+            executor_id=5, host="node1", began=0.15, status="ok",
+            metrics=TaskMetrics(compute_time=0.2, result_bytes=128.0,
+                                locality="NODE_LOCAL")),
+    BlockEvent(time=0.2, executor_id=5, op="put", rdd_id=7, partition=2,
+               nbytes=1024.0),
+    MessageSent(time=0.3, transport="SC", src=0, dst=1, channel="ring/0",
+                hop=2, nbytes=4096.0),
+    MessageDelivered(time=0.31, transport="SC", src=0, dst=1,
+                     channel="ring/0", hop=2, nbytes=4096.0,
+                     queue_wait=0.004, flight_time=0.006),
+    RingHop(time=0.5, rank=1, executor_id=5, channel="0", hop=3,
+            send_bytes=2048.0, recv_bytes=2048.0, began=0.45,
+            merge_time=0.01),
+    ImmMerge(time=0.6, executor_id=5, job_id=1, stage_id=3, merge_index=2,
+             nbytes=512.0, lock_wait=0.001, merge_time=0.002),
+    PhaseSpan(time=0.7, key="agg.compute", seconds=0.25),
+    NicSample(time=0.8, node_id=0, hostname="node0", is_driver=True,
+              in_rate=1e8, out_rate=2e8, in_utilization=0.08,
+              out_utilization=0.16),
+]
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+def test_record_round_trip(event):
+    record = event.to_record()
+    assert record["event"] == event.kind
+    assert event_from_record(record) == event
+
+
+def test_every_kind_has_a_sample():
+    assert {e.kind for e in SAMPLES} == set(EVENT_TYPES)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown event kind"):
+        event_from_record({"event": "warp_drive", "time": 1.0})
+
+
+def test_task_end_duration_and_phase_began():
+    task = SAMPLES[5]
+    assert task.duration == pytest.approx(0.2)
+    phase = SAMPLES[11]
+    assert phase.began == pytest.approx(0.45)
+
+
+def test_events_are_immutable():
+    with pytest.raises(AttributeError):
+        SAMPLES[0].job_id = 9
+
+
+def test_channel_str_normalizes():
+    assert channel_str("ring") == "ring"
+    assert channel_str(3) == "3"
+    assert channel_str(("ring", 2)) == "ring/2"
+    assert channel_str((("a", 1), 2)) == "a/1/2"

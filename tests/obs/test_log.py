@@ -1,0 +1,95 @@
+"""Tests for the JSON-lines event log (writer, loader, schema)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    EventBus,
+    EventLogWriter,
+    PhaseSpan,
+    TaskMetrics,
+    dump_events,
+    load_events,
+)
+from tests.obs.test_events import SAMPLES
+
+
+def test_dump_load_round_trip(tmp_path):
+    path = tmp_path / "events.jsonl"
+    assert dump_events(SAMPLES, path) == len(SAMPLES)
+    loaded = load_events(path)
+    assert loaded == list(SAMPLES)
+    # metrics came back as a TaskMetrics, not a dict
+    task = next(e for e in loaded if e.kind == "task_end")
+    assert isinstance(task.metrics, TaskMetrics)
+
+
+def test_header_written_first(tmp_path):
+    path = tmp_path / "events.jsonl"
+    dump_events(SAMPLES[:1], path)
+    first = json.loads(path.read_text().splitlines()[0])
+    assert first == {"schema": SCHEMA_NAME, "version": SCHEMA_VERSION}
+
+
+def test_headerless_log_accepted(tmp_path):
+    path = tmp_path / "spark-style.jsonl"
+    path.write_text(
+        json.dumps(PhaseSpan(time=1.0, key="x", seconds=0.5).to_record())
+        + "\n")
+    assert load_events(path) == [PhaseSpan(time=1.0, key="x", seconds=0.5)]
+
+
+def test_newer_schema_rejected(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text(json.dumps(
+        {"schema": SCHEMA_NAME, "version": SCHEMA_VERSION + 1}) + "\n")
+    with pytest.raises(ValueError, match="newer"):
+        load_events(path)
+
+
+def test_unknown_schema_rejected(tmp_path):
+    path = tmp_path / "other.jsonl"
+    path.write_text(json.dumps({"schema": "not.sparker", "version": 1}) + "\n")
+    with pytest.raises(ValueError, match="unknown schema"):
+        load_events(path)
+
+
+def test_unknown_event_kinds_skipped(tmp_path):
+    path = tmp_path / "mixed.jsonl"
+    dump_events(SAMPLES[:2], path)
+    with path.open("a") as handle:
+        handle.write(json.dumps({"event": "from_the_future", "time": 9.0})
+                     + "\n")
+    assert load_events(path) == list(SAMPLES[:2])
+
+
+def test_malformed_record_raises_with_line_number(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"event": "phase", "time": 1.0}) + "\n")
+    with pytest.raises(ValueError, match="bad.jsonl:1"):
+        load_events(path)
+
+
+def test_writer_streams_and_detaches(tmp_path):
+    path = tmp_path / "live.jsonl"
+    bus = EventBus()
+    with EventLogWriter(path).attached_to(bus) as writer:
+        bus.emit(PhaseSpan(time=1.0, key="a", seconds=0.5))
+        bus.emit(PhaseSpan(time=2.0, key="b", seconds=0.25))
+        assert writer.written == 2
+    # Detached on exit: further emissions are dropped, file is closed.
+    assert not bus.active
+    bus.emit(PhaseSpan(time=3.0, key="c", seconds=0.1))
+    loaded = load_events(path)
+    assert [e.key for e in loaded] == ["a", "b"]
+
+
+def test_writer_rejects_use_after_close(tmp_path):
+    writer = EventLogWriter(tmp_path / "x.jsonl")
+    writer.close()
+    writer.close()  # idempotent
+    with pytest.raises(RuntimeError):
+        writer.on_event(PhaseSpan(time=1.0, key="a", seconds=0.5))

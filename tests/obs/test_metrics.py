@@ -1,0 +1,130 @@
+"""Tests for the metrics registry, bus listener, and NIC monitor."""
+
+import pytest
+
+from repro.obs import (
+    Gauge,
+    Histogram,
+    MetricCounter,
+    MetricsListener,
+    MetricsRegistry,
+    NicMonitor,
+)
+from tests.obs.helpers import run_lr
+from tests.obs.test_events import SAMPLES
+
+
+def test_counter_monotonic():
+    c = MetricCounter("x")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_gauge_last_write_wins():
+    g = Gauge("x")
+    g.set(1.0, at=0.5)
+    g.set(2.0, at=0.7)
+    assert g.value == 2.0
+    assert g.updated_at == 0.7
+
+
+def test_histogram_quantiles_exact():
+    h = Histogram("x")
+    for v in [5.0, 1.0, 3.0, 2.0, 4.0]:
+        h.observe(v)
+    assert h.count == 5
+    assert h.mean == 3.0
+    assert h.min == 1.0
+    assert h.max == 5.0
+    assert h.quantile(0.5) == 3.0
+    assert h.quantile(0.0) == 1.0
+    assert h.quantile(1.0) == 5.0
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_empty_histogram():
+    h = Histogram("x")
+    assert h.mean == 0.0
+    assert h.quantile(0.5) == 0.0
+
+
+def test_registry_instruments_are_singletons():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("b") is reg.gauge("b")
+    assert reg.histogram("c") is reg.histogram("c")
+    assert set(reg.counters) == {"a"}
+    assert set(reg.gauges) == {"b"}
+    assert set(reg.histograms) == {"c"}
+
+
+def test_listener_feeds_registry_from_samples():
+    listener = MetricsListener()
+    for event in SAMPLES:
+        listener.on_event(event)
+    reg = listener.registry
+    assert reg.counter("events.total").value == len(SAMPLES)
+    assert reg.counter("tasks.ok").value == 1
+    assert reg.histogram("tasks.duration_seconds").count == 1
+    assert reg.counter("messages.sent").value == 1
+    assert reg.histogram("messages.size_bytes").max == 4096.0
+    assert reg.counter("ring.hops").value == 1
+    assert reg.counter("imm.merges").value == 1
+    assert reg.counter("blocks.put").value == 1
+    assert reg.gauge("nic.driver.out_utilization").value == 0.16
+    summary = reg.summary()
+    assert "counter   tasks.ok = 1" in summary
+    assert "histogram messages.size_bytes" in summary
+
+
+def test_nic_monitor_samples_every_node_and_driver():
+    sc, recorder = run_lr(trace=True, nic=True, num_iterations=1)
+    samples = recorder.of_kind("nic_sample")
+    assert samples
+    # 2 worker nodes plus the driver's own host (node_id -1).
+    assert {s.node_id for s in samples} == {-1, 0, 1}
+    assert {s.hostname for s in samples if s.is_driver} == {"driver-host"}
+    for s in samples:
+        assert 0.0 <= s.in_utilization <= 1.0 + 1e-9
+        assert 0.0 <= s.out_utilization <= 1.0 + 1e-9
+
+
+def test_nic_monitor_catches_heavy_transfers():
+    """With long-lived flows the sampler sees a busy (here: saturated)
+    driver NIC — the paper's Figure 4 bottleneck, observed live."""
+    import numpy as np
+
+    from repro.cluster import MB
+    from repro.obs import RecordingListener
+    from repro.rdd import SparkerContext
+    from repro.serde import SizedPayload
+    from repro.cluster import ClusterConfig
+
+    sc = SparkerContext(ClusterConfig.bic(num_nodes=2))
+    recorder = RecordingListener()
+    sc.event_bus.subscribe(recorder)
+    monitor = NicMonitor(sc.cluster, sc.event_bus, interval=0.005)
+    n = sc.cluster.total_cores
+    data = [SizedPayload(np.ones(32), sim_bytes=32 * MB) for _ in range(n)]
+    rdd = sc.parallelize(data, n).cache()
+    rdd.count()
+    zero = lambda: SizedPayload(np.zeros(32), sim_bytes=32 * MB)  # noqa: E731
+    rdd.tree_aggregate(zero, lambda a, x: a.merge_inplace(x),
+                       lambda a, b: a.merge(b))
+    monitor.stop()
+    assert monitor.samples > 0
+    samples = recorder.of_kind("nic_sample")
+    assert any(s.in_rate > 0 or s.out_rate > 0 for s in samples)
+    # the final gather funnels every branch into the driver's ingress
+    driver_in = max(s.in_utilization for s in samples if s.is_driver)
+    assert driver_in == pytest.approx(1.0, abs=1e-6)
+
+
+def test_nic_monitor_interval_validation():
+    sc, _ = run_lr(trace=False, num_iterations=1)
+    with pytest.raises(ValueError):
+        NicMonitor(sc.cluster, sc.event_bus, interval=0.0)
