@@ -86,12 +86,18 @@ class WorkloadResult:
 def run_workload(name: str, config: ClusterConfig,
                  aggregation: str = "tree", iterations: int = 3,
                  parallelism: int = 4,
-                 partitions: Optional[int] = None) -> WorkloadResult:
+                 partitions: Optional[int] = None,
+                 sparse_aggregation: bool = False,
+                 sparse_policy=None, batched: bool = False,
+                 listener=None) -> WorkloadResult:
     """Train one workload end-to-end on a fresh simulated cluster.
 
     Data generation and cache materialization happen before the measured
     window (the paper measures model training, with datasets preloaded
-    MEMORY_ONLY).
+    MEMORY_ONLY). ``sparse_aggregation``/``sparse_policy`` turn on the
+    density-adaptive payload for the LR/SVM workloads; ``batched`` uses
+    the per-partition CSR gradient kernel; ``listener``, when given, is
+    subscribed to the context's event bus for the training window.
     """
     try:
         workload = WORKLOADS[name]
@@ -99,6 +105,9 @@ def run_workload(name: str, config: ClusterConfig,
         known = ", ".join(WORKLOADS)
         raise KeyError(f"unknown workload {name!r}; known: {known}") from None
     spec = workload.spec
+    if workload.model == "lda" and (sparse_aggregation or batched):
+        raise ValueError(
+            "sparse_aggregation/batched apply to the LR/SVM workloads only")
     sc = SparkerContext(config)
     n_parts = partitions or sc.default_parallelism
 
@@ -106,6 +115,8 @@ def run_workload(name: str, config: ClusterConfig,
     rdd = sc.parallelize(samples, n_parts).cache()
     rdd.count()  # materialize MEMORY_ONLY before the measured window
 
+    if listener is not None:
+        sc.event_bus.subscribe(listener)
     recorder = BreakdownRecorder(sc)
     began = sc.now
     if workload.model == "lda":
@@ -128,6 +139,9 @@ def run_workload(name: str, config: ClusterConfig,
             parallelism=parallelism,
             size_scale=spec.size_scale,
             sample_scale=spec.compute_scale,
+            sparse_aggregation=sparse_aggregation,
+            sparse_policy=sparse_policy,
+            batched=batched,
         )
         final_loss = model.losses[-1]
 

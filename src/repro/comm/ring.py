@@ -23,8 +23,21 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 from ..cluster.placement import Cluster, ExecutorSlot
-from ..obs import EventBus, MessageDelivered, MessageSent, RingHop, channel_str
-from ..serde import SerdeModel, sim_sizeof
+from ..obs import (
+    EventBus,
+    MessageDelivered,
+    MessageSent,
+    RingHop,
+    SegmentRepresentation,
+    channel_str,
+)
+from ..serde import (
+    SerdeModel,
+    density_of,
+    representation_of,
+    sim_dense_sizeof,
+    sim_sizeof,
+)
 from ..sim import Environment
 from .fabric import CommFabric
 from .transport import TransportSpec, sc_transport
@@ -50,12 +63,15 @@ def ring_reduce_scatter_rank(
     channel: Any = 0,
     bus: Optional[EventBus] = None,
     executor_id: int = -1,
+    private: bool = False,
 ) -> Generator:
     """Per-rank ring reduce-scatter over ``size`` ranks (one channel).
 
     ``segments`` maps local segment index ``0..size-1`` to this rank's
     contribution. Returns ``(owned_index, fully_reduced_segment)`` where
-    ``owned_index == (rank + 1) % size``.
+    ``owned_index == (rank + 1) % size``. With ``private=True`` the caller
+    guarantees nobody else reads ``segments`` and the defensive copy is
+    skipped (the dict is updated in place as segments merge).
 
     At iteration ``k`` rank ``r`` sends its current value of segment
     ``(r - k) mod N`` to rank ``(r + 1) mod N`` and merges the incoming
@@ -63,14 +79,17 @@ def ring_reduce_scatter_rank(
     ``N - 1`` iterations each segment has traversed the whole ring.
 
     With ``bus`` attached, each iteration emits one :class:`RingHop`
-    spanning send-off to send-drained, tagged with ``executor_id``.
+    spanning send-off to send-drained, tagged with ``executor_id`` and
+    carrying the wire representation of both segments; a merge whose
+    result changes representation (the adaptive sparse -> dense switch)
+    additionally emits one :class:`SegmentRepresentation`.
     """
     env = fabric.env
     n = size
     if n == 1:
         return 0, segments[0]
     nxt = (rank + 1) % n
-    current = dict(segments)
+    current = segments if private else dict(segments)
     channel_key = channel_str(channel)
     for k in range(n - 1):
         send_idx = (rank - k) % n
@@ -78,7 +97,14 @@ def ring_reduce_scatter_rank(
         tag = (channel, k)
         tracing = bus is not None and bus.active
         began = env.now
-        send_bytes = sim_sizeof(current[send_idx]) if tracing else 0.0
+        if tracing:
+            send_bytes = sim_sizeof(current[send_idx])
+            send_dense = sim_dense_sizeof(current[send_idx])
+            send_repr = representation_of(current[send_idx])
+            local_repr = representation_of(current[recv_idx])
+        else:
+            send_bytes = send_dense = 0.0
+            send_repr = local_repr = "dense"
         in_flight = fabric.isend(rank, nxt, current[send_idx], tag=tag)
         incoming = yield from fabric.recv(rank, tag=tag)
         recv_bytes = sim_sizeof(incoming) if tracing else 0.0
@@ -91,11 +117,25 @@ def ring_reduce_scatter_rank(
         # send until iteration k's has fully left.
         yield in_flight
         if tracing and bus.active:
+            recv_repr = representation_of(incoming)
+            merged_repr = representation_of(merged)
             bus.emit(RingHop(time=env.now, rank=rank,
                              executor_id=executor_id,
                              channel=channel_key, hop=k,
                              send_bytes=send_bytes, recv_bytes=recv_bytes,
-                             began=began, merge_time=merge_cost))
+                             began=began, merge_time=merge_cost,
+                             send_repr=send_repr, recv_repr=recv_repr,
+                             send_dense_bytes=send_dense))
+            if merged_repr != local_repr:
+                bus.emit(SegmentRepresentation(
+                    time=env.now, site="ring", executor_id=executor_id,
+                    rank=rank, channel=channel_key, hop=k,
+                    from_repr=local_repr, to_repr=merged_repr,
+                    nnz=int(getattr(merged, "nnz", 0)),
+                    length=len(merged) if hasattr(merged, "__len__") else 0,
+                    density=density_of(merged),
+                    wire_bytes=sim_sizeof(merged),
+                    dense_bytes=sim_dense_sizeof(merged)))
     owned = (rank + 1) % n
     return owned, current[owned]
 
@@ -245,7 +285,10 @@ class ScalableCommunicator:
                     ring_reduce_scatter_rank(
                         self.fabric, rank, n, local_segments, reduce_op,
                         merge_bw, channel=p, bus=self.bus,
-                        executor_id=self.ranked[rank].executor_id),
+                        executor_id=self.ranked[rank].executor_id,
+                        # local_segments was built here and never re-read:
+                        # skip the defensive copy.
+                        private=True),
                     name=f"rs:r{rank}c{p}",
                 ))
             results: Dict[int, Any] = {}

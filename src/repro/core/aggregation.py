@@ -68,6 +68,9 @@ def _partial_aggregate_rdd(rdd: RDD, zero: Any,
 
     def run(_idx: int, data: list, ctx: TaskContext) -> list:
         acc = fresh_zero(zero)
+        folder = getattr(seq_op, "fold_partition", None)
+        if folder is not None:
+            return [folder(acc, data, ctx)]
         for x in data:
             ctx.charge(cost_of(seq_op, acc, x) + ELEMENT_OVERHEAD)
             acc = seq_op(acc, x)
@@ -127,6 +130,9 @@ def tree_aggregate(rdd: RDD, zero: Any, seq_op: Callable[[Any, Any], Any],
     if imm:
         def partial_func(_idx: int, data: list, ctx: TaskContext) -> Any:
             acc = fresh_zero(zero)
+            folder = getattr(seq_op, "fold_partition", None)
+            if folder is not None:
+                return folder(acc, data, ctx)
             for x in data:
                 ctx.charge(cost_of(seq_op, acc, x) + ELEMENT_OVERHEAD)
                 acc = seq_op(acc, x)

@@ -29,11 +29,18 @@ object's merge really is element-wise addition, which
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..serde import segment_range, sim_sizeof
+from ..serde import (
+    SparsePolicy,
+    densify_sparse,
+    merge_sparse,
+    scatter_into,
+    segment_range,
+    sim_sizeof,
+)
 
 __all__ = ["derive_split_ops", "AutoSegment", "UnsplittableError",
            "DerivedOps"]
@@ -60,32 +67,137 @@ class _FieldPlan:
 
 
 class AutoSegment:
-    """A derived segment: a flat slice of the aggregator's value space."""
+    """A derived segment: a flat slice of the aggregator's value space.
 
-    __slots__ = ("values", "scalars", "index", "sim_bytes")
+    With a :class:`~repro.serde.SparsePolicy` attached the segment may
+    carry its block as coalesced (index, value) pairs instead of a dense
+    slice; ``sim_bytes`` stays the dense-equivalent simulated size while
+    :meth:`__sim_size__` reports the cheaper wire format, and merges pick
+    the sparse-sparse / sparse-dense / dense kernel and densify once the
+    union crosses the policy threshold — the same adaptive machinery the
+    hand-written :class:`~repro.ml.aggregators.AggregatorSegment` uses.
+    """
+
+    __slots__ = ("values", "scalars", "index", "sim_bytes", "indices",
+                 "sparse_values", "length", "policy", "owned")
 
     def __init__(self, values: np.ndarray, scalars: Dict[str, float],
-                 index: int, sim_bytes: float):
+                 index: int, sim_bytes: float, *,
+                 policy: Optional[SparsePolicy] = None,
+                 owned: bool = False):
         self.values = values
         self.scalars = scalars
         self.index = index
         self.sim_bytes = sim_bytes
+        self.indices: Optional[np.ndarray] = None
+        self.sparse_values: Optional[np.ndarray] = None
+        self.length = int(values.size)
+        self.policy = policy
+        self.owned = bool(owned)
+
+    @classmethod
+    def sparse(cls, length: int, indices: np.ndarray, values: np.ndarray,
+               scalars: Dict[str, float], index: int, sim_bytes: float, *,
+               policy: SparsePolicy,
+               owned: bool = True) -> "AutoSegment":
+        """A segment from coalesced entries (densifies if over threshold)."""
+        if policy.should_densify(indices.size, length):
+            return cls(densify_sparse(indices, values, int(length)),
+                       scalars, index, sim_bytes, policy=policy,
+                       owned=True)
+        seg = cls.__new__(cls)
+        seg.values = None
+        seg.scalars = scalars
+        seg.index = index
+        seg.sim_bytes = sim_bytes
+        seg.indices = indices
+        seg.sparse_values = values
+        seg.length = int(length)
+        seg.policy = policy
+        seg.owned = bool(owned)
+        return seg
+
+    # ------------------------------------------------------------- properties
+    @property
+    def is_sparse(self) -> bool:
+        return self.values is None
+
+    @property
+    def representation(self) -> str:
+        return "sparse" if self.values is None else "dense"
+
+    @property
+    def nnz(self) -> int:
+        return (int(self.indices.size) if self.values is None
+                else self.length)
+
+    @property
+    def density(self) -> float:
+        return (self.nnz / self.length) if self.length else 1.0
 
     def __sim_size__(self) -> float:
+        if self.values is not None or self.policy is None:
+            return self.sim_bytes
+        dense = self.policy.dense_wire_bytes(self.length)
+        scale = self.sim_bytes / dense if dense > 0 else 1.0
+        return self.policy.wire_bytes(self.indices.size, self.length,
+                                      scale)
+
+    def __sim_dense_size__(self) -> float:
         return self.sim_bytes
 
+    def to_array(self) -> np.ndarray:
+        """The segment's dense block (the stored slice when dense)."""
+        if self.values is not None:
+            return self.values
+        return densify_sparse(self.indices, self.sparse_values,
+                              self.length)
+
+    def __len__(self) -> int:
+        return self.length
+
+    # ------------------------------------------------------------- operations
     def merge(self, other: "AutoSegment") -> "AutoSegment":
-        if other.values.shape != self.values.shape:
+        if other.length != self.length:
             raise ValueError(
-                f"segment shape mismatch: {self.values.shape} vs "
-                f"{other.values.shape}")
+                f"segment shape mismatch: ({self.length},) vs "
+                f"({other.length},)")
         scalars = {k: self.scalars[k] + other.scalars[k]
                    for k in self.scalars}
-        return AutoSegment(self.values + other.values, scalars, self.index,
-                           max(self.sim_bytes, other.sim_bytes))
+        sim = max(self.sim_bytes, other.sim_bytes)
+        policy = self.policy if self.policy is not None else other.policy
+        if self.values is not None and other.values is not None:
+            if self.owned:
+                np.add(self.values, other.values, out=self.values)
+                self.scalars = scalars
+                self.sim_bytes = sim
+                return self
+            return AutoSegment(self.values + other.values, scalars,
+                               self.index, sim, policy=policy, owned=True)
+        if self.values is None and other.values is None:
+            idx, vals = merge_sparse(self.indices, self.sparse_values,
+                                     other.indices, other.sparse_values)
+            return AutoSegment.sparse(self.length, idx, vals, scalars,
+                                      self.index, sim, policy=policy)
+        if self.values is None:  # sparse self into a copy of dense other
+            out = other.values.copy()
+            scatter_into(out, self.indices, self.sparse_values)
+            return AutoSegment(out, scalars, self.index, sim,
+                               policy=policy, owned=True)
+        # dense self + sparse other
+        if self.owned:
+            scatter_into(self.values, other.indices, other.sparse_values)
+            self.scalars = scalars
+            self.sim_bytes = sim
+            return self
+        out = self.values.copy()
+        scatter_into(out, other.indices, other.sparse_values)
+        return AutoSegment(out, scalars, self.index, sim, policy=policy,
+                           owned=True)
 
     def __repr__(self) -> str:
-        return f"<AutoSegment idx={self.index} n={self.values.size}>"
+        return (f"<AutoSegment idx={self.index} n={self.length} "
+                f"{self.representation}>")
 
 
 @dataclass
@@ -141,14 +253,18 @@ def _plan(prototype: Any) -> List[_FieldPlan]:
     return plans
 
 
-def derive_split_ops(prototype: Any, verify: bool = True) -> DerivedOps:
+def derive_split_ops(prototype: Any, verify: bool = True,
+                     policy: Optional[SparsePolicy] = None) -> DerivedOps:
     """Inspect ``prototype`` and generate SAI callbacks for its type.
 
     ``concat_op`` reconstructs an instance of the prototype's class via
     ``object.__new__`` + state assignment, so the returned value has the
     aggregator's full interface. With ``verify=True`` the derived algebra
     is checked on the prototype itself (split -> merge -> concat equals
-    whole-object state doubling).
+    whole-object state doubling). With a ``policy`` the generated
+    ``split_op`` emits density-adaptive segments: blocks below the policy
+    threshold travel in the sparse (index, value) wire format and every
+    merge re-evaluates the representation.
     """
     plans = _plan(prototype)
     cls = type(prototype)
@@ -169,8 +285,16 @@ def derive_split_ops(prototype: Any, verify: bool = True) -> DerivedOps:
         scalars = {p.name: float(state[p.name]) if index == 0 else 0.0
                    for p in scalar_fields}
         frac = (hi - lo) / total_len if total_len else 0.0
-        return AutoSegment(flat[lo:hi], scalars, index,
-                           sim_sizeof(agg) * frac)
+        dense_bytes = sim_sizeof(agg) * frac
+        block = flat[lo:hi]
+        if policy is not None:
+            idx = np.flatnonzero(block)
+            if not policy.should_densify(idx.size, block.size):
+                return AutoSegment.sparse(block.size, idx, block[idx],
+                                          scalars, index, dense_bytes,
+                                          policy=policy)
+        return AutoSegment(block, scalars, index, dense_bytes,
+                           policy=policy)
 
     def reduce_op(a: AutoSegment, b: AutoSegment) -> AutoSegment:
         return a.merge(b)
@@ -179,7 +303,7 @@ def derive_split_ops(prototype: Any, verify: bool = True) -> DerivedOps:
         if not segments:
             raise ValueError("cannot concatenate zero segments")
         ordered = sorted(segments, key=lambda s: s.index)
-        flat = np.concatenate([s.values for s in ordered])
+        flat = np.concatenate([s.to_array() for s in ordered])
         if flat.size != total_len:
             raise ValueError(
                 f"segments reassemble to {flat.size} values, expected "

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Tuple
 
 from ..obs import ImmMerge
-from ..serde import sim_sizeof
+from ..serde import density_of, representation_of, sim_sizeof
 from ..sim import Resource
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -109,7 +109,9 @@ class MutableObjectManager:
                     executor_id=self.executor.executor_id, job_id=job_id,
                     stage_id=stage_id, merge_index=entry.merge_count - 1,
                     nbytes=sim_sizeof(value), lock_wait=lock_wait,
-                    merge_time=self.env.now - merge_began))
+                    merge_time=self.env.now - merge_began,
+                    representation=representation_of(entry.value),
+                    density=density_of(entry.value)))
         finally:
             entry.lock.release()
 

@@ -71,6 +71,12 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
     # ---- stage 1: reduced-result stage with in-memory merge ---------------
     def partial_func(_idx: int, data: list, ctx: TaskContext) -> Any:
         acc = fresh_zero(zero)
+        # Opt-in whole-partition fold (e.g. the batched CSR gradient
+        # kernel): the seqOp object declares it and stays responsible for
+        # charging the same virtual time the per-element loop would.
+        folder = getattr(seq_op, "fold_partition", None)
+        if folder is not None:
+            return folder(acc, data, ctx)
         for x in data:
             ctx.charge(cost_of(seq_op, acc, x) + ELEMENT_OVERHEAD)
             acc = seq_op(acc, x)

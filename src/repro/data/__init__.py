@@ -13,7 +13,11 @@ from .registry import (
     DatasetSpec,
     dataset,
 )
-from .synthetic import lda_corpus, sparse_classification
+from .synthetic import (
+    concentrated_classification,
+    lda_corpus,
+    sparse_classification,
+)
 
 __all__ = [
     "DatasetSpec",
@@ -22,6 +26,7 @@ __all__ = [
     "PAPER_LDA_TOPICS",
     "SURROGATE_LDA_TOPICS",
     "sparse_classification",
+    "concentrated_classification",
     "lda_corpus",
     "load_libsvm",
     "dump_libsvm",

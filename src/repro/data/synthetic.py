@@ -15,7 +15,8 @@ import numpy as np
 
 from ..ml.linalg import LabeledPoint, SparseVector
 
-__all__ = ["sparse_classification", "lda_corpus"]
+__all__ = ["sparse_classification", "concentrated_classification",
+           "lda_corpus"]
 
 
 #: lognormal sigma for per-sample size variation — real libsvm datasets and
@@ -55,6 +56,42 @@ def sparse_classification(n_samples: int, n_features: int,
     points: List[LabeledPoint] = []
     for nnz in sizes:
         idx = np.sort(rng.choice(n_features, size=int(nnz), replace=False))
+        vals = rng.standard_normal(int(nnz))
+        margin = float(true_w[idx] @ vals) + noise * rng.standard_normal()
+        label = 1.0 if margin > 0 else 0.0
+        points.append(LabeledPoint(label, SparseVector(n_features, idx,
+                                                       vals)))
+    return points, true_w
+
+
+def concentrated_classification(n_samples: int, n_features: int,
+                                nnz_per_sample: int, support_size: int,
+                                seed: int = 0, noise: float = 0.05
+                                ) -> Tuple[List[LabeledPoint], np.ndarray]:
+    """Classification data whose features live on a small fixed support.
+
+    Real ad-click / web-scale datasets hash a huge feature space of which
+    any given shard touches a tiny, heavily reused subset — the regime
+    where the *summed* gradient stays sparse (density ≈ ``support_size /
+    n_features``) and the density-adaptive aggregation path pays off.
+    Returns ``(points, true_weights)`` like :func:`sparse_classification`.
+    """
+    if not 1 <= support_size <= n_features:
+        raise ValueError(
+            f"support_size must be in [1, {n_features}]: {support_size}")
+    if not 1 <= nnz_per_sample <= support_size:
+        raise ValueError(
+            f"nnz_per_sample must be in [1, {support_size}]: "
+            f"{nnz_per_sample}")
+    rng = np.random.default_rng(seed)
+    support = np.sort(rng.choice(n_features, size=support_size,
+                                 replace=False))
+    true_w = np.zeros(n_features)
+    true_w[support] = rng.standard_normal(support_size)
+    sizes = _skewed_sizes(rng, n_samples, nnz_per_sample, support_size)
+    points: List[LabeledPoint] = []
+    for nnz in sizes:
+        idx = np.sort(rng.choice(support, size=int(nnz), replace=False))
         vals = rng.standard_normal(int(nnz))
         margin = float(true_w[idx] @ vals) + noise * rng.standard_normal()
         label = 1.0 if margin > 0 else 0.0

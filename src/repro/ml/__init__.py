@@ -8,9 +8,19 @@ aggregation backend (tree / tree+IMM / split) as a configuration switch.
 from .aggregators import (
     AggregatorSegment,
     FlatAggregator,
+    SparseAccumulator,
     concat_op,
     reduce_op,
     split_op,
+)
+from .batched import (
+    BatchedSeqOp,
+    CSRMatrix,
+    batched_seq_op,
+    clear_csr_cache,
+    csr_cache_stats,
+    partition_csr,
+    supports_batching,
 )
 from .classification import (
     LinearModel,
@@ -46,6 +56,14 @@ __all__ = [
     "LabeledPoint",
     "FlatAggregator",
     "AggregatorSegment",
+    "SparseAccumulator",
+    "BatchedSeqOp",
+    "CSRMatrix",
+    "batched_seq_op",
+    "partition_csr",
+    "csr_cache_stats",
+    "clear_csr_cache",
+    "supports_batching",
     "split_op",
     "reduce_op",
     "concat_op",

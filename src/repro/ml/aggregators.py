@@ -15,52 +15,327 @@ sums — exactly the structure split aggregation exploits. The buffer carries
 a *simulated* size (``dim_logical * 8`` bytes) so communication is costed
 at paper-scale aggregator sizes even when the surrogate dimensionality is
 laptop-sized (DESIGN.md §2).
+
+Density-adaptive mode (SparCML / S2-Reducer lineage, DESIGN.md §8): when a
+:class:`~repro.serde.SparsePolicy` is attached, the aggregator starts as a
+:class:`SparseAccumulator` of (index, value) chunks, densifies in place
+once nnz/size crosses the policy threshold, and splits into
+:class:`AggregatorSegment` objects that carry their representation so ring
+hops and IMM merges can pick sparse-sparse / sparse-dense / dense kernels
+and re-evaluate the wire-format switch per send. The adaptive path is
+bit-identical to the dense reference (see ``repro.serde.sparse``).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..serde import segment_range
+from ..serde import (
+    DEFAULT_SPARSE_POLICY,
+    SparsePolicy,
+    coalesce_chunks,
+    densify_sparse,
+    merge_sparse,
+    scatter_into,
+    segment_range,
+    slice_sparse,
+)
 
-__all__ = ["FlatAggregator", "AggregatorSegment",
+__all__ = ["FlatAggregator", "AggregatorSegment", "SparseAccumulator",
            "split_op", "reduce_op", "concat_op"]
 
 #: trailing statistics slots in every aggregator buffer
 _STATS_SLOTS = 2
 
+#: coalesce a sparse accumulator once this many uncoalesced entries pile up
+#: (or the policy's densify point, whichever is larger) — bounds memory at
+#: O(threshold * size) regardless of how many samples are folded
+_COALESCE_MIN = 4096
+
+_EMPTY_IDX = np.empty(0, dtype=np.int64)
+_EMPTY_VAL = np.empty(0, dtype=np.float64)
+
+
+class SparseAccumulator:
+    """Chunked sparse accumulation target with in-place densification.
+
+    ``seqOp`` scatters (index, value) contributions with
+    :meth:`scatter_add`; chunks are appended without touching the rest of
+    the state, coalesced (sorted + deduplicated) once enough entries pile
+    up, and replaced by one dense buffer the moment the coalesced nnz
+    crosses ``policy.density_threshold * size``. All three states hold
+    bit-identical per-index totals to a dense ``np.add.at`` history.
+    """
+
+    __slots__ = ("size", "policy", "buf", "_index_chunks", "_value_chunks",
+                 "_pending", "_coalesced", "_limit")
+
+    def __init__(self, size: int, policy: SparsePolicy):
+        if size < 0:
+            raise ValueError(f"negative size: {size}")
+        self.size = int(size)
+        self.policy = policy
+        #: dense buffer once densified, None while sparse
+        self.buf: Optional[np.ndarray] = None
+        self._index_chunks: list = []
+        self._value_chunks: list = []
+        self._pending = 0
+        self._coalesced = True
+        self._limit = max(_COALESCE_MIN,
+                          int(policy.density_threshold * size))
+
+    # ------------------------------------------------------------- properties
+    @property
+    def is_dense(self) -> bool:
+        return self.buf is not None
+
+    @property
+    def nnz(self) -> int:
+        """Stored entries (an upper bound between coalesces)."""
+        return self.size if self.buf is not None else self._pending
+
+    @property
+    def density(self) -> float:
+        return (self.nnz / self.size) if self.size else 1.0
+
+    # ------------------------------------------------------------- operations
+    def scatter_add(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Accumulate ``values`` at ``indices`` (duplicates allowed)."""
+        if self.buf is not None:
+            np.add.at(self.buf, indices, values)
+            return
+        self._index_chunks.append(indices)
+        self._value_chunks.append(values)
+        self._pending += len(indices)
+        self._coalesced = False
+        if self._pending >= self._limit:
+            self.coalesce()
+
+    def coalesce(self) -> None:
+        """Deduplicate pending chunks; densify if over the threshold."""
+        if self.buf is not None:
+            return
+        if not self._coalesced:
+            idx, vals = coalesce_chunks(self._index_chunks,
+                                        self._value_chunks)
+            self._index_chunks = [idx]
+            self._value_chunks = [vals]
+            self._pending = int(idx.size)
+            self._coalesced = True
+        if self.policy.should_densify(self._pending, self.size):
+            self._densify()
+
+    def densify(self) -> None:
+        """Switch to the dense representation now, regardless of density."""
+        if self.buf is not None:
+            return
+        self.coalesce()
+        if self.buf is None:
+            self._densify()
+
+    def _densify(self) -> None:
+        if self._index_chunks:
+            self.buf = densify_sparse(self._index_chunks[0],
+                                      self._value_chunks[0], self.size)
+        else:
+            self.buf = np.zeros(self.size)
+        self._index_chunks = []
+        self._value_chunks = []
+        self._pending = self.size
+
+    def indices_values(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Coalesced (indices, values); only valid while sparse."""
+        if self.buf is not None:
+            raise RuntimeError("accumulator has densified")
+        self.coalesce()
+        if self.buf is not None:
+            raise RuntimeError("accumulator densified during coalesce")
+        if not self._index_chunks:
+            return _EMPTY_IDX, _EMPTY_VAL
+        return self._index_chunks[0], self._value_chunks[0]
+
+    def write_into(self, out: np.ndarray) -> None:
+        """Write the accumulated totals into ``out`` (assumed zeroed)."""
+        if self.buf is None:
+            self.coalesce()
+        if self.buf is not None:
+            out[:] = self.buf
+        elif self._index_chunks:
+            out[self._index_chunks[0]] = self._value_chunks[0]
+
+    def merge_accumulator(self, other: "SparseAccumulator") -> None:
+        """Fold ``other``'s totals into this accumulator in place."""
+        if other.size != self.size:
+            raise ValueError(
+                f"accumulator size mismatch: {self.size} vs {other.size}")
+        if other.buf is not None:
+            if self.buf is None:
+                self.densify()
+            self.buf += other.buf
+            return
+        idx, vals = other.indices_values()
+        if idx.size:
+            self.scatter_add(idx, vals)
+
+    def copy(self) -> "SparseAccumulator":
+        out = SparseAccumulator(self.size, self.policy)
+        out.buf = None if self.buf is None else self.buf.copy()
+        out._index_chunks = list(self._index_chunks)
+        out._value_chunks = list(self._value_chunks)
+        out._pending = self._pending
+        out._coalesced = self._coalesced
+        return out
+
+    def __repr__(self) -> str:
+        state = "dense" if self.buf is not None else "sparse"
+        return (f"<SparseAccumulator size={self.size} {state} "
+                f"nnz~{self.nnz}>")
+
 
 class AggregatorSegment:
-    """``AggSeg`` of Figure 7: a merge-only slice of an aggregator buffer."""
+    """``AggSeg`` of Figure 7: a merge-only slice of an aggregator buffer.
 
-    __slots__ = ("buf", "sim_bytes")
+    A segment is either *dense* (``buf`` holds the slice) or *sparse*
+    (``indices``/``values`` hold coalesced non-zeros over ``length``
+    positions); ``sim_bytes`` is always the segment's **dense-equivalent**
+    simulated size, while :meth:`__sim_size__` reports the bytes of the
+    cheaper wire format — the SparCML switch every send re-evaluates.
 
-    def __init__(self, buf: np.ndarray, sim_bytes: float):
+    ``owned`` marks buffers this segment may mutate: merge results and
+    densified copies are owned, slices of a live aggregator are not, so
+    in-place merging never corrupts a view another rank still reads.
+    """
+
+    __slots__ = ("buf", "indices", "values", "length", "sim_bytes",
+                 "policy", "owned")
+
+    def __init__(self, buf: np.ndarray, sim_bytes: float, *,
+                 policy: Optional[SparsePolicy] = None, owned: bool = False):
         self.buf = np.asarray(buf, dtype=np.float64)
+        self.indices: Optional[np.ndarray] = None
+        self.values: Optional[np.ndarray] = None
+        self.length = int(self.buf.size)
         self.sim_bytes = float(sim_bytes)
+        self.policy = policy
+        self.owned = bool(owned)
         if self.sim_bytes < 0:
             raise ValueError(f"negative simulated size: {sim_bytes}")
 
+    @classmethod
+    def sparse(cls, length: int, indices: np.ndarray, values: np.ndarray,
+               sim_bytes: float, *, policy: Optional[SparsePolicy] = None,
+               owned: bool = True) -> "AggregatorSegment":
+        """A segment from coalesced sparse entries (densifies if due).
+
+        ``indices`` must be sorted and unique (the coalesced form);
+        ``sim_bytes`` is the dense-equivalent size, same as the dense
+        constructor.
+        """
+        policy = policy if policy is not None else DEFAULT_SPARSE_POLICY
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if indices.shape != values.shape or indices.ndim != 1:
+            raise ValueError(
+                f"indices {indices.shape} and values {values.shape} must "
+                f"be aligned 1-D arrays")
+        if policy.should_densify(indices.size, length):
+            return cls(densify_sparse(indices, values, int(length)),
+                       sim_bytes, policy=policy, owned=True)
+        seg = cls.__new__(cls)
+        seg.buf = None
+        seg.indices = indices
+        seg.values = values
+        seg.length = int(length)
+        seg.sim_bytes = float(sim_bytes)
+        seg.policy = policy
+        seg.owned = bool(owned)
+        if seg.sim_bytes < 0:
+            raise ValueError(f"negative simulated size: {sim_bytes}")
+        return seg
+
+    # ------------------------------------------------------------- properties
+    @property
+    def is_sparse(self) -> bool:
+        return self.buf is None
+
+    @property
+    def representation(self) -> str:
+        return "sparse" if self.buf is None else "dense"
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size) if self.buf is None else self.length
+
+    @property
+    def density(self) -> float:
+        return (self.nnz / self.length) if self.length else 1.0
+
     def __sim_size__(self) -> float:
+        """Bytes of the cheaper wire format (the per-send switch)."""
+        if self.buf is not None:
+            return self.sim_bytes
+        policy = self.policy
+        dense = policy.dense_wire_bytes(self.length)
+        scale = self.sim_bytes / dense if dense > 0 else 1.0
+        return policy.wire_bytes(self.indices.size, self.length, scale)
+
+    def __sim_dense_size__(self) -> float:
         return self.sim_bytes
 
+    def to_array(self) -> np.ndarray:
+        """The segment's dense values (the stored buffer when dense)."""
+        if self.buf is not None:
+            return self.buf
+        return densify_sparse(self.indices, self.values, self.length)
+
+    # ------------------------------------------------------------- operations
     def merge(self, other: "AggregatorSegment") -> "AggregatorSegment":
-        """Element-wise sum (both of Figure 7's ``merge`` methods)."""
-        if other.buf.shape != self.buf.shape:
+        """Element-wise sum (both of Figure 7's ``merge`` methods).
+
+        Representation-adaptive: picks the sparse-sparse, sparse-dense or
+        dense kernel, merging in place into an owned dense destination.
+        The result may densify if the policy says the union crossed the
+        threshold. ``other`` is never mutated.
+        """
+        if other.length != self.length:
             raise ValueError(
-                f"segment shape mismatch: {self.buf.shape} vs "
-                f"{other.buf.shape}")
-        return AggregatorSegment(self.buf + other.buf,
-                                 max(self.sim_bytes, other.sim_bytes))
+                f"segment shape mismatch: ({self.length},) vs "
+                f"({other.length},)")
+        sim = max(self.sim_bytes, other.sim_bytes)
+        policy = self.policy if self.policy is not None else other.policy
+        if self.buf is not None and other.buf is not None:
+            if self.owned:
+                np.add(self.buf, other.buf, out=self.buf)
+                self.sim_bytes = sim
+                return self
+            return AggregatorSegment(self.buf + other.buf, sim,
+                                     policy=policy, owned=True)
+        if self.buf is None and other.buf is None:
+            idx, vals = merge_sparse(self.indices, self.values,
+                                     other.indices, other.values)
+            return AggregatorSegment.sparse(self.length, idx, vals, sim,
+                                            policy=policy, owned=True)
+        if self.buf is None:  # sparse self into a copy of dense other
+            out = other.buf.copy()
+            scatter_into(out, self.indices, self.values)
+            return AggregatorSegment(out, sim, policy=policy, owned=True)
+        # dense self + sparse other
+        if self.owned:
+            scatter_into(self.buf, other.indices, other.values)
+            self.sim_bytes = sim
+            return self
+        out = self.buf.copy()
+        scatter_into(out, other.indices, other.values)
+        return AggregatorSegment(out, sim, policy=policy, owned=True)
 
     def __len__(self) -> int:
-        return int(self.buf.size)
+        return self.length
 
     def __repr__(self) -> str:
-        return (f"<AggregatorSegment n={self.buf.size} "
-                f"sim={self.sim_bytes:.0f}B>")
+        return (f"<AggregatorSegment n={self.length} "
+                f"{self.representation} sim={self.sim_bytes:.0f}B>")
 
 
 class FlatAggregator:
@@ -75,19 +350,36 @@ class FlatAggregator:
         Ratio of the paper-scale aggregator size to the surrogate size;
         the simulated byte size of the aggregator is
         ``(payload_size + 2) * 8 * size_scale``.
+    buf:
+        Optional pre-filled dense buffer (``payload_size + 2`` long).
+    policy:
+        When given (and no ``buf``), the aggregator starts in the
+        density-adaptive sparse representation: ``payload`` is a
+        :class:`SparseAccumulator` until it densifies, after which the
+        aggregator collapses to the classic dense layout. All observable
+        values are bit-identical to the dense reference either way.
     """
 
-    __slots__ = ("buf", "payload_size", "size_scale")
+    __slots__ = ("buf", "payload_size", "size_scale", "policy", "_acc",
+                 "_stats")
 
     def __init__(self, payload_size: int, size_scale: float = 1.0,
-                 buf: np.ndarray | None = None):
+                 buf: np.ndarray | None = None,
+                 policy: Optional[SparsePolicy] = None):
         if payload_size < 0:
             raise ValueError(f"negative payload size: {payload_size}")
         if size_scale <= 0:
             raise ValueError(f"size_scale must be positive: {size_scale}")
         self.payload_size = int(payload_size)
         self.size_scale = float(size_scale)
-        if buf is None:
+        self.policy = policy
+        self._acc: Optional[SparseAccumulator] = None
+        self._stats: Optional[np.ndarray] = None
+        if buf is None and policy is not None:
+            self.buf = None
+            self._acc = SparseAccumulator(payload_size, policy)
+            self._stats = np.zeros(_STATS_SLOTS)
+        elif buf is None:
             self.buf = np.zeros(payload_size + _STATS_SLOTS)
         else:
             buf = np.asarray(buf, dtype=np.float64)
@@ -97,59 +389,184 @@ class FlatAggregator:
                     f"+ {_STATS_SLOTS}")
             self.buf = buf
 
+    # ---------------------------------------------------- representation sync
+    def _sync(self) -> None:
+        """Collapse to the classic dense layout once the accumulator has
+        densified internally (a copy; bits are preserved exactly)."""
+        acc = self._acc
+        if acc is None or acc.buf is None:
+            return
+        buf = np.empty(self.payload_size + _STATS_SLOTS)
+        buf[:self.payload_size] = acc.buf
+        buf[self.payload_size:] = self._stats
+        self.buf = buf
+        self._acc = None
+        self._stats = None
+
+    def _compact(self) -> None:
+        """Coalesce the sparse state and sync if it densified."""
+        if self._acc is not None:
+            self._acc.coalesce()
+            self._sync()
+
+    def to_dense(self) -> "FlatAggregator":
+        """Force the classic dense layout in place; returns self."""
+        if self.buf is None:
+            acc = self._acc
+            buf = np.zeros(self.payload_size + _STATS_SLOTS)
+            acc.write_into(buf[:self.payload_size])
+            buf[self.payload_size:] = self._stats
+            self.buf = buf
+            self._acc = None
+            self._stats = None
+        return self
+
     # ----------------------------------------------------------------- views
     @property
-    def payload(self) -> np.ndarray:
-        """The model-specific array (a view: in-place updates intended)."""
+    def payload(self):
+        """The model-specific accumulation target.
+
+        A dense view (in-place updates intended) in the classic layout; the
+        :class:`SparseAccumulator` while the adaptive representation is
+        still sparse (``SparseVector.add_to`` accepts both).
+        """
+        self._sync()
+        if self._acc is not None:
+            return self._acc
         return self.buf[:self.payload_size]
 
     @property
+    def representation(self) -> str:
+        if self.buf is not None or self._acc.is_dense:
+            return "dense"
+        return "sparse"
+
+    @property
+    def payload_nnz(self) -> int:
+        """Stored payload entries (= payload size once dense)."""
+        if self.buf is not None:
+            return self.payload_size
+        return self._acc.nnz
+
+    @property
+    def density(self) -> float:
+        total = self.payload_size + _STATS_SLOTS
+        if self.buf is not None or self._acc.is_dense:
+            return 1.0
+        return (self._acc.nnz + _STATS_SLOTS) / total if total else 1.0
+
+    @property
     def loss_sum(self) -> float:
+        if self._stats is not None:
+            return float(self._stats[0])
         return float(self.buf[-2])
 
     @property
     def weight_sum(self) -> float:
+        if self._stats is not None:
+            return float(self._stats[1])
         return float(self.buf[-1])
 
     def add_stats(self, loss: float, weight: float = 1.0) -> None:
-        self.buf[-2] += loss
-        self.buf[-1] += weight
+        if self._stats is not None:
+            self._stats[0] += loss
+            self._stats[1] += weight
+        else:
+            self.buf[-2] += loss
+            self.buf[-1] += weight
 
     def __sim_size__(self) -> float:
-        return self.buf.size * 8.0 * self.size_scale
+        """Simulated serialized size — the cheaper wire format when the
+        adaptive representation is still sparse."""
+        self._compact()
+        if self.buf is not None:
+            return self.buf.size * 8.0 * self.size_scale
+        total = self.payload_size + _STATS_SLOTS
+        return self.policy.wire_bytes(self._acc.nnz + _STATS_SLOTS, total,
+                                      self.size_scale)
+
+    def __sim_dense_size__(self) -> float:
+        return (self.payload_size + _STATS_SLOTS) * 8.0 * self.size_scale
 
     # ------------------------------------------------------------ operations
     def merge(self, other: "FlatAggregator") -> "FlatAggregator":
         """In-place element-wise sum; returns self (MLlib merge style)."""
-        if other.buf.size != self.buf.size:
+        if other.payload_size != self.payload_size:
             raise ValueError(
-                f"aggregator size mismatch: {self.buf.size} vs "
-                f"{other.buf.size}")
-        self.buf += other.buf
+                f"aggregator size mismatch: "
+                f"{self.payload_size + _STATS_SLOTS} vs "
+                f"{other.payload_size + _STATS_SLOTS}")
+        self._compact()
+        other._compact()
+        if self.buf is not None and other.buf is not None:
+            self.buf += other.buf
+            return self
+        if self.buf is None and other.buf is None:
+            self._acc.merge_accumulator(other._acc)
+            self._stats += other._stats
+            self._sync()
+            return self
+        if self.buf is None:  # sparse self + dense other
+            self.to_dense()
+            self.buf += other.buf
+            return self
+        # dense self + sparse other
+        idx, vals = other._acc.indices_values()
+        if idx.size:
+            scatter_into(self.buf[:self.payload_size], idx, vals)
+        self.buf[self.payload_size:] += other._stats
         return self
 
     def copy(self) -> "FlatAggregator":
-        return FlatAggregator(self.payload_size, self.size_scale,
-                              self.buf.copy())
+        out = FlatAggregator.__new__(FlatAggregator)
+        out.payload_size = self.payload_size
+        out.size_scale = self.size_scale
+        out.policy = self.policy
+        out.buf = None if self.buf is None else self.buf.copy()
+        out._acc = None if self._acc is None else self._acc.copy()
+        out._stats = None if self._stats is None else self._stats.copy()
+        return out
 
     def split(self, index: int, num_segments: int) -> AggregatorSegment:
-        """``splitOp``: contiguous segment ``index`` of ``num_segments``."""
-        lo, hi = segment_range(self.buf.size, num_segments, index)
-        frac = (hi - lo) / self.buf.size if self.buf.size else 0.0
-        return AggregatorSegment(self.buf[lo:hi],
-                                 self.__sim_size__() * frac)
+        """``splitOp``: contiguous segment ``index`` of ``num_segments``.
+
+        Dense aggregators hand out buffer views (unowned); sparse ones
+        slice their coalesced entries, with the statistics slots carried
+        as entries at their flat positions.
+        """
+        self._compact()
+        total = self.payload_size + _STATS_SLOTS
+        lo, hi = segment_range(total, num_segments, index)
+        frac = (hi - lo) / total if total else 0.0
+        dense_bytes = self.__sim_dense_size__() * frac
+        if self.buf is not None:
+            return AggregatorSegment(self.buf[lo:hi], dense_bytes,
+                                     policy=self.policy)
+        idx, vals = self._acc.indices_values()
+        seg_idx, seg_vals = slice_sparse(idx, vals, lo,
+                                         min(hi, self.payload_size))
+        stats_lo = max(lo, self.payload_size)
+        if stats_lo < hi:
+            offs = np.arange(stats_lo - self.payload_size,
+                             hi - self.payload_size)
+            seg_idx = np.concatenate(
+                [seg_idx, offs + (self.payload_size - lo)])
+            seg_vals = np.concatenate([seg_vals, self._stats[offs]])
+        return AggregatorSegment.sparse(hi - lo, seg_idx, seg_vals,
+                                        dense_bytes, policy=self.policy)
 
     @staticmethod
     def concat(segments: Sequence[AggregatorSegment],
                size_scale: float = 1.0) -> "FlatAggregator":
-        """``concatOp``: reassemble segments into a full aggregator."""
+        """``concatOp``: reassemble segments into a full (dense) aggregator."""
         if not segments:
             raise ValueError("cannot concatenate zero segments")
-        buf = np.concatenate([s.buf for s in segments])
+        buf = np.concatenate([s.to_array() for s in segments])
         return FlatAggregator(buf.size - _STATS_SLOTS, size_scale, buf)
 
     def __repr__(self) -> str:
         return (f"<FlatAggregator payload={self.payload_size} "
+                f"{self.representation if self.policy else 'dense'} "
                 f"loss={self.loss_sum:.4g} weight={self.weight_sum:g}>")
 
 
@@ -170,6 +587,8 @@ def concat_op(segments: Sequence[AggregatorSegment]) -> FlatAggregator:
     if not segments:
         raise ValueError("cannot concatenate zero segments")
     physical = sum(len(s) for s in segments) * 8.0
+    # sim_bytes is each segment's dense-equivalent size, so the recovered
+    # scale is wire-format independent.
     simulated = sum(s.sim_bytes for s in segments)
     scale = simulated / physical if physical > 0 else 1.0
     return FlatAggregator.concat(segments, size_scale=max(scale, 1e-12))

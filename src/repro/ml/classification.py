@@ -76,12 +76,18 @@ class _SGDTrainer:
               size_scale: float = 1.0, sample_scale: float = 1.0,
               flop_time: float = JVM_FLOP_TIME,
               initial_weights: Optional[np.ndarray] = None,
-              convergence_tol: float = 0.0) -> LinearModel:
+              convergence_tol: float = 0.0,
+              sparse_aggregation: bool = False,
+              sparse_policy=None,
+              batched: bool = False) -> LinearModel:
         """Train on an RDD of :class:`LabeledPoint`.
 
         ``aggregation`` selects the backend: ``"tree"`` (vanilla Spark),
         ``"tree_imm"`` or ``"split"`` (Sparker) — the paper's §3.1
-        configuration switch.
+        configuration switch. ``sparse_aggregation`` turns on the
+        density-adaptive sparse payload (optionally with a custom
+        ``sparse_policy``); ``batched`` enables the per-partition CSR
+        gradient kernel.
         """
         if num_features < 1:
             raise ValueError(f"num_features must be >= 1: {num_features}")
@@ -100,6 +106,9 @@ class _SGDTrainer:
             sample_scale=sample_scale,
             flop_time=flop_time,
             convergence_tol=convergence_tol,
+            sparse_aggregation=sparse_aggregation,
+            sparse_policy=sparse_policy,
+            batched=batched,
         )
         w0 = (np.zeros(num_features) if initial_weights is None
               else np.asarray(initial_weights, dtype=np.float64))

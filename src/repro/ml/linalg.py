@@ -69,12 +69,24 @@ class SparseVector:
                 f"dimension mismatch: {self.size} vs {dense.shape[0]}")
         return float(dense[self.indices] @ self.values)
 
-    def add_to(self, dense: np.ndarray, scale: float = 1.0) -> None:
-        """In-place ``dense[indices] += scale * values`` (axpy)."""
-        if dense.shape[0] != self.size:
+    def add_to(self, target, scale: float = 1.0) -> None:
+        """In-place ``target[indices] += scale * values`` (axpy).
+
+        ``target`` is either a dense array or a sparse-accumulation object
+        with a ``scatter_add(indices, values)`` method (the adaptive
+        aggregation path); the scaled contributions are identical bitwise
+        either way.
+        """
+        if isinstance(target, np.ndarray):
+            if target.shape[0] != self.size:
+                raise ValueError(
+                    f"dimension mismatch: {self.size} vs {target.shape[0]}")
+            np.add.at(target, self.indices, scale * self.values)
+            return
+        if target.size != self.size:
             raise ValueError(
-                f"dimension mismatch: {self.size} vs {dense.shape[0]}")
-        np.add.at(dense, self.indices, scale * self.values)
+                f"dimension mismatch: {self.size} vs {target.size}")
+        target.scatter_add(self.indices, scale * self.values)
 
     def to_dense(self) -> np.ndarray:
         out = np.zeros(self.size)

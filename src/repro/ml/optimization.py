@@ -19,7 +19,7 @@ scaled to paper-scale dimensions through ``size_scale``.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,7 +27,9 @@ from ..core.aggregation import tree_aggregate
 from ..core.sai import split_aggregate
 from ..rdd.costing import Costed
 from ..rdd.rdd import RDD
+from ..serde import DEFAULT_SPARSE_POLICY, SparsePolicy
 from .aggregators import FlatAggregator, concat_op, reduce_op, split_op
+from .batched import batched_seq_op
 from .gradient import Gradient
 from .linalg import LabeledPoint
 from .updater import Updater
@@ -84,7 +86,10 @@ class GradientDescent:
                  aggregation: str = "tree", depth: int = 2,
                  parallelism: int = 4, convergence_tol: float = 0.0,
                  size_scale: float = 1.0, sample_scale: float = 1.0,
-                 flop_time: float = JVM_FLOP_TIME):
+                 flop_time: float = JVM_FLOP_TIME,
+                 sparse_aggregation: bool = False,
+                 sparse_policy: Optional[SparsePolicy] = None,
+                 batched: bool = False):
         if aggregation not in AGGREGATION_MODES:
             raise ValueError(
                 f"aggregation must be one of {AGGREGATION_MODES}, "
@@ -108,6 +113,18 @@ class GradientDescent:
         self.size_scale = size_scale
         self.sample_scale = sample_scale
         self.flop_time = flop_time
+        # Density-adaptive aggregation: seqOp accumulates into a sparse
+        # (index, value) payload and every wire crossing re-evaluates the
+        # sparse-vs-dense format (the SparCML-style switch). Passing an
+        # explicit policy implies enabling the mode.
+        self.sparse_aggregation = sparse_aggregation \
+            or sparse_policy is not None
+        self.sparse_policy = (
+            (sparse_policy if sparse_policy is not None
+             else DEFAULT_SPARSE_POLICY)
+            if self.sparse_aggregation else None)
+        # Whole-partition CSR gradient kernel (host wall-clock only).
+        self.batched = batched
 
     # ------------------------------------------------------------------ run
     def optimize(self, data: RDD,
@@ -137,6 +154,10 @@ class GradientDescent:
 
             # --- driver update (the paper's non-scalable "Driver" slice) --
             with sc.stopwatch.span("ml.driver"):
+                if agg.representation != "dense":
+                    # Adaptive tree modes can hand the driver a still-
+                    # sparse aggregator; the updater wants a dense array.
+                    agg.to_dense()
                 grad = agg.payload / count
                 new_weights, reg_loss = self.updater.compute(
                     weights, grad, self.step_size, iteration, self.reg_param)
@@ -170,10 +191,16 @@ class GradientDescent:
             agg.add_stats(loss, 1.0)
             return agg
 
-        seq_op = Costed(fold, sample_cost)
+        if self.batched:
+            seq_op = batched_seq_op(gradient, lambda: bc.value.value, dim,
+                                    fold, sample_cost)
+        else:
+            seq_op = Costed(fold, sample_cost)
         merge = Costed(lambda a, b: a.merge(b), 0.0)
         size_scale = self.size_scale
-        zero = lambda: FlatAggregator(dim, size_scale)  # noqa: E731
+        policy = self.sparse_policy
+        zero = lambda: FlatAggregator(dim, size_scale,  # noqa: E731
+                                      policy=policy)
 
         if self.aggregation == "split":
             return split_aggregate(

@@ -36,6 +36,7 @@ then ``python -m repro.obs events.jsonl`` for the decomposition, or
 """
 
 from .analysis import (
+    SparseSavings,
     TraceAnalysis,
     analyze_events,
     classify_stage,
@@ -54,6 +55,7 @@ from .events import (
     NicSample,
     PhaseSpan,
     RingHop,
+    SegmentRepresentation,
     StageCompleted,
     StageSubmitted,
     TaskEnd,
@@ -92,6 +94,7 @@ __all__ = [
     "MessageDelivered",
     "RingHop",
     "ImmMerge",
+    "SegmentRepresentation",
     "PhaseSpan",
     "NicSample",
     "EventLogWriter",
@@ -107,6 +110,7 @@ __all__ = [
     "Histogram",
     "MetricsListener",
     "NicMonitor",
+    "SparseSavings",
     "TraceAnalysis",
     "analyze_events",
     "phase_decomposition",

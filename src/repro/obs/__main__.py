@@ -72,6 +72,29 @@ def render_analysis(analysis: TraceAnalysis) -> str:
                    f"ring hops: {analysis.ring_hop_count}, "
                    f"imm merges: {analysis.imm_merge_count}")
 
+    sparse = analysis.sparse
+    if sparse.observed:
+        out.append("")
+        out.append(
+            f"sparse aggregation: {sparse.sparse_hops} sparse / "
+            f"{sparse.dense_hops} dense ring hops, "
+            f"{sparse.sparse_imm_merges} sparse imm merges; "
+            f"wire {sparse.wire_send_bytes / 1e6:.2f} MB vs dense "
+            f"{sparse.dense_send_bytes / 1e6:.2f} MB "
+            f"(saved {sparse.bytes_saved / 1e6:.2f} MB, "
+            f"{100.0 * sparse.savings_ratio:.1f}%)")
+        if sparse.switches:
+            rows = [[s.site, f"{s.time:.4f}s", s.channel, s.hop,
+                     f"{s.from_repr}->{s.to_repr}",
+                     f"{100.0 * s.density:.1f}%",
+                     f"{s.wire_bytes / 1e3:.1f}kB",
+                     f"{s.dense_bytes / 1e3:.1f}kB"]
+                    for s in sparse.switches]
+            out.append(format_table(
+                ["site", "time", "chan", "hop", "switch", "density",
+                 "wire", "dense"],
+                rows, title="Representation switch points"))
+
     out.append("")
     if analysis.stragglers:
         rows = [[f"s{s.stage_id}.{s.stage_attempt}", s.partition,

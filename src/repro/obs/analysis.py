@@ -31,6 +31,7 @@ __all__ = [
     "phase_decomposition",
     "Straggler",
     "SaturationWindow",
+    "SparseSavings",
     "TraceAnalysis",
     "analyze_events",
 ]
@@ -86,6 +87,46 @@ class Straggler:
                 if self.stage_median > 0 else float("inf"))
 
 
+@dataclass
+class SparseSavings:
+    """Bytes-on-wire effect of the density-adaptive aggregation path.
+
+    Accumulated from :class:`~repro.obs.events.RingHop` spans that carry
+    the dense-equivalent size of each send, plus the representation
+    switch points (:class:`~repro.obs.events.SegmentRepresentation`).
+    ``dense_send_bytes - wire_send_bytes`` is the total saving the
+    SparCML-style per-send format switch achieved.
+    """
+
+    sparse_hops: int = 0
+    dense_hops: int = 0
+    #: bytes that actually crossed the ring wire
+    wire_send_bytes: float = 0.0
+    #: what the same sends would have cost in the dense format (only hops
+    #: that recorded their dense-equivalent size contribute)
+    dense_send_bytes: float = 0.0
+    #: representation switch points, in event order
+    switches: List["TraceEvent"] = field(default_factory=list)
+    #: imm merges observed while the shared value was still sparse
+    sparse_imm_merges: int = 0
+
+    @property
+    def bytes_saved(self) -> float:
+        return max(self.dense_send_bytes - self.wire_send_bytes, 0.0)
+
+    @property
+    def savings_ratio(self) -> float:
+        """Fraction of dense-format ring traffic that never hit the wire."""
+        if self.dense_send_bytes <= 0:
+            return 0.0
+        return self.bytes_saved / self.dense_send_bytes
+
+    @property
+    def observed(self) -> bool:
+        """Whether any hop ran in the sparse wire format."""
+        return self.sparse_hops > 0 or bool(self.switches)
+
+
 @dataclass(frozen=True)
 class SaturationWindow:
     """A contiguous run of NIC samples at or above the threshold."""
@@ -120,6 +161,7 @@ class TraceAnalysis:
     imm_merge_count: int = 0
     stragglers: List[Straggler] = field(default_factory=list)
     saturation: List[SaturationWindow] = field(default_factory=list)
+    sparse: SparseSavings = field(default_factory=SparseSavings)
 
     @property
     def total_time(self) -> float:
@@ -251,8 +293,20 @@ def analyze_events(events: Iterable[TraceEvent], *,
             analysis.message_bytes += event.nbytes
         elif kind == "ring_hop":
             analysis.ring_hop_count += 1
+            sparse = analysis.sparse
+            if event.send_repr == "sparse":
+                sparse.sparse_hops += 1
+            else:
+                sparse.dense_hops += 1
+            if event.send_dense_bytes > 0:
+                sparse.wire_send_bytes += event.send_bytes
+                sparse.dense_send_bytes += event.send_dense_bytes
+        elif kind == "segment_repr":
+            analysis.sparse.switches.append(event)
         elif kind == "imm_merge":
             analysis.imm_merge_count += 1
+            if event.representation == "sparse":
+                analysis.sparse.sparse_imm_merges += 1
         elif kind == "nic_sample":
             if event.is_driver or not driver_only_saturation:
                 nic_samples.append(event)

@@ -32,6 +32,7 @@ __all__ = [
     "MessageDelivered",
     "RingHop",
     "ImmMerge",
+    "SegmentRepresentation",
     "PhaseSpan",
     "NicSample",
     "EVENT_TYPES",
@@ -262,6 +263,13 @@ class RingHop(TraceEvent):
     recv_bytes: float
     began: float
     merge_time: float
+    #: wire representation of the outgoing / incoming segment ("sparse"
+    #: when the SparCML-style switch picked the (index, value) format)
+    send_repr: str = "dense"
+    recv_repr: str = "dense"
+    #: dense-equivalent bytes of the outgoing segment (0 when unrecorded);
+    #: ``send_dense_bytes - send_bytes`` is the hop's bytes-on-wire saving
+    send_dense_bytes: float = 0.0
 
 
 # --------------------------------------------------------------------- imm
@@ -278,6 +286,37 @@ class ImmMerge(TraceEvent):
     nbytes: float
     lock_wait: float
     merge_time: float
+    #: representation of the merged value after this merge
+    representation: str = "dense"
+    #: nnz/size density of the merged value (1.0 once dense)
+    density: float = 1.0
+
+
+@dataclass(frozen=True)
+class SegmentRepresentation(TraceEvent):
+    """A reduction operand switched representation (sparse -> dense).
+
+    Emitted by the adaptive aggregation path when a merge result crosses
+    the density threshold mid-reduction — ``site`` is ``"ring"`` for a
+    mid-ring switch (channel/hop identify where) and ``"imm"`` for an
+    executor-local merge. ``wire_bytes`` / ``dense_bytes`` are the
+    operand's two candidate wire sizes at the switch point.
+    """
+
+    kind: ClassVar[str] = "segment_repr"
+
+    site: str  # "ring" | "imm"
+    executor_id: int
+    rank: int
+    channel: str
+    hop: int
+    from_repr: str
+    to_repr: str
+    nnz: int
+    length: int
+    density: float
+    wire_bytes: float
+    dense_bytes: float
 
 
 # ------------------------------------------------------------------ phases
@@ -322,7 +361,7 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     for cls in (
         JobStart, JobEnd, StageSubmitted, StageCompleted, TaskStart,
         TaskEnd, BlockEvent, MessageSent, MessageDelivered, RingHop,
-        ImmMerge, PhaseSpan, NicSample,
+        ImmMerge, SegmentRepresentation, PhaseSpan, NicSample,
     )
 }
 

@@ -1,14 +1,37 @@
 """Serialization cost modelling: size estimation, scaled payloads, costs."""
 
-from .cost import SerdeModel
+from .cost import DEFAULT_SPARSE_POLICY, SerdeModel, SparsePolicy
 from .payload import SizedPayload, segment_bounds, segment_range
-from .sizeof import SimSized, sim_sizeof
+from .sizeof import (
+    SimSized,
+    density_of,
+    representation_of,
+    sim_dense_sizeof,
+    sim_sizeof,
+)
+from .sparse import (
+    coalesce_chunks,
+    densify_sparse,
+    merge_sparse,
+    scatter_into,
+    slice_sparse,
+)
 
 __all__ = [
     "SerdeModel",
+    "SparsePolicy",
+    "DEFAULT_SPARSE_POLICY",
     "SizedPayload",
     "segment_bounds",
     "segment_range",
     "SimSized",
     "sim_sizeof",
+    "sim_dense_sizeof",
+    "representation_of",
+    "density_of",
+    "coalesce_chunks",
+    "merge_sparse",
+    "slice_sparse",
+    "densify_sparse",
+    "scatter_into",
 ]

@@ -26,7 +26,8 @@ from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["SimSized", "sim_sizeof"]
+__all__ = ["SimSized", "sim_sizeof", "sim_dense_sizeof",
+           "representation_of", "density_of"]
 
 #: per-object serialized header (type tag, length fields)
 _OBJECT_OVERHEAD = 16
@@ -101,7 +102,15 @@ def _container_size(items: list, pair: bool = False) -> float:
     n = len(items)
     if n == 0:
         return float(_OBJECT_OVERHEAD)
-    sample = items[:_SAMPLE_LIMIT]
+    if n <= _SAMPLE_LIMIT:
+        sample = items
+    else:
+        # Evenly strided sample rather than the first elements: a list
+        # whose representations vary along its length (e.g. sparse then
+        # dense segments) would otherwise be extrapolated from one regime
+        # only. For homogeneous lists this matches the old estimate.
+        step = n // _SAMPLE_LIMIT
+        sample = items[::step][:_SAMPLE_LIMIT]
     if pair:
         sampled = sum(sim_sizeof(k) + sim_sizeof(v) + 2 * _REF_OVERHEAD
                       for k, v in sample)
@@ -110,3 +119,38 @@ def _container_size(items: list, pair: bool = False) -> float:
     if n <= _SAMPLE_LIMIT:
         return _OBJECT_OVERHEAD + sampled
     return _OBJECT_OVERHEAD + sampled * (n / len(sample))
+
+
+def sim_dense_sizeof(value: Any) -> float:
+    """Size of ``value`` in its *dense-equivalent* wire format.
+
+    Adaptive aggregation objects declare ``__sim_dense_size__`` — the
+    bytes they would occupy without the sparse encoding — which the
+    analyzers use as the bytes-saved baseline. Falls back to
+    :func:`sim_sizeof` for everything else.
+    """
+    declared = getattr(value, "__sim_dense_size__", None)
+    if declared is not None:
+        size = float(declared())
+        if size < 0:
+            raise ValueError(
+                f"{type(value).__name__}.__sim_dense_size__ returned {size}")
+        return size
+    return sim_sizeof(value)
+
+
+def representation_of(value: Any) -> str:
+    """``"sparse"`` / ``"dense"`` for objects that declare it; else dense."""
+    rep = getattr(value, "representation", None)
+    return rep if isinstance(rep, str) else "dense"
+
+
+def density_of(value: Any) -> float:
+    """The object's declared nnz/length density (1.0 when undeclared)."""
+    density = getattr(value, "density", None)
+    if density is None:
+        return 1.0
+    try:
+        return float(density)
+    except (TypeError, ValueError):  # pragma: no cover - defensive
+        return 1.0

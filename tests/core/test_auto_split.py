@@ -197,3 +197,96 @@ def test_auto_split_property(dim, segments, seed):
     np.testing.assert_allclose(
         rebuilt.sum1, np.sum([a.sum1 for a in aggs], axis=0))
     assert rebuilt.count == 3.0
+
+
+# ------------------------------------------------- density-adaptive mode
+class SparseStateAgg:
+    """An aggregator whose array state is mostly zeros."""
+
+    def __init__(self, dim, hot=3):
+        self.grad = np.zeros(dim)
+        self.count = 0.0
+        self._hot = hot
+
+    def add(self, seed):
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(self._hot, size=2, replace=False)
+        self.grad[idx] += rng.standard_normal(2)
+        self.count += 1
+        return self
+
+
+def test_adaptive_split_emits_sparse_segments():
+    from repro.serde import DEFAULT_SPARSE_POLICY, sim_sizeof
+
+    agg = SparseStateAgg(400)
+    agg.add(1)
+    ops = derive_split_ops(SparseStateAgg(400),
+                           policy=DEFAULT_SPARSE_POLICY)
+    segs = [ops.split_op(agg, i, 4) for i in range(4)]
+    assert any(s.is_sparse for s in segs)
+    for s in segs:
+        if s.is_sparse:
+            assert sim_sizeof(s) < s.__sim_dense_size__()
+    rebuilt = ops.concat_op(segs)
+    np.testing.assert_array_equal(rebuilt.grad, agg.grad)
+    assert rebuilt.count == agg.count
+    assert isinstance(rebuilt, SparseStateAgg)
+
+
+def test_adaptive_ops_bit_identical_to_plain_ops():
+    from repro.serde import DEFAULT_SPARSE_POLICY
+
+    rng = np.random.default_rng(43)
+    plain_ops = derive_split_ops(SparseStateAgg(100), verify=False)
+    adaptive_ops = derive_split_ops(SparseStateAgg(100), verify=False,
+                                    policy=DEFAULT_SPARSE_POLICY)
+    outs = {}
+    for name, ops in (("plain", plain_ops), ("adaptive", adaptive_ops)):
+        aggs = []
+        for k in range(3):
+            agg = SparseStateAgg(100, hot=30)
+            for s in range(4):
+                agg.add(10 * k + s)
+            aggs.append(agg)
+        merged = []
+        for i in range(5):
+            seg = ops.split_op(aggs[0], i, 5)
+            for other in aggs[1:]:
+                seg = ops.reduce_op(seg, ops.split_op(other, i, 5))
+            merged.append(seg)
+        outs[name] = ops.concat_op(merged)
+    np.testing.assert_array_equal(outs["plain"].grad,
+                                  outs["adaptive"].grad)
+    assert outs["plain"].count == outs["adaptive"].count
+
+
+def test_adaptive_merge_densifies_past_threshold():
+    from repro.serde import DEFAULT_SPARSE_POLICY
+
+    ops = derive_split_ops(SparseStateAgg(40), verify=False,
+                           policy=DEFAULT_SPARSE_POLICY)
+    a, b = SparseStateAgg(40), SparseStateAgg(40)
+    # disjoint hot ranges so the union of non-zeros crosses 50% density
+    a.grad[:16] = 1.0
+    b.grad[16:32] = 1.0
+    sa = ops.split_op(a, 0, 1)
+    sb = ops.split_op(b, 0, 1)
+    assert sa.is_sparse and sb.is_sparse
+    merged = ops.reduce_op(sa, sb)
+    assert merged.representation == "dense"
+    np.testing.assert_array_equal(merged.to_array()[:41],
+                                  a.grad + b.grad)
+
+
+def test_adaptive_reduce_never_mutates_source_views():
+    from repro.serde import DEFAULT_SPARSE_POLICY
+
+    agg = SparseStateAgg(60)
+    agg.grad[:] = 1.0  # dense blocks: split hands out views
+    before = agg.grad.copy()
+    ops = derive_split_ops(SparseStateAgg(60), verify=False,
+                           policy=DEFAULT_SPARSE_POLICY)
+    seg = ops.split_op(agg, 0, 2)
+    ops.reduce_op(seg, ops.split_op(agg, 0, 2))
+    np.testing.assert_array_equal(agg.grad, before)

@@ -1,0 +1,188 @@
+"""Per-partition CSR batching: same bits where promised, faster host path.
+
+The batched kernel must produce gradient sums bit-identical to the
+per-element fold (entries land in the same order), losses within float
+tolerance (NumPy pairwise sums), and charge *exactly* the virtual time the
+per-element loop would have charged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.aggregators import FlatAggregator
+from repro.ml.batched import (
+    CSRMatrix,
+    BatchedSeqOp,
+    batched_seq_op,
+    clear_csr_cache,
+    csr_cache_stats,
+    partition_csr,
+    supports_batching,
+)
+from repro.ml.gradient import (
+    HingeGradient,
+    LeastSquaresGradient,
+    LogisticGradient,
+)
+from repro.ml.linalg import LabeledPoint, SparseVector
+from repro.rdd.costing import ELEMENT_OVERHEAD
+from repro.serde import DEFAULT_SPARSE_POLICY
+
+
+class _Ctx:
+    """Just enough of TaskContext for fold_partition."""
+
+    def __init__(self):
+        self.charged = 0.0
+
+    def charge(self, seconds):
+        assert seconds >= 0
+        self.charged += seconds
+
+
+def _points(n, dim, nnz, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = []
+    for _ in range(n):
+        idx = np.sort(rng.choice(dim, size=nnz, replace=False))
+        vals = rng.standard_normal(nnz)
+        pts.append(LabeledPoint(float(rng.integers(0, 2)),
+                                SparseVector(dim, idx, vals)))
+    return pts
+
+
+def _reference(gradient, pts, weights, dim, policy=None):
+    """The per-element fold the batched kernel must reproduce."""
+    agg = FlatAggregator(dim, policy=policy)
+    for p in pts:
+        loss = gradient.add_to(p, weights, agg.payload)
+        agg.add_stats(loss, 1.0)
+    return agg
+
+
+# ------------------------------------------------------------- CSR matrix
+def test_csr_dots_match_per_point():
+    dim = 40
+    pts = _points(8, dim, 5, seed=1)
+    csr = CSRMatrix.from_points(pts, dim)
+    w = np.random.default_rng(2).standard_normal(dim)
+    expected = np.array([p.features.dot(w) for p in pts])
+    np.testing.assert_allclose(csr.dots(w), expected, rtol=1e-15)
+    assert csr.nnz == 8 * 5
+    np.testing.assert_array_equal(csr.labels,
+                                  [p.label for p in pts])
+
+
+def test_csr_rejects_dimension_mismatch():
+    pts = _points(3, 10, 2)
+    with pytest.raises(ValueError):
+        CSRMatrix.from_points(pts, 20)
+    csr = CSRMatrix.from_points(pts, 10)
+    with pytest.raises(ValueError):
+        csr.dots(np.zeros(11))
+
+
+def test_csr_empty_partition():
+    csr = CSRMatrix.from_points([], 10)
+    assert csr.num_rows == 0 and csr.nnz == 0
+    np.testing.assert_array_equal(csr.dots(np.ones(10)), [])
+
+
+def test_scatter_grad_drops_zero_multipliers():
+    dim = 10
+    pts = _points(4, dim, 3, seed=3)
+    csr = CSRMatrix.from_points(pts, dim)
+    target = np.zeros(dim)
+    csr.scatter_grad(target, np.array([1.0, 0.0, 0.0, 0.0]))
+    expected = np.zeros(dim)
+    pts[0].features.add_to(expected, 1.0)
+    np.testing.assert_array_equal(target, expected)
+
+
+# --------------------------------------------------------------- kernels
+@pytest.mark.parametrize("gradient_cls",
+                         [LogisticGradient, HingeGradient])
+@pytest.mark.parametrize("policy", [None, DEFAULT_SPARSE_POLICY])
+def test_batched_matches_per_element(gradient_cls, policy):
+    dim = 200
+    gradient = gradient_cls()
+    pts = _points(60, dim, 6, seed=4)
+    w = np.random.default_rng(5).standard_normal(dim) * 0.1
+
+    reference = _reference(gradient, pts, w, dim).to_dense()
+    batched = FlatAggregator(dim, policy=policy)
+    seq_op = batched_seq_op(gradient, lambda: w, dim,
+                            lambda agg, p: agg, 1e-9)
+    out = seq_op.fold_partition(batched, pts, _Ctx())
+    assert out is batched
+    out.to_dense()
+
+    if gradient_cls is HingeGradient:
+        # hinge multipliers are exactly 0/±1: bit-identical gradient sums
+        np.testing.assert_array_equal(out.buf[:dim], reference.buf[:dim])
+    else:
+        # logistic goes through np.exp / bincount: allclose within ulps
+        np.testing.assert_allclose(out.buf[:dim], reference.buf[:dim],
+                                   rtol=1e-13, atol=1e-15)
+    # losses use NumPy pairwise sums: close, not bit-equal
+    np.testing.assert_allclose(out.loss_sum, reference.loss_sum,
+                               rtol=1e-12)
+    assert out.weight_sum == reference.weight_sum
+
+
+def test_batched_charges_exact_left_fold_time():
+    dim = 50
+    pts = _points(30, dim, 4, seed=6)
+    w = np.zeros(dim)
+    draws = np.random.default_rng(7).uniform(1e-6, 1e-3, len(pts))
+    cost_of = {id(p): float(c) for p, c in zip(pts, draws)}
+
+    def cost_fn(agg, p):
+        return cost_of[id(p)]
+
+    # the per-element loop's charge, one sample at a time
+    per_element = _Ctx()
+    for p in pts:
+        per_element.charge(cost_fn(None, p) + ELEMENT_OVERHEAD)
+
+    seq_op = batched_seq_op(LogisticGradient(), lambda: w, dim,
+                            lambda agg, p: agg, cost_fn)
+    batched = _Ctx()
+    seq_op.fold_partition(FlatAggregator(dim), pts, batched)
+    assert batched.charged == per_element.charged  # bit-equal, not approx
+
+
+def test_batched_constant_cost_and_empty_partition():
+    dim = 10
+    seq_op = batched_seq_op(HingeGradient(), lambda: np.zeros(dim), dim,
+                            lambda agg, p: agg, 2e-6)
+    ctx = _Ctx()
+    agg = FlatAggregator(dim)
+    assert seq_op.fold_partition(agg, [], ctx) is agg
+    assert ctx.charged == 0.0
+    pts = _points(5, dim, 2, seed=8)
+    seq_op.fold_partition(agg, pts, ctx)
+    assert ctx.charged == sum([2e-6 + ELEMENT_OVERHEAD] * 5)
+
+
+def test_unsupported_gradient_raises():
+    assert not supports_batching(LeastSquaresGradient())
+    assert supports_batching(LogisticGradient())
+    with pytest.raises(TypeError, match="LeastSquaresGradient"):
+        BatchedSeqOp(LeastSquaresGradient(), lambda: None, 4,
+                     lambda a, p: a, 0.0)
+
+
+# ----------------------------------------------------------------- cache
+def test_partition_csr_cache_hits_on_same_list():
+    clear_csr_cache()
+    pts = _points(6, 20, 3, seed=9)
+    first = partition_csr(pts, 20)
+    second = partition_csr(pts, 20)
+    assert second is first
+    other = partition_csr(list(pts), 20)  # different list object
+    assert other is not first
+    stats = csr_cache_stats()
+    assert stats == {"hits": 1, "misses": 2}
+    clear_csr_cache()
+    assert csr_cache_stats() == {"hits": 0, "misses": 0}

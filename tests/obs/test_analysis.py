@@ -111,3 +111,55 @@ def test_empty_stream():
     assert analysis.total_time == 0.0
     assert analysis.stage_count == 0
     assert analysis.aggregation_share == 0.0
+
+
+def test_sparse_savings_accounting():
+    from repro.obs import SegmentRepresentation, analyze_events
+    from repro.obs.events import ImmMerge, RingHop
+
+    events = [
+        RingHop(time=1.0, rank=0, executor_id=1, channel="0", hop=0,
+                send_bytes=160.0, recv_bytes=160.0, began=0.9,
+                merge_time=0.01, send_repr="sparse", recv_repr="sparse",
+                send_dense_bytes=800.0),
+        RingHop(time=1.1, rank=1, executor_id=2, channel="0", hop=1,
+                send_bytes=800.0, recv_bytes=160.0, began=1.0,
+                merge_time=0.01, send_repr="dense", recv_repr="sparse",
+                send_dense_bytes=800.0),
+        SegmentRepresentation(time=1.05, site="ring", executor_id=2,
+                              rank=1, channel="0", hop=1,
+                              from_repr="sparse", to_repr="dense",
+                              nnz=55, length=100, density=0.55,
+                              wire_bytes=880.0, dense_bytes=800.0),
+        ImmMerge(time=1.2, executor_id=1, job_id=1, stage_id=2,
+                 merge_index=0, nbytes=160.0, lock_wait=0.0,
+                 merge_time=0.02, representation="sparse", density=0.1),
+        ImmMerge(time=1.3, executor_id=1, job_id=1, stage_id=2,
+                 merge_index=1, nbytes=800.0, lock_wait=0.0,
+                 merge_time=0.02),
+    ]
+    sparse = analyze_events(events).sparse
+    assert sparse.observed
+    assert sparse.sparse_hops == 1
+    assert sparse.dense_hops == 1
+    assert sparse.wire_send_bytes == 960.0
+    assert sparse.dense_send_bytes == 1600.0
+    assert sparse.bytes_saved == 640.0
+    assert sparse.savings_ratio == pytest.approx(0.4)
+    assert len(sparse.switches) == 1
+    assert sparse.sparse_imm_merges == 1
+
+
+def test_sparse_savings_silent_when_dense_only():
+    from repro.obs import analyze_events
+    from repro.obs.events import RingHop
+
+    events = [
+        RingHop(time=1.0, rank=0, executor_id=1, channel="0", hop=0,
+                send_bytes=800.0, recv_bytes=800.0, began=0.9,
+                merge_time=0.01),
+    ]
+    sparse = analyze_events(events).sparse
+    assert not sparse.observed
+    assert sparse.bytes_saved == 0.0
+    assert sparse.savings_ratio == 0.0

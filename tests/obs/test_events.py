@@ -13,6 +13,7 @@ from repro.obs import (
     NicSample,
     PhaseSpan,
     RingHop,
+    SegmentRepresentation,
     StageCompleted,
     StageSubmitted,
     TaskEnd,
@@ -48,7 +49,13 @@ SAMPLES = [
             send_bytes=2048.0, recv_bytes=2048.0, began=0.45,
             merge_time=0.01),
     ImmMerge(time=0.6, executor_id=5, job_id=1, stage_id=3, merge_index=2,
-             nbytes=512.0, lock_wait=0.001, merge_time=0.002),
+             nbytes=512.0, lock_wait=0.001, merge_time=0.002,
+             representation="sparse", density=0.01),
+    SegmentRepresentation(time=0.65, site="ring", executor_id=5, rank=1,
+                          channel="0", hop=3, from_repr="sparse",
+                          to_repr="dense", nnz=700, length=1000,
+                          density=0.7, wire_bytes=11200.0,
+                          dense_bytes=8000.0),
     PhaseSpan(time=0.7, key="agg.compute", seconds=0.25),
     NicSample(time=0.8, node_id=0, hostname="node0", is_driver=True,
               in_rate=1e8, out_rate=2e8, in_utilization=0.08,
@@ -75,7 +82,7 @@ def test_unknown_kind_rejected():
 def test_task_end_duration_and_phase_began():
     task = SAMPLES[5]
     assert task.duration == pytest.approx(0.2)
-    phase = SAMPLES[11]
+    phase = next(e for e in SAMPLES if e.kind == "phase")
     assert phase.began == pytest.approx(0.45)
 
 
