@@ -1,0 +1,155 @@
+"""Host-time attribution: where does the wall-clock actually go?
+
+The engine's host cost has three very different owners:
+
+* **sim-core** — the discrete-event kernel, the flow network and the
+  communication/RDD machinery that drives virtual time forward,
+* **user-compute** — the NumPy math inside tasks (gradients, merges,
+  dataset generation): work a real cluster would also pay,
+* **serde** — payload size estimation and (de)serialization.
+
+:func:`profile_host` runs a callable under :mod:`cProfile` and buckets
+every function's *self* time into those categories by module path, so a
+perf PR can show exactly which owner it moved. Attribution is by the file
+a function is defined in; C builtins carry no file and land in ``other``
+(they are a stable, small slice — dict/heap ops mostly owned by the
+kernel).
+
+Command line::
+
+    python -m repro.bench.profile LR-A --nodes 8 --agg tree --iters 3
+
+prints the bucket table plus the top self-time functions for one workload.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+__all__ = ["HostTimeBreakdown", "profile_host", "classify_path"]
+
+#: first match wins; paths are matched as substrings of the defining file
+_BUCKET_RULES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("serde", ("/repro/serde/",)),
+    ("sim_core", ("/repro/sim/", "/repro/cluster/", "/repro/comm/",
+                  "/repro/rdd/", "/repro/obs/")),
+    ("user_compute", ("/repro/ml/", "/repro/data/", "/numpy/",
+                      "numpy/__init__")),
+)
+
+#: every bucket a breakdown reports, in display order
+BUCKETS: Tuple[str, ...] = ("sim_core", "user_compute", "serde", "other")
+
+
+def classify_path(filename: str) -> str:
+    """Bucket name for a function defined in ``filename``."""
+    for bucket, needles in _BUCKET_RULES:
+        for needle in needles:
+            if needle in filename:
+                return bucket
+    return "other"
+
+
+@dataclass
+class HostTimeBreakdown:
+    """Self-time per owner, plus the heaviest individual functions."""
+
+    total: float
+    buckets: Dict[str, float] = field(default_factory=dict)
+    #: ``(bucket, "file:function", self_seconds)`` — heaviest first
+    top: List[Tuple[str, str, float]] = field(default_factory=list)
+
+    def fraction(self, bucket: str) -> float:
+        """Share of total self-time owned by ``bucket`` (0.0 when idle)."""
+        if self.total <= 0:
+            return 0.0
+        return self.buckets.get(bucket, 0.0) / self.total
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (used by ``benchmarks/host_perf.py``)."""
+        return {
+            "total_self_time": self.total,
+            "buckets": dict(self.buckets),
+            "fractions": {b: self.fraction(b) for b in BUCKETS},
+            "top": [
+                {"bucket": bucket, "function": name, "self_time": seconds}
+                for bucket, name, seconds in self.top
+            ],
+        }
+
+    def __str__(self) -> str:
+        parts = [
+            f"{bucket}={self.buckets.get(bucket, 0.0):.3f}s"
+            f" ({self.fraction(bucket):.0%})"
+            for bucket in BUCKETS
+        ]
+        return f"host time {self.total:.3f}s: " + ", ".join(parts)
+
+
+def profile_host(fn: Callable, *args: Any,
+                 top_n: int = 15, **kwargs: Any
+                 ) -> Tuple[Any, HostTimeBreakdown]:
+    """Run ``fn(*args, **kwargs)`` under cProfile and attribute its time.
+
+    Returns ``(result, breakdown)``. The callable runs exactly once;
+    exceptions propagate (with the profiler already detached).
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    buckets: Dict[str, float] = {bucket: 0.0 for bucket in BUCKETS}
+    rows: List[Tuple[str, str, float]] = []
+    total = 0.0
+    for (filename, _lineno, funcname), entry in stats.stats.items():
+        self_time = entry[2]  # (cc, nc, tt, ct, callers)
+        if self_time <= 0.0:
+            continue
+        bucket = "other" if filename == "~" else classify_path(filename)
+        buckets[bucket] += self_time
+        total += self_time
+        short = filename.rsplit("/", 1)[-1] if filename != "~" else "builtin"
+        rows.append((bucket, f"{short}:{funcname}", self_time))
+    rows.sort(key=lambda row: row[2], reverse=True)
+    return result, HostTimeBreakdown(total=total, buckets=buckets,
+                                     top=rows[:top_n])
+
+
+def _main(argv: List[str] | None = None) -> int:
+    import argparse
+
+    from ..cluster import ClusterConfig
+    from .workloads import run_workload
+
+    parser = argparse.ArgumentParser(
+        description="Attribute one workload's host time to its owners")
+    parser.add_argument("workload", nargs="?", default="LR-A")
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--agg", default="tree",
+                        choices=["tree", "split", "ring"])
+    parser.add_argument("--iters", type=int, default=3)
+    parser.add_argument("--pool", type=int, default=0,
+                        help="host pool size (0/1 = inline)")
+    parser.add_argument("--top", type=int, default=15)
+    args = parser.parse_args(argv)
+
+    result, breakdown = profile_host(
+        run_workload, args.workload, ClusterConfig.bic(args.nodes),
+        aggregation=args.agg, iterations=args.iters,
+        host_pool=args.pool or None, top_n=args.top)
+    print(result)
+    print(breakdown)
+    for bucket, name, seconds in breakdown.top:
+        print(f"  {seconds:8.3f}s  [{bucket:>12}]  {name}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(_main())

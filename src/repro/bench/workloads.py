@@ -76,6 +76,13 @@ class WorkloadResult:
     end_to_end: float
     breakdown: TimeBreakdown
     final_loss: float
+    #: kernel events scheduled during the whole run (host-perf metric)
+    sim_events: int = 0
+    #: task attempts executed across all executors
+    tasks_run: int = 0
+    #: trained weight vector (LinearModel workloads; None for LDA) — lets
+    #: the host-perf benchmark checksum results byte-for-byte
+    final_weights: Optional[object] = None
 
     def __str__(self) -> str:
         return (f"{self.workload} on {self.num_nodes}x{self.config_name} "
@@ -89,7 +96,7 @@ def run_workload(name: str, config: ClusterConfig,
                  partitions: Optional[int] = None,
                  sparse_aggregation: bool = False,
                  sparse_policy=None, batched: bool = False,
-                 listener=None) -> WorkloadResult:
+                 listener=None, host_pool=None) -> WorkloadResult:
     """Train one workload end-to-end on a fresh simulated cluster.
 
     Data generation and cache materialization happen before the measured
@@ -97,7 +104,10 @@ def run_workload(name: str, config: ClusterConfig,
     MEMORY_ONLY). ``sparse_aggregation``/``sparse_policy`` turn on the
     density-adaptive payload for the LR/SVM workloads; ``batched`` uses
     the per-partition CSR gradient kernel; ``listener``, when given, is
-    subscribed to the context's event bus for the training window.
+    subscribed to the context's event bus for the training window;
+    ``host_pool`` (an int worker count or a
+    :class:`~repro.rdd.hostpool.HostPool`) parallelizes pure task compute
+    on the host without changing any simulated quantity.
     """
     try:
         workload = WORKLOADS[name]
@@ -108,7 +118,7 @@ def run_workload(name: str, config: ClusterConfig,
     if workload.model == "lda" and (sparse_aggregation or batched):
         raise ValueError(
             "sparse_aggregation/batched apply to the LR/SVM workloads only")
-    sc = SparkerContext(config)
+    sc = SparkerContext(config, host_pool=host_pool)
     n_parts = partitions or sc.default_parallelism
 
     samples, _truth = spec.generate()
@@ -154,4 +164,7 @@ def run_workload(name: str, config: ClusterConfig,
         end_to_end=sc.now - began,
         breakdown=recorder.finish(),
         final_loss=final_loss,
+        sim_events=sc.env.events_scheduled,
+        tasks_run=sum(e.tasks_run for e in sc.executors),
+        final_weights=getattr(model, "weights", None),
     )

@@ -33,6 +33,8 @@ import math
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..sim import Environment, Event
+from ..sim.core import LAZY
+from ..sim.events import TRIGGERED
 
 __all__ = ["Link", "FlowNetwork"]
 
@@ -48,9 +50,16 @@ _TIME_EPS = 1e-12
 
 
 class Link:
-    """A capacity constraint shared by flows (NIC direction, memory bus)."""
+    """A capacity constraint shared by flows (NIC direction, memory bus).
 
-    __slots__ = ("name", "capacity", "_index")
+    The ``_scratch_*`` slots are per-reallocation working storage (head
+    room, member count) stamped with the owning reallocation's epoch —
+    replacing two dict builds per reallocation with plain attribute writes
+    on the handful of links a component touches.
+    """
+
+    __slots__ = ("name", "capacity", "_index",
+                 "_scratch_epoch", "_scratch_room", "_scratch_count")
     _counter = itertools.count()
 
     def __init__(self, capacity: float, name: str = ""):
@@ -59,6 +68,9 @@ class Link:
         self.capacity = float(capacity)
         self.name = name
         self._index = next(Link._counter)
+        self._scratch_epoch = 0
+        self._scratch_room = 0.0
+        self._scratch_count = 0
 
     def __repr__(self) -> str:
         return f"<Link {self.name!r} {self.capacity:.4g}B/s>"
@@ -66,7 +78,7 @@ class Link:
 
 class _Flow:
     __slots__ = ("flow_id", "remaining", "cap", "links", "event", "rate",
-                 "last", "version")
+                 "last", "version", "_seen_epoch", "_prev_rate", "_dirty")
 
     def __init__(self, flow_id: int, nbytes: float, cap: float,
                  links: Sequence[Link], event: Event, now: float):
@@ -78,6 +90,9 @@ class _Flow:
         self.rate = 0.0
         self.last = now  # timestamp `remaining` was last settled at
         self.version = 0
+        self._seen_epoch = 0  # component-traversal stamp
+        self._prev_rate = 0.0  # rate before the current reallocation
+        self._dirty = False  # joined but not yet allocated (flush pending)
 
 
 class FlowNetwork:
@@ -92,8 +107,12 @@ class FlowNetwork:
         #: completion heap: (finish_time, seq, flow_id, flow_version)
         self._heap: List = []
         self._heap_seq = 0
+        self._epoch = 0  # component-traversal / realloc-scratch stamp
         self._timer_version = 0
         self._armed_until: Optional[float] = None
+        #: flows joined this instant whose components still need allocating
+        self._dirty: List[_Flow] = []
+        self._flush_pending = False
         #: completed-flow count, for instrumentation
         self.completed = 0
 
@@ -125,12 +144,29 @@ class FlowNetwork:
         self._flows[flow_id] = flow
         for link in flow.links:
             self._link_flows.setdefault(link, {})[flow_id] = flow
-        self._reallocate(self._component([flow]))
-        self._arm_timer()
+        # Allocation is deferred to one end-of-instant flush: when N flows
+        # join the same component at one instant (a ring iteration, a
+        # broadcast wave, a driver fan-in), reallocating on every join
+        # settles the same members N times for the same answer. Every
+        # intermediate settle has dt == 0 — skipping it cannot move a
+        # single float — and the flush recomputes the final allocation with
+        # the same traversal order (seeded from the last join) the eager
+        # scheme used, so rates, completion projections and virtual times
+        # are bit-identical.
+        flow._dirty = True
+        self._dirty.append(flow)
+        if not self._flush_pending:
+            self._flush_pending = True
+            flush = Event(self.env, name="flow-flush")
+            flush._state = TRIGGERED
+            flush.add_callback(self._flush)
+            self.env.schedule(flush, 0.0, priority=LAZY)
         return event
 
     def rate_of(self, event: Event) -> float:
         """Current rate of the flow behind ``event`` (testing hook)."""
+        if self._dirty:
+            self._flush(None)
         for flow in self._flows.values():
             if flow.event is event:
                 return flow.rate
@@ -141,12 +177,47 @@ class FlowNetwork:
 
         Read-only: used by NIC-utilization monitors; 0.0 for an idle link.
         """
+        if self._dirty:
+            self._flush(None)
         members = self._link_flows.get(link)
         if not members:
             return 0.0
         return sum(flow.rate for flow in members.values())
 
     # --------------------------------------------------------------- internals
+    def _flush(self, _event: Optional[Event]) -> None:
+        """Allocate every component with joins pending from this instant.
+
+        Components are discovered by scanning the dirty list in reverse so
+        each traversal is seeded from its *last* joined flow — the seed the
+        eager per-join scheme used for its final (and only rate-defining)
+        reallocation — then reallocated in ascending last-join order, the
+        order the eager scheme pushed its final completion projections in.
+        A dirty flow whose component was already reallocated this instant
+        (by a completion's neighbour pass, or an earlier seed here) has had
+        its flag cleared and is skipped.
+        """
+        self._flush_pending = False
+        if not self._dirty:
+            return
+        dirty, self._dirty = self._dirty, []
+        flows = self._flows
+        components: List[List[_Flow]] = []
+        for i in range(len(dirty) - 1, -1, -1):
+            flow = dirty[i]
+            if not flow._dirty:
+                continue
+            if flow.flow_id not in flows:  # pragma: no cover - defensive
+                flow._dirty = False
+                continue
+            component = self._component([flow])
+            for member in component:
+                member._dirty = False
+            components.append(component)
+        for component in reversed(components):
+            self._reallocate(component)
+        self._arm_timer()
+
     def _settle(self, flow: _Flow) -> None:
         now = self.env.now
         dt = now - flow.last
@@ -157,21 +228,31 @@ class FlowNetwork:
         flow.last = now
 
     def _component(self, seeds: Sequence[_Flow]) -> List[_Flow]:
-        """All flows transitively sharing a link with any of ``seeds``."""
-        found: Dict[int, _Flow] = {}
-        seen_links: Set[Link] = set()
+        """All flows transitively sharing a link with any of ``seeds``.
+
+        Visited flows and links are marked by stamping them with a fresh
+        traversal epoch — no per-call set/dict hashing (this runs on every
+        flow arrival and departure).
+        """
+        epoch = self._epoch = self._epoch + 1
+        found: List[_Flow] = []
         stack: List[_Flow] = list(seeds)
+        flows = self._flows
+        link_flows = self._link_flows
         while stack:
             flow = stack.pop()
-            if flow.flow_id in found or flow.flow_id not in self._flows:
+            if flow._seen_epoch == epoch or flow.flow_id not in flows:
                 continue
-            found[flow.flow_id] = flow
+            flow._seen_epoch = epoch
+            found.append(flow)
             for link in flow.links:
-                if link in seen_links:
+                if link._scratch_epoch == epoch:
                     continue
-                seen_links.add(link)
-                stack.extend(self._link_flows.get(link, {}).values())
-        return list(found.values())
+                link._scratch_epoch = epoch
+                members = link_flows.get(link)
+                if members:
+                    stack.extend(members.values())
+        return found
 
     def _reallocate(self, flows: List[_Flow]) -> None:
         """Progressive filling over one connected component.
@@ -182,26 +263,93 @@ class FlowNetwork:
         """
         if not flows:
             return
+        # Settle inline (same arithmetic as _settle, without 600k+ method
+        # calls per run: reallocation settles every component member), and
+        # build the per-link head room / member counts in the same pass.
+        # Scratch lives in epoch-stamped link slots (``links`` keeps
+        # first-touch order — the same order the old insertion-ordered
+        # dicts iterated in).
+        now = self.env._now
+        epoch = self._epoch = self._epoch + 1
+        links: List[Link] = []
         for flow in flows:
-            self._settle(flow)
-
-        head_room: Dict[Link, float] = {}
-        counts: Dict[Link, int] = {}
-        for flow in flows:
+            dt = now - flow.last
+            if dt > 0:
+                remaining = flow.remaining - flow.rate * dt
+                flow.remaining = 0.0 if remaining < 0 else remaining
+            flow.last = now
+            flow._prev_rate = flow.rate
+            flow._dirty = False  # this allocation covers any pending join
             for link in flow.links:
-                counts[link] = counts.get(link, 0) + 1
-                head_room.setdefault(link, link.capacity)
+                if link._scratch_epoch != epoch:
+                    link._scratch_epoch = epoch
+                    link._scratch_room = link.capacity
+                    link._scratch_count = 1
+                    links.append(link)
+                else:
+                    link._scratch_count += 1
 
-        old_rates = {flow.flow_id: flow.rate for flow in flows}
         # Fast path (the common ring case): every flow crosses the same
         # single link and no per-flow cap binds below the fair share.
-        if len(head_room) == 1:
-            (link, count), = counts.items()
-            share = link.capacity / count
+        if len(links) == 1:
+            link = links[0]
+            share = link.capacity / link._scratch_count
             if all(f.links == (link,) and f.cap >= share for f in flows):
                 for flow in flows:
-                    if share != old_rates[flow.flow_id]:
+                    if share != flow._prev_rate:
                         flow.rate = share
+                        flow.version += 1
+                self._push_component_min(flows)
+                return
+
+        # First filling iteration without the ``unfrozen`` dict: the two
+        # common whole-component exits (every stream TCP-capped below the
+        # fair share — the ring case; one bottleneck covering the entire
+        # component — the fan-in case) resolve here with two plain scans.
+        # Arithmetic and tie-breaks are exactly the general loop's first
+        # iteration, so the allocation is unchanged; the general loop below
+        # re-derives the same first step when the component is mixed.
+        min_share = math.inf
+        bottleneck = None
+        for link in links:
+            share = link._scratch_room / link._scratch_count
+            if (share < min_share - _RATE_EPS or
+                    (abs(share - min_share) <= _RATE_EPS and
+                     bottleneck is not None and
+                     link._index < bottleneck._index)):
+                min_share = share
+                bottleneck = link
+        threshold = min_share * (1 + _RATE_EPS)
+        n_capped = 0
+        for flow in flows:
+            if flow.cap <= threshold:
+                n_capped += 1
+        if n_capped == len(flows):
+            for flow in flows:
+                if not math.isfinite(flow.cap) or flow.cap <= 0:
+                    raise RuntimeError(
+                        f"flow {flow.flow_id} allocated a "
+                        f"non-positive rate {flow.cap!r}")
+                flow.rate = flow.cap
+            for flow in flows:
+                if flow.rate != flow._prev_rate:
+                    flow.version += 1
+            self._push_component_min(flows)
+            return
+        if n_capped == 0 and bottleneck is not None:
+            n_at = 0
+            for flow in flows:
+                if bottleneck in flow.links:
+                    n_at += 1
+            if n_at == len(flows):
+                if not math.isfinite(min_share) or min_share <= 0:
+                    raise RuntimeError(
+                        f"non-positive fair share {min_share!r} "
+                        f"on {bottleneck!r}")
+                for flow in flows:
+                    flow.rate = min_share
+                for flow in flows:
+                    if flow.rate != flow._prev_rate:
                         flow.version += 1
                 self._push_component_min(flows)
                 return
@@ -214,10 +362,11 @@ class FlowNetwork:
                 raise RuntimeError("progressive filling failed to converge")
             min_share = math.inf
             bottleneck: Optional[Link] = None
-            for link, count in counts.items():
+            for link in links:
+                count = link._scratch_count
                 if count <= 0:
                     continue
-                share = head_room[link] / count
+                share = link._scratch_room / count
                 if (share < min_share - _RATE_EPS or
                         (abs(share - min_share) <= _RATE_EPS and
                          bottleneck is not None and
@@ -227,35 +376,57 @@ class FlowNetwork:
             capped = [f for f in unfrozen.values()
                       if f.cap <= min_share * (1 + _RATE_EPS)]
             if capped:
+                if len(capped) == len(unfrozen):
+                    # Every remaining flow freezes at its own cap (the ring
+                    # case: all streams TCP-capped below the fair share) —
+                    # head-room bookkeeping can no longer affect anything.
+                    for flow in capped:
+                        if not math.isfinite(flow.cap) or flow.cap <= 0:
+                            raise RuntimeError(
+                                f"flow {flow.flow_id} allocated a "
+                                f"non-positive rate {flow.cap!r}")
+                        flow.rate = flow.cap
+                    unfrozen.clear()
+                    break
                 for flow in capped:
-                    self._freeze(flow, flow.cap, head_room, counts, unfrozen)
+                    self._freeze(flow, flow.cap, unfrozen)
                 continue
             if bottleneck is None:
                 for flow in list(unfrozen.values()):
-                    self._freeze(flow, flow.cap, head_room, counts, unfrozen)
+                    self._freeze(flow, flow.cap, unfrozen)
                 break
             at_bottleneck = [f for f in unfrozen.values()
                              if bottleneck in f.links]
+            if len(at_bottleneck) == len(unfrozen):
+                # The bottleneck covers every remaining flow: all freeze at
+                # the same fair share and the loop is over.
+                if not math.isfinite(min_share) or min_share <= 0:
+                    raise RuntimeError(
+                        f"non-positive fair share {min_share!r} "
+                        f"on {bottleneck!r}")
+                for flow in at_bottleneck:
+                    flow.rate = min_share
+                unfrozen.clear()
+                break
             for flow in at_bottleneck:
-                self._freeze(flow, min_share, head_room, counts, unfrozen)
+                self._freeze(flow, min_share, unfrozen)
 
         for flow in flows:
-            if flow.rate != old_rates[flow.flow_id]:
+            if flow.rate != flow._prev_rate:
                 flow.version += 1
         self._push_component_min(flows)
 
     @staticmethod
-    def _freeze(flow: _Flow, rate: float, head_room: Dict[Link, float],
-                counts: Dict[Link, int], unfrozen: Dict[int, _Flow]) -> None:
+    def _freeze(flow: _Flow, rate: float,
+                unfrozen: Dict[int, _Flow]) -> None:
         if not math.isfinite(rate) or rate <= 0:
             raise RuntimeError(
                 f"flow {flow.flow_id} allocated a non-positive rate {rate!r}")
         flow.rate = rate
         for link in flow.links:
-            head_room[link] -= rate
-            if head_room[link] < 0:
-                head_room[link] = 0.0
-            counts[link] -= 1
+            room = link._scratch_room - rate
+            link._scratch_room = 0.0 if room < 0 else room
+            link._scratch_count -= 1
         del unfrozen[flow.flow_id]
 
     # -------------------------------------------------------------- completion
@@ -305,11 +476,14 @@ class FlowNetwork:
             return  # an earlier-or-equal wake-up is already scheduled
         self._timer_version += 1
         self._armed_until = due
-        self.env.process(self._timer(self._timer_version, due),
-                         name="flow-timer", critical=True)
+        version = self._timer_version
+        timer = self.env.timeout(max(due - self.env.now, 0.0))
+        timer.add_callback(
+            lambda _t, _v=version: self._on_timer(_v))
 
-    def _timer(self, version: int, due: float):
-        yield self.env.timeout(max(due - self.env.now, 0.0))
+    def _on_timer(self, version: int) -> None:
+        """Wake-up at a projected completion (runs as a timeout callback —
+        a full kernel process per arm would triple the event count)."""
         if version != self._timer_version:
             return
         self._armed_until = None

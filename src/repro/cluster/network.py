@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Generator, Optional, Sequence
 
 from ..sim import Environment
+from ..sim.events import Event, all_of
 from .config import ClusterConfig
 from .flows import FlowNetwork
 from .node import Node
@@ -104,6 +105,85 @@ class Network:
             if drag > 0:
                 yield env.timeout(drag)
 
+    def transfer_many(self, legs: Sequence, *,
+                      stream_bandwidth: Optional[float] = None,
+                      loopback_stream_bandwidth: Optional[float] = None,
+                      overhead: float = 0.0,
+                      gc_prone: bool = True,
+                      ) -> Generator:
+        """Simulated process: move N concurrent streams with O(1) processes.
+
+        ``legs`` is a sequence of ``(src, dst, nbytes)`` tuples, each priced
+        exactly like an independent :meth:`transfer` (per-message overhead,
+        path latency, fair-shared flow, GC drag), but the whole batch is one
+        kernel process instead of N: per-leg completion is tracked with
+        plain events and flow callbacks. Completes when the last leg's last
+        byte (plus its GC drag) has arrived — the same instant the slowest
+        of N independent ``transfer`` processes would have finished, since
+        max-min fair allocations at an instant are independent of the order
+        in which same-instant flows join the network.
+        """
+        env = self.env
+        cfg = self.config
+        starts = []  # (start_delay, src, dst, nbytes)
+        for src, dst, nbytes in legs:
+            if nbytes < 0:
+                raise ValueError(f"negative transfer size: {nbytes}")
+            self.messages += 1
+            self.bytes_transferred += nbytes
+            starts.append((overhead + self.latency(src, dst),
+                           src, dst, nbytes))
+        if not starts:
+            return
+        # Release flows in start-time order, advancing the clock once per
+        # distinct overhead+latency value (at most a few groups: same-node
+        # vs inter-node paths). All group timers are created up front at the
+        # batch's start instant so each group begins at exactly
+        # ``now + (overhead + latency)`` — the same single float addition an
+        # independent ``transfer`` process would have performed (chaining
+        # relative timeouts instead would drift the start times by 1 ulp).
+        starts.sort(key=lambda leg: leg[0])
+        timers = {}
+        for delay, _src, _dst, _nbytes in starts:
+            if delay > 0 and delay not in timers:
+                timers[delay] = env.timeout(delay)
+        done: list = []
+        elapsed = 0.0
+        for delay, src, dst, nbytes in starts:
+            if delay > elapsed:
+                yield timers[delay]
+                elapsed = delay
+            if nbytes == 0:
+                marker = Event(env)
+                marker.succeed(None)
+                done.append(marker)
+                continue
+            if src.node_id == dst.node_id:
+                flow = self.flows.flow(nbytes, links=[src.loopback],
+                                       rate_cap=loopback_stream_bandwidth)
+            else:
+                self.inter_node_bytes += nbytes
+                rate_cap = stream_bandwidth or cfg.tcp_stream_bandwidth
+                flow = self.flows.flow(nbytes,
+                                       links=[src.nic_out, dst.nic_in],
+                                       rate_cap=rate_cap)
+            drag = self.gc_drag(nbytes) if gc_prone else 0.0
+            if drag > 0:
+                # Chain the GC pause after the flow without a process: when
+                # the flow fires, a drag timeout succeeds the leg's marker.
+                marker = Event(env)
+
+                def _after(_flow, _drag=drag, _marker=marker):
+                    pause = env.timeout(_drag)
+                    pause.add_callback(
+                        lambda _p, _m=_marker: _m.succeed(None))
+
+                flow.add_callback(_after)
+                done.append(marker)
+            else:
+                done.append(flow)
+        yield all_of(env, done)
+
     def broadcast_tree(self, root: Node, targets: Sequence[Node],
                        nbytes: float, *,
                        stream_bandwidth: Optional[float] = None,
@@ -117,7 +197,6 @@ class Network:
         """
         if fanout < 1:
             raise ValueError(f"fanout must be >= 1, got {fanout}")
-        env = self.env
         have = [root]
         remaining = [n for n in targets if n.node_id != root.node_id]
         # Deterministic order: nearest (same-host) receivers first.
@@ -130,10 +209,10 @@ class Network:
                     if not remaining:
                         break
                     receiver = remaining.pop(0)
-                    wave.append(env.process(self.transfer(
-                        sender, receiver, nbytes,
-                        stream_bandwidth=stream_bandwidth,
-                        overhead=overhead)))
+                    wave.append((sender, receiver, nbytes))
                     have.append(receiver)
-            for proc in wave:
-                yield proc
+            # All of a wave's streams start at the same instant: run the
+            # whole wave as one batched process instead of one per edge.
+            yield from self.transfer_many(wave,
+                                          stream_bandwidth=stream_bandwidth,
+                                          overhead=overhead)

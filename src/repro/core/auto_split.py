@@ -79,7 +79,8 @@ class AutoSegment:
     """
 
     __slots__ = ("values", "scalars", "index", "sim_bytes", "indices",
-                 "sparse_values", "length", "policy", "owned")
+                 "sparse_values", "length", "policy", "owned",
+                 "_wire_cache")
 
     def __init__(self, values: np.ndarray, scalars: Dict[str, float],
                  index: int, sim_bytes: float, *,
@@ -94,6 +95,7 @@ class AutoSegment:
         self.length = int(values.size)
         self.policy = policy
         self.owned = bool(owned)
+        self._wire_cache: Optional[float] = None
 
     @classmethod
     def sparse(cls, length: int, indices: np.ndarray, values: np.ndarray,
@@ -115,6 +117,7 @@ class AutoSegment:
         seg.length = int(length)
         seg.policy = policy
         seg.owned = bool(owned)
+        seg._wire_cache = None
         return seg
 
     # ------------------------------------------------------------- properties
@@ -136,12 +139,18 @@ class AutoSegment:
         return (self.nnz / self.length) if self.length else 1.0
 
     def __sim_size__(self) -> float:
+        # Memoized like AggregatorSegment: sparse segments are immutable
+        # after construction, so the wire size is computed at most once.
         if self.values is not None or self.policy is None:
             return self.sim_bytes
-        dense = self.policy.dense_wire_bytes(self.length)
-        scale = self.sim_bytes / dense if dense > 0 else 1.0
-        return self.policy.wire_bytes(self.indices.size, self.length,
-                                      scale)
+        size = self._wire_cache
+        if size is None:
+            dense = self.policy.dense_wire_bytes(self.length)
+            scale = self.sim_bytes / dense if dense > 0 else 1.0
+            size = self.policy.wire_bytes(self.indices.size, self.length,
+                                          scale)
+            self._wire_cache = size
+        return size
 
     def __sim_dense_size__(self) -> float:
         return self.sim_bytes
@@ -171,6 +180,7 @@ class AutoSegment:
                 np.add(self.values, other.values, out=self.values)
                 self.scalars = scalars
                 self.sim_bytes = sim
+                self._wire_cache = None
                 return self
             return AutoSegment(self.values + other.values, scalars,
                                self.index, sim, policy=policy, owned=True)
@@ -189,6 +199,7 @@ class AutoSegment:
             scatter_into(self.values, other.indices, other.sparse_values)
             self.scalars = scalars
             self.sim_bytes = sim
+            self._wire_cache = None
             return self
         out = self.values.copy()
         scatter_into(out, other.indices, other.sparse_values)

@@ -70,7 +70,7 @@ class SparseAccumulator:
     """
 
     __slots__ = ("size", "policy", "buf", "_index_chunks", "_value_chunks",
-                 "_pending", "_coalesced", "_limit")
+                 "_pending", "_coalesced", "_limit", "version")
 
     def __init__(self, size: int, policy: SparsePolicy):
         if size < 0:
@@ -85,6 +85,9 @@ class SparseAccumulator:
         self._coalesced = True
         self._limit = max(_COALESCE_MIN,
                           int(policy.density_threshold * size))
+        #: mutation counter — bumped whenever stored entries change, so
+        #: size estimates keyed on it can be memoized safely
+        self.version = 0
 
     # ------------------------------------------------------------- properties
     @property
@@ -103,6 +106,7 @@ class SparseAccumulator:
     # ------------------------------------------------------------- operations
     def scatter_add(self, indices: np.ndarray, values: np.ndarray) -> None:
         """Accumulate ``values`` at ``indices`` (duplicates allowed)."""
+        self.version += 1
         if self.buf is not None:
             np.add.at(self.buf, indices, values)
             return
@@ -124,6 +128,7 @@ class SparseAccumulator:
             self._value_chunks = [vals]
             self._pending = int(idx.size)
             self._coalesced = True
+            self.version += 1
         if self.policy.should_densify(self._pending, self.size):
             self._densify()
 
@@ -136,6 +141,7 @@ class SparseAccumulator:
             self._densify()
 
     def _densify(self) -> None:
+        self.version += 1
         if self._index_chunks:
             self.buf = densify_sparse(self._index_chunks[0],
                                       self._value_chunks[0], self.size)
@@ -170,6 +176,7 @@ class SparseAccumulator:
         if other.size != self.size:
             raise ValueError(
                 f"accumulator size mismatch: {self.size} vs {other.size}")
+        self.version += 1
         if other.buf is not None:
             if self.buf is None:
                 self.densify()
@@ -186,6 +193,7 @@ class SparseAccumulator:
         out._value_chunks = list(self._value_chunks)
         out._pending = self._pending
         out._coalesced = self._coalesced
+        out.version = self.version
         return out
 
     def __repr__(self) -> str:
@@ -209,7 +217,7 @@ class AggregatorSegment:
     """
 
     __slots__ = ("buf", "indices", "values", "length", "sim_bytes",
-                 "policy", "owned")
+                 "policy", "owned", "_wire_cache")
 
     def __init__(self, buf: np.ndarray, sim_bytes: float, *,
                  policy: Optional[SparsePolicy] = None, owned: bool = False):
@@ -220,6 +228,7 @@ class AggregatorSegment:
         self.sim_bytes = float(sim_bytes)
         self.policy = policy
         self.owned = bool(owned)
+        self._wire_cache: Optional[float] = None
         if self.sim_bytes < 0:
             raise ValueError(f"negative simulated size: {sim_bytes}")
 
@@ -251,6 +260,7 @@ class AggregatorSegment:
         seg.sim_bytes = float(sim_bytes)
         seg.policy = policy
         seg.owned = bool(owned)
+        seg._wire_cache = None
         if seg.sim_bytes < 0:
             raise ValueError(f"negative simulated size: {sim_bytes}")
         return seg
@@ -273,13 +283,23 @@ class AggregatorSegment:
         return (self.nnz / self.length) if self.length else 1.0
 
     def __sim_size__(self) -> float:
-        """Bytes of the cheaper wire format (the per-send switch)."""
+        """Bytes of the cheaper wire format (the per-send switch).
+
+        Memoized: sparse segments are immutable after construction (merges
+        that mutate in place only ever have a dense ``self``), so the wire
+        size is computed once. Mutating merge branches drop the cache when
+        they reassign ``sim_bytes``.
+        """
         if self.buf is not None:
             return self.sim_bytes
-        policy = self.policy
-        dense = policy.dense_wire_bytes(self.length)
-        scale = self.sim_bytes / dense if dense > 0 else 1.0
-        return policy.wire_bytes(self.indices.size, self.length, scale)
+        size = self._wire_cache
+        if size is None:
+            policy = self.policy
+            dense = policy.dense_wire_bytes(self.length)
+            scale = self.sim_bytes / dense if dense > 0 else 1.0
+            size = policy.wire_bytes(self.indices.size, self.length, scale)
+            self._wire_cache = size
+        return size
 
     def __sim_dense_size__(self) -> float:
         return self.sim_bytes
@@ -309,6 +329,7 @@ class AggregatorSegment:
             if self.owned:
                 np.add(self.buf, other.buf, out=self.buf)
                 self.sim_bytes = sim
+                self._wire_cache = None
                 return self
             return AggregatorSegment(self.buf + other.buf, sim,
                                      policy=policy, owned=True)
@@ -325,6 +346,7 @@ class AggregatorSegment:
         if self.owned:
             scatter_into(self.buf, other.indices, other.values)
             self.sim_bytes = sim
+            self._wire_cache = None
             return self
         out = self.buf.copy()
         scatter_into(out, other.indices, other.values)
@@ -361,7 +383,7 @@ class FlatAggregator:
     """
 
     __slots__ = ("buf", "payload_size", "size_scale", "policy", "_acc",
-                 "_stats")
+                 "_stats", "_dense_size", "_wire_cache")
 
     def __init__(self, payload_size: int, size_scale: float = 1.0,
                  buf: np.ndarray | None = None,
@@ -375,6 +397,8 @@ class FlatAggregator:
         self.policy = policy
         self._acc: Optional[SparseAccumulator] = None
         self._stats: Optional[np.ndarray] = None
+        self._dense_size: Optional[float] = None
+        self._wire_cache: Optional[Tuple[int, float]] = None
         if buf is None and policy is not None:
             self.buf = None
             self._acc = SparseAccumulator(payload_size, policy)
@@ -477,16 +501,34 @@ class FlatAggregator:
 
     def __sim_size__(self) -> float:
         """Simulated serialized size — the cheaper wire format when the
-        adaptive representation is still sparse."""
-        self._compact()
-        if self.buf is not None:
-            return self.buf.size * 8.0 * self.size_scale
-        total = self.payload_size + _STATS_SLOTS
-        return self.policy.wire_bytes(self._acc.nnz + _STATS_SLOTS, total,
-                                      self.size_scale)
+        adaptive representation is still sparse.
+
+        Memoized: the dense layout's size is a constant of the aggregator
+        (``buf`` is always ``payload_size + 2`` long), and the sparse wire
+        size is cached against the accumulator's mutation ``version`` so a
+        cache hit also proves the pending ``_compact()`` would have been a
+        no-op.
+        """
+        if self.buf is None:
+            acc = self._acc
+            cached = self._wire_cache
+            if cached is not None and cached[0] == acc.version:
+                return cached[1]
+            self._compact()
+            if self.buf is None:
+                total = self.payload_size + _STATS_SLOTS
+                size = self.policy.wire_bytes(acc.nnz + _STATS_SLOTS,
+                                              total, self.size_scale)
+                self._wire_cache = (acc.version, size)
+                return size
+        return self.__sim_dense_size__()
 
     def __sim_dense_size__(self) -> float:
-        return (self.payload_size + _STATS_SLOTS) * 8.0 * self.size_scale
+        size = self._dense_size
+        if size is None:
+            size = (self.payload_size + _STATS_SLOTS) * 8.0 * self.size_scale
+            self._dense_size = size
+        return size
 
     # ------------------------------------------------------------ operations
     def merge(self, other: "FlatAggregator") -> "FlatAggregator":
@@ -525,6 +567,8 @@ class FlatAggregator:
         out.buf = None if self.buf is None else self.buf.copy()
         out._acc = None if self._acc is None else self._acc.copy()
         out._stats = None if self._stats is None else self._stats.copy()
+        out._dense_size = self._dense_size
+        out._wire_cache = self._wire_cache
         return out
 
     def split(self, index: int, num_segments: int) -> AggregatorSegment:

@@ -9,7 +9,8 @@ simulation runs underneath — exactly the Spark driver experience.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+import os
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Union
 
 from ..cluster import Cluster, ClusterConfig
 from ..obs import EventBus, PhaseSpan
@@ -19,6 +20,7 @@ from .accumulators import Accumulator, AccumulatorRegistry
 from .broadcast import Broadcast
 from .costing import ELEMENT_OVERHEAD, cost_of
 from .executor import Executor
+from .hostpool import HostPool
 from .rdd import RDD, ParallelCollectionRDD
 from .scheduler import DAGScheduler
 from .shuffle import MapOutputTracker
@@ -40,11 +42,18 @@ class SparkerContext:
         defaults to the cluster's total executor cores (Spark's default).
     driver_colocated:
         Place the driver on node 0 instead of a dedicated host.
+    host_pool:
+        Parallel host-compute backend (:class:`~repro.rdd.hostpool.HostPool`
+        instance, or an int worker count). Defaults to the
+        ``SPARKER_HOST_POOL`` environment variable (worker count; unset or
+        ``<= 1`` leaves the serial engine untouched).
+        ``SPARKER_HOST_POOL_MODE`` selects ``fork`` (default) or ``inline``.
     """
 
     def __init__(self, config: Optional[ClusterConfig] = None,
                  default_parallelism: Optional[int] = None,
-                 driver_colocated: bool = False):
+                 driver_colocated: bool = False,
+                 host_pool: Optional[Union[int, HostPool]] = None):
         self.config = config or ClusterConfig.laptop()
         self.env = Environment()
         #: observability fan-out (see :mod:`repro.obs`); subscribe listeners
@@ -63,6 +72,15 @@ class SparkerContext:
             e.executor_id: e for e in self.executors
         }
         self.dag = DAGScheduler(self)
+        if host_pool is None:
+            env_size = int(os.environ.get("SPARKER_HOST_POOL", "0") or "0")
+            env_mode = os.environ.get("SPARKER_HOST_POOL_MODE", "fork")
+            host_pool = (HostPool(env_size, mode=env_mode)
+                         if env_size > 1 or env_mode == "inline" else None)
+        elif isinstance(host_pool, int):
+            host_pool = HostPool(host_pool) if host_pool > 1 else None
+        #: parallel host-compute backend; None = untouched serial engine
+        self.host_pool: Optional[HostPool] = host_pool
         self.driver_cpu = Resource(self.env, 1, name="driver")
         self.driver_getters = Resource(self.env,
                                        self.config.driver_result_threads,

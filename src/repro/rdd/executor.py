@@ -119,11 +119,22 @@ class Executor:
                                                        reduce_index, ctx)
                 stats["deserialize_time"] += deser
             stats["fetch_wait"] = env.now - fetch_began
-            push_task_context(ctx)
-            try:
-                result = task.run(ctx)
-            finally:
-                pop_task_context()
+            memo = None
+            host_pool = self.sc.host_pool
+            if host_pool is not None:
+                memo = host_pool.claim(task, self)
+            if memo is not None:
+                # Replay the precomputed body: same result, same charge,
+                # same bucket writes, at the same point in the timeline.
+                result = memo.replay(ctx, self)
+            else:
+                if host_pool is not None and host_pool.enabled:
+                    host_pool.stats["inline"] += 1
+                push_task_context(ctx)
+                try:
+                    result = task.run(ctx)
+                finally:
+                    pop_task_context()
             charged = ctx.drain_charges()
             stats["compute_time"] = charged
             if charged > 0:
@@ -219,7 +230,7 @@ class Executor:
         num_maps = tracker.num_maps(shuffle_id)
         records: list = []
         deser_bytes = 0.0
-        transfers = []
+        legs = []
         for map_index in range(num_maps):
             status = tracker.status(shuffle_id, map_index)
             if status is None:
@@ -236,10 +247,12 @@ class Executor:
             if nbytes <= 0:
                 continue
             deser_bytes += nbytes
-            transfers.append(env.process(sc.cluster.network.transfer(
-                source.node, self.node, nbytes)))
-        for proc in transfers:
-            yield proc
+            legs.append((source.node, self.node, nbytes))
+        if legs:
+            # One batched process for all map-output streams instead of one
+            # per bucket; completion time is identical (max-min fair shares
+            # at an instant do not depend on same-instant join order).
+            yield from sc.cluster.network.transfer_many(legs)
         deser_time = 0.0
         if deser_bytes > 0:
             deser_time = sc.serde.deser_time_bytes(deser_bytes)

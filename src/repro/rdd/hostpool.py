@@ -1,0 +1,321 @@
+"""Parallel host-side task compute: the engine's multi-core backend.
+
+The simulation kernel is inherently single-threaded — virtual time advances
+one event at a time — but the *user compute* inside tasks (seqOps folding
+gradients over cached partitions) is pure CPU work whose result the
+simulation only consumes. A :class:`HostPool` exploits that: before a stage's
+attempt loops are spawned, the DAG scheduler hands the pool the stage's
+provable-pure tasks; the pool executes their ``task.run`` bodies on forked
+worker processes (broadcast values and cached partitions are shared via
+fork's copy-on-write), memoizes ``(result, charged_cost, effects)`` per
+task attempt, and the executor *replays* the memo at the exact point the
+inline ``task.run`` call would have happened.
+
+Bit-identity contract
+---------------------
+The pool is a pure memoization layer: it never touches the event queue, and
+a replayed memo produces byte-identical state transitions to the inline
+call —
+
+* the **result** is the pickled round-trip of the same computation run on
+  the same process image (fork), so NumPy payloads are bit-equal;
+* the **charge** is the task context's accumulated virtual cost, settled by
+  the executor exactly as an inline run's would be;
+* **effects** (a ShuffleMapTask's bucket writes) are replayed against the
+  executor's shuffle store at claim time — the same synchronous,
+  clock-free calls ``run`` would have made;
+* **accumulator updates** transfer onto the live task context and publish
+  under the normal exactly-once rules.
+
+Anything not *provably* pure falls back to inline execution: tasks with a
+shuffle fetch plan, lineage over an un-cached persisted RDD (a cache miss
+would put blocks and charge materialization), RDDs that opt out via
+``host_compute_pure`` (SpawnRDD reads executor-resident IMM state), retried
+attempts, re-placed tasks, and any run with tracing active (cache hits emit
+:class:`~repro.obs.BlockEvent` at simulated timestamps a worker cannot
+know).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from .accumulators import pop_task_context, push_task_context
+from .task_context import TaskContext
+from .tasks import ReducedResultTask, ResultTask, ShuffleMapTask, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .context import SparkerContext
+    from .executor import Executor
+    from .rdd import RDD
+
+__all__ = ["HostPool", "TaskMemo"]
+
+#: pipe frame header: unsigned 64-bit payload length
+_HEADER = struct.Struct(">Q")
+
+
+class TaskMemo:
+    """The memoized outcome of one precomputed task attempt."""
+
+    __slots__ = ("result", "charged", "effects", "accumulator_updates")
+
+    def __init__(self, result: Any, charged: float,
+                 effects: List[Tuple[int, int, int, list, float]],
+                 accumulator_updates: Dict[int, Any]):
+        self.result = result
+        self.charged = charged
+        #: recorded ``put_bucket`` calls, in call order
+        self.effects = effects
+        self.accumulator_updates = accumulator_updates
+
+    def replay(self, ctx: TaskContext, executor: "Executor") -> Any:
+        """Apply this memo as if ``task.run(ctx)`` had just executed."""
+        for shuffle_id, map_index, reduce_index, records, nbytes in \
+                self.effects:
+            executor.shuffle_store.put_bucket(
+                shuffle_id, map_index, reduce_index, records, nbytes)
+        if self.charged > 0:
+            ctx.charge(self.charged)
+        if self.accumulator_updates:
+            ctx.accumulator_updates.update(self.accumulator_updates)
+        return self.result
+
+
+class _RecordingShuffleStore:
+    """Worker-side shim capturing a task's bucket writes as replayable data."""
+
+    __slots__ = ("inner", "records")
+
+    def __init__(self, inner: Any):
+        self.inner = inner
+        self.records: List[Tuple[int, int, int, list, float]] = []
+
+    def put_bucket(self, shuffle_id: int, map_index: int, reduce_index: int,
+                   records: list, nbytes: float) -> None:
+        self.records.append(
+            (shuffle_id, map_index, reduce_index, records, nbytes))
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)
+
+
+class HostPool:
+    """Multi-process precompute + memoization of pure task bodies.
+
+    Parameters
+    ----------
+    size:
+        Worker process count. ``size <= 1`` disables precompute entirely —
+        the engine runs the untouched serial path (this is the benchmark's
+        ``pool=1`` arm).
+    mode:
+        ``"fork"`` (default) runs workers as forked processes;
+        ``"inline"`` computes the memos serially in the driver process —
+        no parallelism, but it exercises the exact memo/replay machinery
+        (used by tests and by platforms without ``os.fork``).
+    """
+
+    def __init__(self, size: int = 0, mode: str = "fork"):
+        if mode not in ("fork", "inline"):
+            raise ValueError(f"unknown hostpool mode {mode!r}")
+        if mode == "fork" and not hasattr(os, "fork"):  # pragma: no cover
+            mode = "inline"
+        self.size = int(size)
+        self.mode = mode
+        self._memos: Dict[Tuple[int, int, int, int, int], TaskMemo] = {}
+        #: counters for the benchmark/profiler: tasks precomputed, memos
+        #: claimed, tasks that fell back to inline execution
+        self.stats = {"precomputed": 0, "claimed": 0, "inline": 0,
+                      "stages_batched": 0}
+
+    @property
+    def enabled(self) -> bool:
+        return self.size > 1 or self.mode == "inline"
+
+    # ------------------------------------------------------------- purity
+    @staticmethod
+    def _lineage_pure(rdd: "RDD", partition: int,
+                      executor: "Executor") -> bool:
+        """True if computing ``partition`` of ``rdd`` on ``executor`` is a
+        pure function of process memory (cache hits all the way down)."""
+        from .rdd import NarrowDependency
+
+        if not getattr(rdd, "host_compute_pure", True):
+            return False
+        if rdd.storage_level is not None:
+            if executor.memory_store.contains((rdd.id, partition)):
+                return True  # cache hit: compute never recurses past here
+            return False  # a miss would put blocks + charge materialization
+        for dep in rdd.deps:
+            if not isinstance(dep, NarrowDependency):
+                return False  # shuffle input: fetched state, stay inline
+            for parent_index in dep.parent_partitions(partition):
+                if not HostPool._lineage_pure(dep.rdd, parent_index,
+                                              executor):
+                    return False
+        return True
+
+    def _offloadable(self, sc: "SparkerContext", task: Task,
+                     executor: "Executor") -> bool:
+        if sc.event_bus.active:
+            return False  # cache hits must emit timestamped BlockEvents
+        if not isinstance(task, (ShuffleMapTask, ResultTask,
+                                 ReducedResultTask)):
+            return False
+        if task.fetch_plan():
+            return False
+        return self._lineage_pure(task.rdd, task.partition, executor)
+
+    # --------------------------------------------------------- precompute
+    def precompute(self, sc: "SparkerContext", rdd: "RDD",
+                   partitions: Any, task_factory: Callable[[int, int], Task],
+                   pick_executor: Callable) -> None:
+        """Batch-execute the offloadable subset of a stage's first attempts.
+
+        Called by the DAG scheduler immediately before it spawns the
+        stage's attempt loops; consumes no virtual time. Stages run
+        strictly sequentially, so any memos left over from a previous
+        stage (placement mispredictions) are dropped first.
+        """
+        self._memos.clear()
+        if not self.enabled:
+            return
+        entries: List[Tuple[Tuple[int, int, int, int, int], Task,
+                            "Executor"]] = []
+        for position, partition in enumerate(partitions):
+            try:
+                task = task_factory(partition, 0)
+                executor = pick_executor(rdd, partition, position, set())
+            except Exception:  # placement will fail in-sim too; stay inline
+                continue
+            if not self._offloadable(sc, task, executor):
+                continue
+            key = (task.stage_id, task.stage_attempt, task.partition,
+                   task.attempt, executor.executor_id)
+            entries.append((key, task, executor))
+        if not entries:
+            return
+        if self.mode == "inline" or self.size <= 1 or len(entries) == 1:
+            computed = {i: self._compute(task, executor)
+                        for i, (_k, task, executor) in enumerate(entries)}
+        else:
+            computed = self._fork_compute(entries)
+        claimed_any = False
+        for i, (key, _task, _executor) in enumerate(entries):
+            memo = computed.get(i)
+            if memo is not None:
+                self._memos[key] = memo
+                self.stats["precomputed"] += 1
+                claimed_any = True
+        if claimed_any:
+            self.stats["stages_batched"] += 1
+
+    @staticmethod
+    def _compute(task: Task, executor: "Executor") -> Optional[TaskMemo]:
+        """Run one task body against ``executor``'s stores, capturing the
+        memo. Returns None when the body raises (the inline rerun will
+        reproduce the failure inside the simulation, where retry logic
+        lives)."""
+        recorder = None
+        if isinstance(task, ShuffleMapTask):
+            recorder = _RecordingShuffleStore(executor.shuffle_store)
+            executor.shuffle_store = recorder
+        ctx = TaskContext(task.stage_id, task.partition, task.attempt,
+                          executor=executor)
+        push_task_context(ctx)
+        try:
+            result = task.run(ctx)
+        except Exception:
+            return None
+        finally:
+            pop_task_context()
+            if recorder is not None:
+                executor.shuffle_store = recorder.inner
+        return TaskMemo(result, ctx.charged,
+                        recorder.records if recorder is not None else [],
+                        ctx.accumulator_updates)
+
+    def _fork_compute(self, entries: list) -> Dict[int, TaskMemo]:
+        """Compute ``entries`` on ``min(size, len(entries))`` forked workers.
+
+        Worker ``w`` owns entries ``i`` with ``i % workers == w`` and
+        streams back length-prefixed pickle frames ``(i, memo_or_None)``;
+        entries whose memo fails to pickle are skipped individually (the
+        simulation runs them inline instead).
+        """
+        workers = min(self.size, len(entries))
+        pipes: List[Tuple[int, int]] = []
+        pids: List[int] = []
+        for w in range(workers):
+            read_fd, write_fd = os.pipe()
+            pid = os.fork()
+            if pid == 0:  # pragma: no cover - child process
+                status = 0
+                try:
+                    os.close(read_fd)
+                    for sibling_read, _closed in pipes:
+                        os.close(sibling_read)
+                    with os.fdopen(write_fd, "wb") as out:
+                        for i in range(w, len(entries), workers):
+                            _key, task, executor = entries[i]
+                            memo = self._compute(task, executor)
+                            try:
+                                payload = pickle.dumps(
+                                    (i, memo), pickle.HIGHEST_PROTOCOL)
+                            except Exception:
+                                payload = pickle.dumps(
+                                    (i, None), pickle.HIGHEST_PROTOCOL)
+                            out.write(_HEADER.pack(len(payload)))
+                            out.write(payload)
+                except BaseException:
+                    status = 1
+                finally:
+                    os._exit(status)
+            os.close(write_fd)
+            pipes.append((read_fd, write_fd))
+            pids.append(pid)
+
+        computed: Dict[int, TaskMemo] = {}
+        for read_fd, _write_fd in pipes:
+            with os.fdopen(read_fd, "rb") as src:
+                while True:
+                    header = src.read(_HEADER.size)
+                    if len(header) < _HEADER.size:
+                        break
+                    (length,) = _HEADER.unpack(header)
+                    payload = src.read(length)
+                    if len(payload) < length:
+                        break  # worker died mid-frame; its entries inline
+                    try:
+                        i, memo = pickle.loads(payload)
+                    except Exception:
+                        continue
+                    if memo is not None:
+                        computed[i] = memo
+        for pid in pids:
+            os.waitpid(pid, 0)
+        return computed
+
+    # -------------------------------------------------------------- claim
+    def claim(self, task: Task, executor: "Executor") -> Optional[TaskMemo]:
+        """Pop the memo for this exact attempt on this exact executor.
+
+        Retries (``attempt > 0``), stage reattempts, and re-placements all
+        miss by construction of the key, falling back to inline execution.
+        """
+        if not self._memos:
+            return None
+        key = (task.stage_id, task.stage_attempt, task.partition,
+               task.attempt, executor.executor_id)
+        memo = self._memos.pop(key, None)
+        if memo is not None:
+            self.stats["claimed"] += 1
+        return memo
+
+    def __repr__(self) -> str:
+        return (f"<HostPool size={self.size} mode={self.mode} "
+                f"stats={self.stats}>")

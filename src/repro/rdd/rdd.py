@@ -126,6 +126,12 @@ class ShuffleDependency(Dependency):
 class RDD:
     """One distributed dataset in the lineage graph."""
 
+    #: Whether ``compute`` is a pure function of process memory, making it
+    #: eligible for host-pool precompute (see :mod:`repro.rdd.hostpool`).
+    #: Subclasses whose compute reads executor-resident simulated state
+    #: (e.g. SpawnRDD's IMM objects) must set this False.
+    host_compute_pure = True
+
     def __init__(self, sc: "SparkerContext", deps: Sequence[Dependency]):
         self.sc = sc
         self.deps: List[Dependency] = list(deps)

@@ -172,7 +172,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` units of virtual time in the future."""
+    """An event that fires ``delay`` units of virtual time in the future.
+
+    Timeouts are by far the most-allocated event type (every task charge,
+    transfer leg and merge cost is one), so ``__init__`` is flattened: no
+    ``super()`` chain and no eager name formatting — the display name is
+    derived from ``delay`` on demand in :meth:`__repr__`.
+    """
 
     __slots__ = ("delay",)
 
@@ -180,11 +186,43 @@ class Timeout(Event):
                  name: str = ""):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env, name=name or f"timeout({delay:g})")
-        self.delay = delay
+        self.env = env
+        self.name = name
+        self.callbacks = []
         self._value = value
+        self._exception = None
         self._state = TRIGGERED
+        self.delay = delay
         env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        if self.name:
+            return super().__repr__()
+        state = {PENDING: "pending", TRIGGERED: "triggered",
+                 PROCESSED: "processed"}
+        return f"<Timeout 'timeout({self.delay:g})' {state[self._state]}>"
+
+
+class _Boot:
+    """A zero-allocation-overhead bootstrap entry for a new :class:`Process`.
+
+    The kernel only requires queue entries to expose ``_run_callbacks``; a
+    full boot :class:`Event` (callbacks list, closure, shadow-event
+    machinery) is overkill for the one-shot "resume the generator now"
+    trampoline, and processes are allocated on every task, transfer and
+    lock wait. Consumes exactly one schedule() sequence number — the same
+    as the boot event it replaces — so FIFO ordering is untouched.
+    """
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process"):
+        self.process = process
+
+    def _run_callbacks(self) -> None:
+        proc = self.process
+        if proc._state == PENDING:
+            proc._advance(None)
 
 
 class Process(Event):
@@ -212,10 +250,9 @@ class Process(Event):
         self.critical = critical
         self._target: Optional[Event] = None  # event we are waiting on
         self._interrupts: list = []
-        # Bootstrap: resume the generator at the current time.
-        boot = Event(env, name=f"boot:{self.name}")
-        boot.add_callback(self._resume)
-        boot.succeed(None)
+        # Bootstrap: resume the generator at the current time (lightweight
+        # trampoline — see _Boot).
+        env.schedule(_Boot(self))
 
     @property
     def is_alive(self) -> bool:
@@ -248,33 +285,40 @@ class Process(Event):
             except ValueError:  # pragma: no cover - defensive
                 pass
         interrupt = self._interrupts.pop(0)
-        self._step(lambda: self.generator.throw(interrupt))
+        self._advance(None, interrupt)
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        if self._state != PENDING:
             return
         self._target = None
-        if event._exception is not None:
-            exc = event._exception
-            self._step(lambda: self.generator.throw(exc))
-        else:
-            self._step(lambda: self.generator.send(event._value))
+        self._advance(event._value, event._exception)
 
-    def _step(self, advance: Callable[[], Any]) -> None:
-        self.env._active_process = self
+    def _advance(self, value: Any,
+                 exc: Optional[BaseException] = None) -> None:
+        """Resume the generator with ``value`` (or throw ``exc`` into it).
+
+        This is the kernel's innermost loop — one call per process step —
+        so the send/throw dispatch is inlined rather than packaged into a
+        per-step closure.
+        """
+        env = self.env
+        env._active_process = self
         try:
-            target = advance()
+            if exc is None:
+                target = self.generator.send(value)
+            else:
+                target = self.generator.throw(exc)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
-        except BaseException as exc:  # noqa: BLE001 - propagate as failure
-            self.env._active_process = None
+        except BaseException as error:  # noqa: BLE001 - propagate as failure
+            env._active_process = None
             if self.critical:
                 raise  # crash the simulation loudly (infrastructure bug)
-            self.fail(exc)
+            self.fail(error)
             return
-        self.env._active_process = None
+        env._active_process = None
         if not isinstance(target, Event):
             # Crash the process with a clear error: generators may only
             # yield kernel events.
@@ -283,16 +327,17 @@ class Process(Event):
             )
             self._step_fail(error)
             return
-        if target.env is not self.env:
+        if target.env is not env:
             self._step_fail(SimulationError(
                 f"process {self.name!r} yielded an event from another environment"
             ))
             return
-        if target.callbacks is None:
+        callbacks = target.callbacks
+        if callbacks is None:
             # Already processed — resume via a shadow event to stay FIFO.
             target.add_callback(self._resume)
         else:
-            target.callbacks.append(self._resume)
+            callbacks.append(self._resume)
         self._target = target
 
     def _step_fail(self, error: BaseException) -> None:

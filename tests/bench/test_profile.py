@@ -1,0 +1,52 @@
+"""Tests for the host-time attribution profiler."""
+
+from repro.bench.profile import (
+    BUCKETS,
+    HostTimeBreakdown,
+    classify_path,
+    profile_host,
+)
+from repro.bench.workloads import run_workload
+from repro.cluster import ClusterConfig
+
+
+def test_classify_path_rules():
+    assert classify_path("/x/src/repro/sim/core.py") == "sim_core"
+    assert classify_path("/x/src/repro/cluster/flows.py") == "sim_core"
+    assert classify_path("/x/src/repro/serde/sizeof.py") == "serde"
+    assert classify_path("/x/src/repro/ml/aggregators.py") == "user_compute"
+    assert classify_path("/lib/numpy/core/numeric.py") == "user_compute"
+    assert classify_path("/somewhere/else.py") == "other"
+
+
+def test_profile_host_returns_result_and_buckets():
+    result, breakdown = profile_host(
+        run_workload, "LR-A", ClusterConfig.bic(2),
+        aggregation="tree", iterations=1)
+    assert result.workload == "LR-A"
+    assert isinstance(breakdown, HostTimeBreakdown)
+    assert breakdown.total > 0
+    assert set(breakdown.buckets) == set(BUCKETS)
+    # A real run spends measurable time in the simulation kernel.
+    assert breakdown.fraction("sim_core") > 0
+    payload = breakdown.as_dict()
+    assert payload["buckets"].keys() == breakdown.buckets.keys()
+    assert payload["top"], "expected at least one hot function"
+
+
+def test_fractions_sum_to_one():
+    _result, breakdown = profile_host(
+        run_workload, "LR-A", ClusterConfig.bic(2),
+        aggregation="tree", iterations=1)
+    total = sum(breakdown.fraction(bucket) for bucket in BUCKETS)
+    assert abs(total - 1.0) < 1e-9
+
+
+def test_profile_host_propagates_exceptions():
+    import pytest
+
+    def boom():
+        raise RuntimeError("intentional")
+
+    with pytest.raises(RuntimeError, match="intentional"):
+        profile_host(boom)

@@ -209,3 +209,52 @@ def test_simultaneous_completions_on_shared_link():
         env.run(until=ev)
     assert env.now == pytest.approx(2.0)
     assert net.completed == 4
+
+
+def test_rate_of_forces_pending_flush():
+    # Joins are batched to an end-of-instant flush; reading a rate before
+    # the flush event fires must force the allocation instead of
+    # returning the unallocated 0.0.
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link(10.0, name="l")
+    a = net.flow(100.0, [link])
+    b = net.flow(100.0, [link])
+    assert net.rate_of(a) == pytest.approx(5.0)
+    assert net.rate_of(b) == pytest.approx(5.0)
+    assert net.link_rate(link) == pytest.approx(10.0)
+
+
+def test_batched_joins_match_sequential_joins():
+    # N flows joining at one instant must complete exactly when they
+    # would have under per-join eager reallocation: both reduce to the
+    # same max-min allocation, settled over the same instants.
+    specs = [(60.0, [0], None), (60.0, [0], None), (30.0, [0], 4.0)]
+    times = run_flows(specs, [12.0])
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link(12.0, name="l0")
+    staggered = []
+    for nbytes, _idxs, cap in specs:
+        staggered.append(net.flow(nbytes, [link], rate_cap=cap))
+        net.rate_of(staggered[-1])  # force a flush after every join
+    expected = []
+    for ev in staggered:
+        env.run(until=ev)
+        expected.append(env.now)
+    assert times == expected
+
+
+def test_flush_is_batched_per_instant():
+    # All joins of one instant are allocated by a single deferred flush:
+    # before any event runs, every same-instant flow is still unallocated.
+    env = Environment()
+    net = FlowNetwork(env)
+    link = Link(8.0, name="l")
+    flows = [net.flow(40.0, [link]) for _ in range(4)]
+    assert all(f is not None for f in flows)
+    assert net._dirty and net._flush_pending
+    for ev in flows:
+        env.run(until=ev)
+    assert env.now == pytest.approx(40.0 / 2.0)
+    assert not net._dirty and net.active_flows == 0

@@ -63,10 +63,10 @@ def test_allgather_property(n_ranks, seed):
         np.testing.assert_array_equal(reassembled, expected)
 
 
-def test_isend_returns_in_flight_process():
+def test_isend_returns_in_flight_event():
     env, fabric = make_ring(2)
-    proc = fabric.isend(0, 1, "payload", tag="t")
-    assert proc.is_alive
+    handle = fabric.isend(0, 1, "payload", tag="t")
+    assert not handle.processed
 
     def receiver():
         msg = yield from fabric.recv(1, tag="t")
@@ -74,7 +74,7 @@ def test_isend_returns_in_flight_process():
 
     recv = env.process(receiver())
     assert env.run(until=recv) == "payload"
-    assert not proc.is_alive
+    assert handle.processed
 
 
 def test_fifo_per_tag():

@@ -239,3 +239,36 @@ def test_process_body_must_be_generator():
     env = Environment()
     with pytest.raises(TypeError):
         env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_run_until_processed_event_returns_immediately():
+    env = Environment()
+    early = env.timeout(1.0, value="done")
+    env.timeout(10.0)  # later work that must NOT be drained
+    env.run(until=early)
+    assert env.now == 1.0
+    # A second run() on the already-processed event is a pure read: it
+    # returns the value without popping anything off the queue.
+    assert env.run(until=early) == "done"
+    assert env.now == 1.0
+    assert env.peek() == 10.0
+
+
+def test_run_until_detaches_mark_callback_on_dry_schedule():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(EmptySchedule):
+        env.run(until=never)
+    # The aborted run() must not leave its completion hook behind: a
+    # retry would otherwise fire stale closures.
+    assert never.callbacks == []
+
+
+def test_events_scheduled_counts_monotonically():
+    env = Environment()
+    base = env.events_scheduled
+    env.timeout(1.0)
+    env.timeout(2.0)
+    assert env.events_scheduled == base + 2
+    env.run()
+    assert env.events_scheduled == base + 2
