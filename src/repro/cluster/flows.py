@@ -163,6 +163,26 @@ class FlowNetwork:
             self.env.schedule(flush, 0.0, priority=LAZY)
         return event
 
+    def set_link_capacity(self, link: Link, capacity: float) -> None:
+        """Change ``link``'s capacity and re-share flows crossing it.
+
+        Models in-place NIC degradation/restoration (a congested or rate-
+        limited driver NIC): flows in the link's component are settled at
+        the current instant and reallocated under the new capacity; flows
+        elsewhere are untouched. No-op on the rates when the link is idle.
+        """
+        if capacity <= 0:
+            raise ValueError(
+                f"link capacity must be positive, got {capacity}")
+        link.capacity = float(capacity)
+        if self._dirty:
+            self._flush(None)
+        members = self._link_flows.get(link)
+        if members:
+            component = self._component(list(members.values()))
+            self._reallocate(component)
+            self._arm_timer()
+
     def rate_of(self, event: Event) -> float:
         """Current rate of the flow behind ``event`` (testing hook)."""
         if self._dirty:

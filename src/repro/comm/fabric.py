@@ -27,11 +27,22 @@ from ..cluster.network import Network
 from ..cluster.node import Node
 from ..obs import EventBus, MessageDelivered, MessageSent, channel_str
 from ..serde import sim_sizeof
-from ..sim import Store
+from ..sim import Store, any_of
 from ..sim.events import Event
 from .transport import TransportSpec
 
-__all__ = ["CommFabric"]
+__all__ = ["CommFabric", "RecvTimeout"]
+
+
+class RecvTimeout(Exception):
+    """``recv`` heard nothing within its timeout (peer dead or message lost)."""
+
+    def __init__(self, rank: int, tag: Any, timeout: float):
+        super().__init__(
+            f"recv on rank {rank} tag {tag!r} timed out after {timeout:g}s")
+        self.rank = rank
+        self.tag = tag
+        self.timeout = timeout
 
 
 #: memoized tag -> (channel, hop); tags repeat across iterations, and the
@@ -65,18 +76,29 @@ class CommFabric:
     time between arrival and consumption. Tracing never alters message
     timing: mailbox entries always carry the same metadata tuple whether
     or not a bus is attached.
+
+    ``faults`` (optional) is a link-fault policy — an object exposing
+    ``message_fault(src, dst, channel, hop, nbytes)`` returning ``None``
+    (deliver normally), ``("drop", 0.0)`` (the bytes cross the wire but
+    the message never reaches the mailbox) or ``("delay", extra)``
+    (delivery is postponed ``extra`` seconds). With ``faults=None`` no
+    policy call happens at all, so an unarmed fabric is bit-identical to
+    one that predates fault injection.
     """
 
     def __init__(self, network: Network, transport: TransportSpec,
-                 bus: Optional[EventBus] = None):
+                 bus: Optional[EventBus] = None, faults: Any = None):
         self.network = network
         self.transport = transport
         self.bus = bus
+        self.faults = faults
         self.env = network.env
         self._nodes: Dict[int, Node] = {}
         self._mailboxes: Dict[Tuple[int, Hashable], Store] = {}
         #: messages delivered, for instrumentation
         self.delivered = 0
+        #: messages dropped by the fault policy, for instrumentation
+        self.dropped = 0
 
     # ---------------------------------------------------------------- set-up
     def register(self, rank: int, node: Node) -> None:
@@ -117,6 +139,10 @@ class CommFabric:
         dst_node = self.node_of(dst)
         size = sim_sizeof(payload) if nbytes is None else float(nbytes)
         sent_at = self.env.now
+        verdict = None
+        if self.faults is not None:
+            channel, hop = _tag_channel_hop(tag)
+            verdict = self.faults.message_fault(src, dst, channel, hop, size)
         if self.bus is not None and self.bus.active:
             channel, hop = _tag_channel_hop(tag)
             self.bus.emit(MessageSent(
@@ -130,6 +156,13 @@ class CommFabric:
             overhead=self.transport.overhead,
             gc_prone=self.transport.gc_prone,
         )
+        if verdict is not None:
+            kind, extra = verdict
+            if kind == "drop":
+                self.dropped += 1
+                return
+            if extra > 0:
+                yield self.env.timeout(extra)
         self._mailbox(dst, tag).put((payload, src, size, sent_at,
                                      self.env.now))
         self.delivered += 1
@@ -152,6 +185,10 @@ class CommFabric:
         dst_node = self.node_of(dst)
         size = sim_sizeof(payload) if nbytes is None else float(nbytes)
         sent_at = env.now
+        verdict = None
+        if self.faults is not None:
+            channel, hop = _tag_channel_hop(tag)
+            verdict = self.faults.message_fault(src, dst, channel, hop, size)
         if self.bus is not None and self.bus.active:
             channel, hop = _tag_channel_hop(tag)
             self.bus.emit(MessageSent(
@@ -161,11 +198,25 @@ class CommFabric:
         network.bytes_transferred += size
         done = Event(env, name=f"isend:{src}->{dst}")
 
-        def _deliver(_event: Any) -> None:
+        def _finish(_event: Any) -> None:
             self._mailbox(dst, tag).put((payload, src, size, sent_at,
                                          env.now))
             self.delivered += 1
             done.succeed(None)
+
+        if verdict is None:
+            _deliver = _finish
+        else:
+            fault_kind, fault_extra = verdict
+
+            def _deliver(_event: Any) -> None:
+                if fault_kind == "drop":
+                    self.dropped += 1
+                    done.succeed(None)
+                elif fault_extra > 0:
+                    env.timeout(fault_extra).add_callback(_finish)
+                else:
+                    _finish(_event)
 
         def _start(_timeout: Any) -> None:
             if size == 0:
@@ -196,10 +247,27 @@ class CommFabric:
         ).add_callback(_start)
         return done
 
-    def recv(self, rank: int, tag: Hashable = 0) -> Generator:
-        """Generator: receive the next message for ``(rank, tag)``."""
-        payload, src, size, sent_at, arrived_at = yield self._mailbox(
-            rank, tag).get()
+    def recv(self, rank: int, tag: Hashable = 0,
+             timeout: Optional[float] = None) -> Generator:
+        """Generator: receive the next message for ``(rank, tag)``.
+
+        With ``timeout`` set, raises :class:`RecvTimeout` when no message
+        arrives within that many seconds — the failure-detection primitive
+        recovery is built on. ``timeout=None`` (the default) waits forever
+        and schedules nothing extra, so an untimed recv is bit-identical
+        to the pre-fault-tolerance fabric.
+        """
+        box = self._mailbox(rank, tag)
+        get = box.get()
+        if timeout is not None and not get.triggered:
+            deadline = self.env.timeout(timeout)
+            yield any_of(self.env, (get, deadline))
+            if not get.triggered:
+                box.cancel(get)
+                raise RecvTimeout(rank, tag, timeout)
+            payload, src, size, sent_at, arrived_at = get.value
+        else:
+            payload, src, size, sent_at, arrived_at = yield get
         if self.bus is not None and self.bus.active:
             channel, hop = _tag_channel_hop(tag)
             self.bus.emit(MessageDelivered(

@@ -31,6 +31,7 @@ from ..obs import (
     SegmentRepresentation,
     channel_str,
 )
+from ..rdd.executor import ExecutorLost
 from ..serde import (
     SerdeModel,
     density_of,
@@ -38,8 +39,8 @@ from ..serde import (
     sim_dense_sizeof,
     sim_sizeof,
 )
-from ..sim import Environment
-from .fabric import CommFabric
+from ..sim import Environment, Process
+from .fabric import CommFabric, RecvTimeout
 from .transport import TransportSpec, sc_transport
 
 __all__ = [
@@ -64,6 +65,7 @@ def ring_reduce_scatter_rank(
     bus: Optional[EventBus] = None,
     executor_id: int = -1,
     private: bool = False,
+    recv_timeout: Optional[float] = None,
 ) -> Generator:
     """Per-rank ring reduce-scatter over ``size`` ranks (one channel).
 
@@ -83,6 +85,12 @@ def ring_reduce_scatter_rank(
     carrying the wire representation of both segments; a merge whose
     result changes representation (the adaptive sparse -> dense switch)
     additionally emits one :class:`SegmentRepresentation`.
+
+    ``recv_timeout`` bounds each hop's wait for the upstream neighbour;
+    silence past the deadline surfaces as
+    :class:`~repro.rdd.executor.ExecutorLost` — the caller tears the ring
+    down and rebuilds over the survivors. ``None`` (the default) waits
+    forever and costs no extra simulation events.
     """
     env = fabric.env
     n = size
@@ -106,7 +114,15 @@ def ring_reduce_scatter_rank(
             send_bytes = send_dense = 0.0
             send_repr = local_repr = "dense"
         in_flight = fabric.isend(rank, nxt, current[send_idx], tag=tag)
-        incoming = yield from fabric.recv(rank, tag=tag)
+        try:
+            incoming = yield from fabric.recv(rank, tag=tag,
+                                              timeout=recv_timeout)
+        except RecvTimeout as exc:
+            prev = (rank - 1) % n
+            raise ExecutorLost(
+                f"ring rank {rank} heard nothing from rank {prev} on "
+                f"channel {channel_key} hop {k} for {recv_timeout:g}s"
+            ) from exc
         recv_bytes = sim_sizeof(incoming) if tracing else 0.0
         merged = reduce_op(current[recv_idx], incoming)
         merge_cost = sim_sizeof(merged) / merge_bandwidth
@@ -149,6 +165,7 @@ def ring_allgather_rank(
     channel: Any = "ag",
     bus: Optional[EventBus] = None,
     executor_id: int = -1,
+    recv_timeout: Optional[float] = None,
 ) -> Generator:
     """Per-rank ring allgather: circulate owned segments to every rank.
 
@@ -170,7 +187,14 @@ def ring_allgather_rank(
         began = env.now
         send_bytes = sim_sizeof(carry_val) if tracing else 0.0
         in_flight = fabric.isend(rank, nxt, (carry_idx, carry_val), tag=tag)
-        carry_idx, carry_val = yield from fabric.recv(rank, tag=tag)
+        try:
+            carry_idx, carry_val = yield from fabric.recv(
+                rank, tag=tag, timeout=recv_timeout)
+        except RecvTimeout as exc:
+            raise ExecutorLost(
+                f"allgather rank {rank} heard nothing from rank "
+                f"{(rank - 1) % n} on hop {k} for {recv_timeout:g}s"
+            ) from exc
         have[carry_idx] = carry_val
         yield in_flight
         if tracing and bus.active:
@@ -203,13 +227,21 @@ class ScalableCommunicator:
     bus:
         Optional :class:`~repro.obs.EventBus`; when attached, every fabric
         message and every ring-hop span is traced.
+    faults:
+        Optional link-fault policy forwarded to the fabric (see
+        :class:`CommFabric`).
+    recv_timeout:
+        Failure-detection deadline applied to every ring hop's recv;
+        ``None`` (the default) disables detection and schedules nothing.
     """
 
     def __init__(self, cluster: Cluster, parallelism: int = 4,
                  topology_aware: bool = True,
                  transport: Optional[TransportSpec] = None,
                  slots: Optional[Sequence[ExecutorSlot]] = None,
-                 bus: Optional[EventBus] = None):
+                 bus: Optional[EventBus] = None,
+                 faults: Any = None,
+                 recv_timeout: Optional[float] = None):
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
         self.cluster = cluster
@@ -219,6 +251,7 @@ class ScalableCommunicator:
         self.transport = transport or sc_transport(cluster.config)
         self.serde = SerdeModel.from_config(cluster.config)
         self.bus = bus
+        self.recv_timeout = recv_timeout
 
         chosen = list(slots) if slots is not None else list(cluster.executors)
         if not chosen:
@@ -230,9 +263,32 @@ class ScalableCommunicator:
         self.ranked: List[ExecutorSlot] = chosen
         self.size = len(chosen)
 
-        self.fabric = CommFabric(cluster.network, self.transport, bus=bus)
+        self.fabric = CommFabric(cluster.network, self.transport, bus=bus,
+                                 faults=faults)
         for rank, slot in enumerate(self.ranked):
             self.fabric.register(rank, slot.node)
+        #: every process this communicator spawned (for :meth:`abort`)
+        self._procs: List[Process] = []
+        #: cause of the abort, or None while healthy
+        self.aborted: Optional[str] = None
+
+    def _track(self, proc: Process) -> Process:
+        self._procs.append(proc)
+        return proc
+
+    def abort(self, cause: str = "communicator aborted") -> None:
+        """Tear the collective down: interrupt every spawned process.
+
+        Without this, the surviving ranks of a failed collective keep
+        exchanging segments forever (or until their recv deadlines fire),
+        consuming NIC bandwidth that would perturb the rebuilt ring.
+        Idempotent; safe to call when nothing was spawned.
+        """
+        self.aborted = cause
+        procs, self._procs = self._procs, []
+        for proc in procs:
+            if proc.is_alive:
+                proc.interrupt(cause)
 
     # -------------------------------------------------------------- topology
     def rank_of(self, executor_id: int) -> int:
@@ -281,23 +337,24 @@ class ScalableCommunicator:
                 local_segments = {
                     j: split_op(value, p * n + j, num) for j in range(n)
                 }
-                channel_procs.append(env.process(
+                channel_procs.append(self._track(env.process(
                     ring_reduce_scatter_rank(
                         self.fabric, rank, n, local_segments, reduce_op,
                         merge_bw, channel=p, bus=self.bus,
                         executor_id=self.ranked[rank].executor_id,
                         # local_segments was built here and never re-read:
                         # skip the defensive copy.
-                        private=True),
+                        private=True,
+                        recv_timeout=self.recv_timeout),
                     name=f"rs:r{rank}c{p}",
-                ))
+                )))
             results: Dict[int, Any] = {}
             for p, proc in enumerate(channel_procs):
                 local_idx, segment = yield proc
                 results[p * n + local_idx] = segment
             return rank, results
 
-        procs = [env.process(rank_proc(r), name=f"rs:rank{r}")
+        procs = [self._track(env.process(rank_proc(r), name=f"rs:rank{r}"))
                  for r in range(n)]
         owned: Dict[int, Dict[int, Any]] = {}
         for proc in procs:
@@ -341,7 +398,8 @@ class ScalableCommunicator:
             for idx, value in results.items():
                 collected[idx] = value
 
-        shippers = [env.process(ship(rank, results), name=f"gather:r{rank}")
+        shippers = [self._track(env.process(ship(rank, results),
+                                            name=f"gather:r{rank}"))
                     for rank, results in sorted(owned.items())]
         for proc in shippers:
             yield proc
@@ -355,10 +413,10 @@ class ScalableCommunicator:
                               reduce_op: ReduceOp,
                               concat_op: ConcatOp) -> Generator:
         """Process body: full scalable reduction (reduce-scatter + gather)."""
-        owned = yield self.env.process(
-            self.reduce_scatter(values, split_op, reduce_op))
-        result = yield self.env.process(
-            self.gather_concat(owned, concat_op))
+        owned = yield self._track(self.env.process(
+            self.reduce_scatter(values, split_op, reduce_op)))
+        result = yield self._track(self.env.process(
+            self.gather_concat(owned, concat_op)))
         return result
 
     def allreduce(self, values: Sequence[Any], split_op: SplitOp,
@@ -380,11 +438,12 @@ class ScalableCommunicator:
                 entries = [(idx, val) for idx, val in mine.items()
                            if idx // n == p]
                 (global_idx, value), = entries
-                chans.append(env.process(ring_allgather_rank(
+                chans.append(self._track(env.process(ring_allgather_rank(
                     self.fabric, rank, n, global_idx % n, value,
                     channel=("ag", p), bus=self.bus,
-                    executor_id=self.ranked[rank].executor_id),
-                    name=f"ag:r{rank}c{p}"))
+                    executor_id=self.ranked[rank].executor_id,
+                    recv_timeout=self.recv_timeout),
+                    name=f"ag:r{rank}c{p}")))
             everything: Dict[int, Any] = {}
             for p, proc in enumerate(chans):
                 have = yield proc
@@ -393,7 +452,7 @@ class ScalableCommunicator:
             ordered = [everything[i] for i in sorted(everything)]
             return rank, concat_op(ordered)
 
-        procs = [env.process(rank_proc(r)) for r in range(n)]
+        procs = [self._track(env.process(rank_proc(r))) for r in range(n)]
         out: List[Any] = [None] * n
         for proc in procs:
             rank, value = yield proc

@@ -34,17 +34,20 @@ ObjectId = Tuple[int, int]
 
 
 class StaleMergeError(Exception):
-    """A task from a cleaned-up stage attempt tried to merge its result."""
+    """A task from a cleaned-up stage attempt (or a fenced-off aggregation
+    epoch) tried to merge its result."""
 
 
 class _Entry:
-    __slots__ = ("value", "stage_attempt", "lock", "merge_count")
+    __slots__ = ("value", "stage_attempt", "lock", "merge_count", "epoch")
 
     def __init__(self, stage_attempt: int, lock: Resource):
         self.value: Any = None
         self.stage_attempt = stage_attempt
         self.lock = lock
         self.merge_count = 0
+        #: aggregation epoch; 0 until the object is fenced by recovery
+        self.epoch = 0
 
 
 class MutableObjectManager:
@@ -80,6 +83,10 @@ class MutableObjectManager:
             raise StaleMergeError(
                 f"stage attempt {stage_attempt} of {object_id} was cleaned "
                 f"up (current: {entry.stage_attempt})")
+        if entry.epoch != 0:
+            raise StaleMergeError(
+                f"{object_id} is fenced at epoch {entry.epoch}; un-epoched "
+                f"task merges are stale")
         bus = self.executor.sc.event_bus
         lock_asked = self.env.now
         yield entry.lock.acquire()
@@ -91,6 +98,9 @@ class MutableObjectManager:
             if live is not entry or entry.stage_attempt != stage_attempt:
                 raise StaleMergeError(
                     f"{object_id} attempt {stage_attempt} cleaned up mid-merge")
+            if entry.epoch != 0:
+                raise StaleMergeError(
+                    f"{object_id} was fenced at epoch {entry.epoch} mid-merge")
             if entry.value is None:
                 entry.value = value
             else:
@@ -98,6 +108,77 @@ class MutableObjectManager:
                 cost = (sim_sizeof(merged)
                         / self.executor.sc.cluster.config.merge_bandwidth
                         + cost_of(reduce_op, entry.value, value))
+                if cost > 0:
+                    yield self.env.timeout(cost)
+                entry.value = merged
+            entry.merge_count += 1
+            if bus.active:
+                job_id, stage_id = object_id
+                bus.emit(ImmMerge(
+                    time=self.env.now,
+                    executor_id=self.executor.executor_id, job_id=job_id,
+                    stage_id=stage_id, merge_index=entry.merge_count - 1,
+                    nbytes=sim_sizeof(value), lock_wait=lock_wait,
+                    merge_time=self.env.now - merge_began,
+                    representation=representation_of(entry.value),
+                    density=density_of(entry.value)))
+        finally:
+            entry.lock.release()
+
+    # -------------------------------------------------------- epoch fencing
+    def fence(self, object_id: ObjectId, epoch: int) -> None:
+        """Advance the object's aggregation epoch, fencing stale merges.
+
+        After a fence, any in-flight or replayed task merge tagged with the
+        original stage attempt raises :class:`StaleMergeError` — recovery
+        owns the object now and absorbs recomputed partials explicitly via
+        :meth:`absorb`. Fencing an unknown object is a no-op (the executor
+        may have died and been cleared).
+        """
+        if epoch <= 0:
+            raise ValueError(f"epoch must be positive, got {epoch}")
+        entry = self._entries.get(object_id)
+        if entry is not None and epoch > entry.epoch:
+            entry.epoch = epoch
+
+    def epoch_of(self, object_id: ObjectId) -> int:
+        entry = self._entries.get(object_id)
+        return 0 if entry is None else entry.epoch
+
+    def absorb(self, object_id: ObjectId, epoch: int, value: Any,
+               merge_op: Callable[[Any, Any], Any]) -> Generator:
+        """Process body: merge a recovery-recomputed partial into a fenced
+        object.
+
+        Same lock and merge-cost model as :meth:`merge`, but gated on the
+        aggregation ``epoch`` instead of the stage attempt: an absorb from
+        a superseded recovery round raises :class:`StaleMergeError`.
+        """
+        from ..rdd.costing import cost_of
+
+        entry = self._entries.get(object_id)
+        if entry is None or entry.epoch != epoch:
+            current = 0 if entry is None else entry.epoch
+            raise StaleMergeError(
+                f"absorb into {object_id} at epoch {epoch} is stale "
+                f"(current: {current})")
+        bus = self.executor.sc.event_bus
+        lock_asked = self.env.now
+        yield entry.lock.acquire()
+        lock_wait = self.env.now - lock_asked
+        merge_began = self.env.now
+        try:
+            live = self._entries.get(object_id)
+            if live is not entry or entry.epoch != epoch:
+                raise StaleMergeError(
+                    f"{object_id} epoch {epoch} superseded mid-absorb")
+            if entry.value is None:
+                entry.value = value
+            else:
+                merged = merge_op(entry.value, value)
+                cost = (sim_sizeof(merged)
+                        / self.executor.sc.cluster.config.merge_bandwidth
+                        + cost_of(merge_op, entry.value, value))
                 if cost > 0:
                     yield self.env.timeout(cost)
                 entry.value = merged

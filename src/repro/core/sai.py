@@ -23,17 +23,38 @@ one operation the four SAI callbacks cannot express when ``U != V``; pass
 ``V`` coincide (Figure 7's arrays, the micro-benchmarks), the default
 derives the merge from ``splitOp``/``reduceOp`` on the whole-object
 segment.
+
+Fault tolerance: with a :class:`~repro.faults.RecoveryPolicy` in effect
+(via an armed :class:`~repro.faults.FaultController` or the ``recovery``
+argument), the reduce step becomes a detect/recompute/rebuild loop:
+
+1. **detect** — ring recvs carry a failure-detection timeout and every
+   holding executor gets a death listener that aborts the collective the
+   instant it dies;
+2. **recompute** — a dead holder's lost partitions re-run through lineage
+   (a partial reduced-result job over only those partitions), and the
+   recomputed partials are absorbed into the surviving aggregators under
+   a fresh *aggregation epoch* that fences any stale task merges;
+3. **rebuild** — a new ring over the survivors (hostname re-sorted), up
+   to ``max_ring_attempts`` times, after which the aggregation falls back
+   to ``treeAggregate`` over the same lineage.
+
+With no policy in effect the code path is the pre-fault-tolerance one,
+statement for statement — an unfaulted run is bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..comm.ring import ScalableCommunicator
+from ..obs import RecoveryAction
 from ..rdd.costing import ELEMENT_OVERHEAD, cost_of
 from ..rdd.rdd import RDD
+from ..rdd.scheduler import JobFailed
 from ..rdd.task_context import TaskContext
-from .aggregation import fresh_zero
+from ..sim import SimulationError
+from .aggregation import fresh_zero, tree_aggregate
 from .spawn_rdd import SpawnRDD
 
 __all__ = ["split_aggregate"]
@@ -44,16 +65,25 @@ ReduceOp = Callable[[Any, Any], Any]
 ConcatOp = Callable[[Sequence[Any]], Any]
 MergeOp = Callable[[Any, Any], Any]
 
+#: (executor_id, object_id) pairs as returned by run_reduced_job
+Holders = List[Tuple[int, Tuple[int, int]]]
+
 
 def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
                     reduce_op: ReduceOp, concat_op: ConcatOp,
                     parallelism: int = 4, *,
                     merge_op: Optional[MergeOp] = None,
-                    topology_aware: bool = True) -> Any:
+                    topology_aware: bool = True,
+                    recovery: Any = None) -> Any:
     """Sparker's ``splitAggregate`` (blocking driver call).
 
     Returns the fully reduced value of type ``V`` (Figure 6: the action's
     result type is the segment type, produced by ``concatOp``).
+
+    ``recovery`` is an optional :class:`~repro.faults.RecoveryPolicy`;
+    when None it is taken from the context's armed fault controller
+    (``sc.faults``), and when neither exists the aggregation runs the
+    original, recovery-free path.
     """
     if parallelism < 1:
         raise ValueError(f"parallelism must be >= 1, got {parallelism}")
@@ -67,6 +97,10 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
         z = fresh_zero(zero)
         return concat_op([split_op(z, i, parallelism)
                           for i in range(parallelism)])
+
+    controller = getattr(sc, "faults", None)
+    if recovery is None and controller is not None:
+        recovery = controller.recovery
 
     # ---- stage 1: reduced-result stage with in-memory merge ---------------
     def partial_func(_idx: int, data: list, ctx: TaskContext) -> Any:
@@ -82,36 +116,204 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
             acc = seq_op(acc, x)
         return acc
 
+    if recovery is None:
+        with sc.stopwatch.span("agg.compute"):
+            holders = sc.run_reduced_job(rdd, partial_func, merge_op)
+        with sc.stopwatch.span("agg.reduce"):
+            result = _reduce_once(sc, holders, parallelism, topology_aware,
+                                  split_op, reduce_op, concat_op)
+        return result
+
+    # ---- fault-tolerant path ----------------------------------------------
     with sc.stopwatch.span("agg.compute"):
-        holders = sc.run_reduced_job(rdd, partial_func, merge_op)
-
-    # ---- stage 2: SpawnRDD + scalable reduce-scatter, then gather ---------
+        holders, contributions = sc.run_reduced_job(
+            rdd, partial_func, merge_op, detail=True)
     with sc.stopwatch.span("agg.reduce"):
-        slot_by_id = {slot.executor_id: slot
-                      for slot in sc.cluster.executors}
-        slots = [slot_by_id[executor_id] for executor_id, _ in holders]
-        comm = ScalableCommunicator(sc.cluster, parallelism=parallelism,
-                                    topology_aware=topology_aware,
-                                    slots=slots, bus=sc.event_bus)
-        spawned = SpawnRDD.from_holders(sc, holders)
-        # The SpawnRDD launch validates static placement and reads each
-        # executor's aggregator; its (cheap) results stay executor-side —
-        # the ring operates on the very same in-memory objects.
-        object_by_executor = dict(holders)
-        values = []
-        for slot in comm.ranked:
-            executor = sc.executor_by_id(slot.executor_id)
-            value = executor.object_manager.get(
-                object_by_executor[slot.executor_id])
-            values.append(value)
-        spawn_results = sc.run_job(
-            spawned, lambda _i, data, _ctx: len(data))
-        if len(spawn_results) != len(holders):  # pragma: no cover
-            raise RuntimeError("SpawnRDD lost partitions")
+        result = _ft_reduce(sc, rdd, partial_func, holders, contributions,
+                            zero, seq_op, merge_op, parallelism,
+                            topology_aware, split_op, reduce_op, concat_op,
+                            recovery, controller)
+    return result
 
+
+def _reduce_once(sc: Any, holders: Holders, parallelism: int,
+                 topology_aware: bool, split_op: SplitOp,
+                 reduce_op: ReduceOp, concat_op: ConcatOp, *,
+                 faults: Any = None,
+                 recv_timeout: Optional[float] = None,
+                 watch_deaths: bool = False) -> Any:
+    """One SpawnRDD + reduce-scatter + gather pass over ``holders``.
+
+    The default arguments make this exactly the original reduce step;
+    ``watch_deaths`` additionally aborts the collective (interrupting all
+    of its processes) the instant any holding executor dies, so a
+    mid-collective crash surfaces immediately instead of via timeout.
+    """
+    comm = ScalableCommunicator(sc.cluster, parallelism=parallelism,
+                                topology_aware=topology_aware,
+                                slots=_slots_for(sc, holders),
+                                bus=sc.event_bus, faults=faults,
+                                recv_timeout=recv_timeout)
+    spawned = SpawnRDD.from_holders(sc, holders)
+    # The SpawnRDD launch validates static placement and reads each
+    # executor's aggregator; its (cheap) results stay executor-side —
+    # the ring operates on the very same in-memory objects.
+    object_by_executor = dict(holders)
+    values = []
+    for slot in comm.ranked:
+        executor = sc.executor_by_id(slot.executor_id)
+        value = executor.object_manager.get(
+            object_by_executor[slot.executor_id])
+        values.append(value)
+    spawn_results = sc.run_job(
+        spawned, lambda _i, data, _ctx: len(data))
+    if len(spawn_results) != len(holders):  # pragma: no cover
+        raise RuntimeError("SpawnRDD lost partitions")
+
+    watched = []
+    if watch_deaths:
+        def on_death(executor: Any) -> None:
+            comm.abort(f"executor {executor.executor_id} died "
+                       f"mid-collective")
+        for executor_id, _ in holders:
+            executor = sc.executor_by_id(executor_id)
+            executor.add_death_listener(on_death)
+            watched.append(executor)
+    try:
         proc = sc.env.process(comm.reduce_scatter_gather(
             values, split_op, reduce_op, concat_op))
         result = sc.env.run(until=proc)
+    except BaseException:
+        if watch_deaths:
+            # Kill any surviving ranks of the failed collective: zombies
+            # would keep exchanging segments and burn NIC bandwidth under
+            # the rebuilt ring.
+            comm.abort("collective failed")
+        raise
+    finally:
+        for executor in watched:
+            executor.remove_death_listener(on_death)
 
+    SpawnRDD.cleanup_holders(sc, holders)
+    return result
+
+
+def _slots_for(sc: Any, holders: Holders) -> list:
+    slot_by_id = {slot.executor_id: slot
+                  for slot in sc.cluster.executors}
+    return [slot_by_id[executor_id] for executor_id, _ in holders]
+
+
+def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
+               contributions: dict, zero: Any, seq_op: SeqOp,
+               merge_op: MergeOp, parallelism: int, topology_aware: bool,
+               split_op: SplitOp, reduce_op: ReduceOp, concat_op: ConcatOp,
+               recovery: Any, controller: Any) -> Any:
+    """The detect / recompute / rebuild loop of the fault-tolerant path."""
+    agg_job = holders[0][1][0]  # stage 1's job id, for recovery events
+    attempts = 0
+    epoch = 0
+    first_detect: Optional[float] = None
+
+    def emit(action: str, **kw: Any) -> None:
+        event = RecoveryAction(time=sc.now, action=action, job_id=agg_job,
+                               **kw)
+        if controller is not None:
+            controller.actions.append(event)
+        if sc.event_bus.active:
+            sc.event_bus.emit(event)
+
+    while attempts < recovery.max_ring_attempts:
+        lost = [(eid, obj) for eid, obj in holders
+                if not sc.executor_by_id(eid).alive]
+        if lost:
+            if first_detect is None:
+                first_detect = sc.now
+            live = [(eid, obj) for eid, obj in holders
+                    if sc.executor_by_id(eid).alive]
+            lost_parts = sorted(
+                p for eid, _ in lost for p in contributions.get(eid, ()))
+            for eid, _ in lost:
+                emit("partial_recompute", executor_id=eid, attempt=attempts,
+                     ranks=len(live),
+                     detail=f"partitions {lost_parts} via lineage")
+                contributions.pop(eid, None)
+            # Lineage recompute: re-run the reduced-result stage over only
+            # the dead holders' partitions. The scheduler places them on
+            # surviving executors (and survives further losses itself).
+            new_holders, new_contribs = sc.run_reduced_job(
+                rdd, partial_func, merge_op, partitions=lost_parts,
+                detail=True)
+            # Fence the surviving aggregators at a fresh epoch so any
+            # zombie merge from the original stage raises StaleMergeError,
+            # then absorb the recomputed partials.
+            epoch += 1
+            live_by_id = dict(live)
+            for eid, obj in live:
+                sc.executor_by_id(eid).object_manager.fence(obj, epoch)
+            for eid, temp_obj in new_holders:
+                executor = sc.executor_by_id(eid)
+                manager = executor.object_manager
+                temp_value = manager.get(temp_obj)
+                if eid in live_by_id:
+                    # The recomputed partial lands on an executor that
+                    # already holds an original: merge the two in memory.
+                    proc = sc.env.process(manager.absorb(
+                        live_by_id[eid], epoch, temp_value, merge_op))
+                    sc.env.run(until=proc)
+                    manager.clear(temp_obj)
+                    contributions[eid] = sorted(
+                        contributions.get(eid, []) + new_contribs[eid])
+                else:
+                    # A fresh holder joins the ring with the recomputed
+                    # partial as its aggregator.
+                    manager.fence(temp_obj, epoch)
+                    live.append((eid, temp_obj))
+                    live_by_id[eid] = temp_obj
+                    contributions[eid] = sorted(new_contribs[eid])
+            holders = live
+            # Re-check before ringing: a holder may have died during the
+            # recompute job itself.
+            continue
+        try:
+            result = _reduce_once(
+                sc, holders, parallelism, topology_aware, split_op,
+                reduce_op, concat_op, faults=controller,
+                recv_timeout=recovery.recv_timeout, watch_deaths=True)
+        except (JobFailed, SimulationError):
+            # Retry budgets below this loop are already exhausted (or the
+            # kernel itself broke): rebuilding the ring cannot help.
+            raise
+        except Exception as exc:
+            # ExecutorLost (recv timeout or pinned-task failure), Interrupt
+            # (a death listener aborted the collective), StaleMergeError —
+            # all mean this ring attempt is dead; rebuild over survivors.
+            attempts += 1
+            emit("ring_abort", attempt=attempts, ranks=len(holders),
+                 detail=str(exc))
+            if first_detect is None:
+                first_detect = sc.now
+            if attempts < recovery.max_ring_attempts:
+                emit("ring_rebuild", attempt=attempts, ranks=len(holders))
+            continue
+        if first_detect is not None:
+            emit("recovered", seconds=sc.now - first_detect,
+                 attempt=attempts, ranks=len(holders))
+        return result
+
+    # ---- ring budget exhausted: fall back to the tree -------------------
+    emit("tree_fallback", site="tree", attempt=attempts)
+    if not recovery.tree_fallback:
         SpawnRDD.cleanup_holders(sc, holders)
+        raise RuntimeError(
+            f"split aggregation failed {attempts} ring attempts and tree "
+            f"fallback is disabled")
+    SpawnRDD.cleanup_holders(sc, holders)
+    agg = tree_aggregate(rdd, zero, seq_op, merge_op,
+                         depth=recovery.tree_depth, imm=True)
+    result = concat_op([split_op(agg, i, parallelism)
+                        for i in range(parallelism)])
+    if first_detect is not None:
+        emit("recovered", site="tree", seconds=sc.now - first_detect,
+             attempt=attempts)
     return result

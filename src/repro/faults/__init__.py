@@ -1,0 +1,45 @@
+"""Deterministic, seeded fault injection for the simulated engine.
+
+Declare what breaks with a :class:`FaultPlan` (executor crashes at
+virtual times, stage boundaries or ring hops; message drops and delays;
+stragglers; driver-NIC degradation), arm a :class:`FaultController`
+against a context, and run the workload — split aggregation detects the
+damage (recv timeouts, death listeners, epoch fencing) and recovers per
+its :class:`RecoveryPolicy` (lineage recompute of lost partials, ring
+rebuild over the survivors, bounded attempts, ``treeAggregate``
+fallback). Same plan + same seed replays to a byte-identical event log.
+"""
+
+from .controller import FaultController
+from .plan import (
+    AtRingHop,
+    AtStageBoundary,
+    AtTime,
+    DriverNicDegradation,
+    ExecutorCrash,
+    Fault,
+    FaultPlan,
+    MessageDelay,
+    MessageDrop,
+    RecoveryPolicy,
+    Straggler,
+    Trigger,
+    random_plan,
+)
+
+__all__ = [
+    "FaultController",
+    "FaultPlan",
+    "RecoveryPolicy",
+    "AtTime",
+    "AtStageBoundary",
+    "AtRingHop",
+    "ExecutorCrash",
+    "MessageDrop",
+    "MessageDelay",
+    "Straggler",
+    "DriverNicDegradation",
+    "Fault",
+    "Trigger",
+    "random_plan",
+]

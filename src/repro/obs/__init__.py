@@ -36,6 +36,7 @@ then ``python -m repro.obs events.jsonl`` for the decomposition, or
 """
 
 from .analysis import (
+    FaultReport,
     SparseSavings,
     TraceAnalysis,
     analyze_events,
@@ -47,6 +48,7 @@ from .chrome_trace import chrome_trace, write_chrome_trace
 from .events import (
     BlockEvent,
     EVENT_TYPES,
+    FaultInjected,
     ImmMerge,
     JobEnd,
     JobStart,
@@ -54,6 +56,7 @@ from .events import (
     MessageSent,
     NicSample,
     PhaseSpan,
+    RecoveryAction,
     RingHop,
     SegmentRepresentation,
     StageCompleted,
@@ -97,6 +100,8 @@ __all__ = [
     "SegmentRepresentation",
     "PhaseSpan",
     "NicSample",
+    "FaultInjected",
+    "RecoveryAction",
     "EventLogWriter",
     "dump_events",
     "load_events",
@@ -110,6 +115,7 @@ __all__ = [
     "Histogram",
     "MetricsListener",
     "NicMonitor",
+    "FaultReport",
     "SparseSavings",
     "TraceAnalysis",
     "analyze_events",

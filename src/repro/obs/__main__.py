@@ -2,7 +2,9 @@
 
 ``python -m repro.obs events.jsonl`` prints the Figure-2-style time
 decomposition (phase and stage buckets), straggler tasks (slower than a
-factor of their stage's median), and driver-NIC saturation windows.
+factor of their stage's median), the fault report (injected faults with
+detection latency, recovery actions, per-job recovery cost), and
+driver-NIC saturation windows.
 ``--chrome trace.json`` additionally writes a Perfetto-loadable Chrome
 trace, and ``--metrics`` dumps the full metrics registry fed from the
 log.
@@ -106,6 +108,33 @@ def render_analysis(analysis: TraceAnalysis) -> str:
             rows, title="Stragglers (duration > 2x stage median)"))
     else:
         out.append("stragglers: none")
+
+    faults = analysis.faults
+    if faults.observed:
+        out.append("")
+        latency = {id(f): lat for f, lat in faults.detection_latency}
+        rows = [[f"{f.time:.4f}s", f.fault, f.trigger, f.target,
+                 (f"{latency[id(f)]:.4f}s" if id(f) in latency else "-"),
+                 f.detail]
+                for f in faults.injected]
+        out.append(format_table(
+            ["time", "fault", "trigger", "target", "detect", "detail"],
+            rows, title="Injected faults"))
+        if faults.actions:
+            rows = [[f"{a.time:.4f}s", a.action, a.site,
+                     (a.job_id if a.job_id >= 0 else "-"),
+                     (a.executor_id if a.executor_id >= 0 else "-"),
+                     a.attempt, a.detail]
+                    for a in faults.actions]
+            out.append(format_table(
+                ["time", "action", "site", "job", "executor", "attempt",
+                 "detail"],
+                rows, title="Recovery actions"))
+        if faults.recovery_by_job:
+            cost = ", ".join(
+                f"job {job_id}: {format_seconds(seconds)}"
+                for job_id, seconds in sorted(faults.recovery_by_job.items()))
+            out.append(f"recovery virtual-time cost: {cost}")
 
     out.append("")
     if analysis.saturation:

@@ -22,7 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .events import NicSample, TaskEnd, TraceEvent
+from .events import (
+    FaultInjected,
+    NicSample,
+    RecoveryAction,
+    TaskEnd,
+    TraceEvent,
+)
 
 __all__ = [
     "AGG_COMPUTE_MARKERS",
@@ -32,6 +38,7 @@ __all__ = [
     "Straggler",
     "SaturationWindow",
     "SparseSavings",
+    "FaultReport",
     "TraceAnalysis",
     "analyze_events",
 ]
@@ -127,6 +134,49 @@ class SparseSavings:
         return self.sparse_hops > 0 or bool(self.switches)
 
 
+@dataclass
+class FaultReport:
+    """What the fault controller injected and how the engine answered.
+
+    ``detection_latency`` pairs each *detectable* injected fault (crashes
+    and message drops) with the virtual seconds between injection and the
+    first recovery action at or after it; ``recovery_by_job`` maps job id
+    to the total virtual-time cost reported by that job's ``recovered``
+    actions (first detection to completed aggregation).
+    """
+
+    #: every FaultInjected, in event order
+    injected: List[FaultInjected] = field(default_factory=list)
+    #: every RecoveryAction, in event order
+    actions: List[RecoveryAction] = field(default_factory=list)
+    #: (fault, latency_seconds) for faults a recovery action answered
+    detection_latency: List[Tuple[FaultInjected, float]] = \
+        field(default_factory=list)
+    #: job id -> recovery virtual-time cost (from "recovered" actions)
+    recovery_by_job: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def observed(self) -> bool:
+        return bool(self.injected or self.actions)
+
+    def finalize(self) -> None:
+        """Derive latencies and per-job costs from the raw event lists."""
+        detectable = ("executor_crash", "message_drop")
+        for fault in self.injected:
+            if fault.fault not in detectable:
+                continue
+            answer = next((a for a in self.actions
+                           if a.time >= fault.time), None)
+            if answer is not None:
+                self.detection_latency.append(
+                    (fault, answer.time - fault.time))
+        for action in self.actions:
+            if action.action == "recovered":
+                self.recovery_by_job[action.job_id] = (
+                    self.recovery_by_job.get(action.job_id, 0.0)
+                    + action.seconds)
+
+
 @dataclass(frozen=True)
 class SaturationWindow:
     """A contiguous run of NIC samples at or above the threshold."""
@@ -162,6 +212,7 @@ class TraceAnalysis:
     stragglers: List[Straggler] = field(default_factory=list)
     saturation: List[SaturationWindow] = field(default_factory=list)
     sparse: SparseSavings = field(default_factory=SparseSavings)
+    faults: FaultReport = field(default_factory=FaultReport)
 
     @property
     def total_time(self) -> float:
@@ -307,10 +358,15 @@ def analyze_events(events: Iterable[TraceEvent], *,
             analysis.imm_merge_count += 1
             if event.representation == "sparse":
                 analysis.sparse.sparse_imm_merges += 1
+        elif kind == "fault_injected":
+            analysis.faults.injected.append(event)
+        elif kind == "recovery_action":
+            analysis.faults.actions.append(event)
         elif kind == "nic_sample":
             if event.is_driver or not driver_only_saturation:
                 nic_samples.append(event)
     analysis.unfinished_stages = max(open_stages, 0)
+    analysis.faults.finalize()
     analysis.stragglers = _find_stragglers(task_ends, straggler_factor)
     analysis.saturation = _saturation_windows(nic_samples,
                                               saturation_threshold)

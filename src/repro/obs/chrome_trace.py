@@ -9,7 +9,9 @@ natively:
   concurrent tasks than cores, so the packing is exact) — plus extra
   lanes for ring-hop spans (one per ring channel) and IMM merges,
 * a *driver* process with a job lane and a phase lane
-  (``agg.compute`` / ``ml.driver`` / ... spans from the stopwatch),
+  (``agg.compute`` / ``ml.driver`` / ... spans from the stopwatch);
+  injected faults and recovery actions appear as instant markers on the
+  job lane,
 * a *NIC* process carrying per-node utilization counter tracks sampled
   by :class:`~repro.obs.metrics.NicMonitor`.
 
@@ -120,6 +122,25 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
     for lane, e in _pack_lanes(phase_spans):
         out.append(_span(DRIVER_PID, 1 + lane, e.key, e.began, e.time,
                          "phase", {"seconds": e.seconds}))
+
+    # ------------------------------------------------------------- faults
+    # Instant markers on the job lane: faults pin where the controller
+    # struck, recovery actions show the engine's answer on the same axis.
+    for event in events:
+        if event.kind == "fault_injected":
+            out.append({"ph": "i", "pid": DRIVER_PID, "tid": 0, "s": "g",
+                        "name": f"fault:{event.fault}", "cat": "fault",
+                        "ts": event.time * _US,
+                        "args": {"target": event.target,
+                                 "trigger": event.trigger,
+                                 "detail": event.detail}})
+        elif event.kind == "recovery_action":
+            out.append({"ph": "i", "pid": DRIVER_PID, "tid": 0, "s": "t",
+                        "name": f"recovery:{event.action}", "cat": "fault",
+                        "ts": event.time * _US,
+                        "args": {"site": event.site, "job_id": event.job_id,
+                                 "attempt": event.attempt,
+                                 "detail": event.detail}})
 
     # ---------------------------------------------------------- executors
     task_ends = [e for e in events if e.kind == "task_end"]

@@ -35,6 +35,8 @@ __all__ = [
     "SegmentRepresentation",
     "PhaseSpan",
     "NicSample",
+    "FaultInjected",
+    "RecoveryAction",
     "EVENT_TYPES",
     "event_from_record",
     "channel_str",
@@ -339,6 +341,56 @@ class PhaseSpan(TraceEvent):
         return self.time - self.seconds
 
 
+# ------------------------------------------------------------------ faults
+@dataclass(frozen=True)
+class FaultInjected(TraceEvent):
+    """The fault controller fired one planned fault.
+
+    ``fault`` names the fault class (``executor_crash``, ``message_drop``,
+    ``message_delay``, ``straggler``, ``nic_degradation``,
+    ``nic_restored``, ``straggler_end``); ``trigger`` records what armed
+    it (``at_time``, ``stage_boundary``, ``ring_hop``, ``window``,
+    ``link``). ``src``/``dst`` are ring ranks for link faults, -1
+    otherwise.
+    """
+
+    kind: ClassVar[str] = "fault_injected"
+
+    fault: str
+    target: str
+    trigger: str = ""
+    executor_id: int = -1
+    src: int = -1
+    dst: int = -1
+    channel: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RecoveryAction(TraceEvent):
+    """One step the engine took to survive an injected (or real) fault.
+
+    ``action`` is one of ``ring_abort`` (a collective was torn down after
+    failure detection), ``partial_recompute`` (lost partitions re-ran
+    through lineage), ``ring_rebuild`` (a new ring over the survivors),
+    ``tree_fallback`` (ring attempts exhausted, switched to
+    treeAggregate), or ``recovered`` (the aggregation completed;
+    ``seconds`` carries the virtual-time cost from first detection to
+    completion). ``site`` is ``"ring"`` or ``"tree"``.
+    """
+
+    kind: ClassVar[str] = "recovery_action"
+
+    action: str
+    site: str = "ring"
+    job_id: int = -1
+    executor_id: int = -1
+    attempt: int = 0
+    ranks: int = 0
+    seconds: float = 0.0
+    detail: str = ""
+
+
 # --------------------------------------------------------------- sampling
 @dataclass(frozen=True)
 class NicSample(TraceEvent):
@@ -362,6 +414,7 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         JobStart, JobEnd, StageSubmitted, StageCompleted, TaskStart,
         TaskEnd, BlockEvent, MessageSent, MessageDelivered, RingHop,
         ImmMerge, SegmentRepresentation, PhaseSpan, NicSample,
+        FaultInjected, RecoveryAction,
     )
 }
 

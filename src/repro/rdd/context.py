@@ -92,6 +92,9 @@ class SparkerContext:
         self._next_shuffle_id = 0
         self._next_job_id = 0
         self._stopped = False
+        #: armed fault controller (see :mod:`repro.faults`); None = no
+        #: injection and no recovery machinery anywhere in the engine
+        self.faults = None
 
     # ----------------------------------------------------------------- plumbing
     def _record_phase(self, key: str, seconds: float, now: float) -> None:
@@ -199,17 +202,21 @@ class SparkerContext:
 
     def run_reduced_job(self, rdd: RDD,
                         func: Callable[[int, list, TaskContext], Any],
-                        reduce_op: Callable[[Any, Any], Any]) -> list:
+                        reduce_op: Callable[[Any, Any], Any],
+                        partitions: Optional[Sequence[int]] = None,
+                        detail: bool = False) -> Any:
         """Run an IMM reduced-result stage (blocking).
 
         Returns ``[(executor_id, object_id), ...]``; read the merged values
-        with ``sc.executor_by_id(eid).object_manager.get(oid)``.
+        with ``sc.executor_by_id(eid).object_manager.get(oid)``. See
+        :meth:`DAGScheduler.run_reduced_job` for ``partitions``/``detail``.
         """
         if self._stopped:
             raise RuntimeError("context is stopped")
         job_id = self.new_job_id()
         proc = self.env.process(
-            self.dag.run_reduced_job(rdd, func, reduce_op, job_id),
+            self.dag.run_reduced_job(rdd, func, reduce_op, job_id,
+                                     partitions=partitions, detail=detail),
             name="reduced-job")
         return self.env.run(until=proc)
 

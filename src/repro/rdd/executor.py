@@ -64,6 +64,10 @@ class Executor:
         self.shuffle_store = ShuffleStore(slot.executor_id)
         self.object_manager = MutableObjectManager(self)
         self._running: set = set()
+        #: callbacks invoked (in registration order) when this executor dies
+        self._death_listeners: list = []
+        #: compute-time multiplier; >1.0 makes this executor a straggler
+        self.compute_scale = 1.0
         #: completed task attempts, for instrumentation
         self.tasks_run = 0
 
@@ -136,6 +140,8 @@ class Executor:
                 finally:
                     pop_task_context()
             charged = ctx.drain_charges()
+            if self.compute_scale != 1.0:
+                charged *= self.compute_scale
             stats["compute_time"] = charged
             if charged > 0:
                 yield env.timeout(charged)
@@ -261,6 +267,21 @@ class Executor:
         return deser_time
 
     # -------------------------------------------------------------------- kill
+    def add_death_listener(self, callback) -> None:
+        """Register ``callback(executor)`` to run when this executor dies.
+
+        Listeners fire after running tasks are interrupted; with the
+        kernel's deferred interrupts that makes them the synchronous
+        failure-detection hook collectives use to tear themselves down.
+        """
+        self._death_listeners.append(callback)
+
+    def remove_death_listener(self, callback) -> None:
+        try:
+            self._death_listeners.remove(callback)
+        except ValueError:
+            pass
+
     def kill(self, reason: str = "fault injection") -> None:
         """Simulate executor loss: drop state, interrupt running tasks."""
         if not self.alive:
@@ -274,6 +295,9 @@ class Executor:
         for proc in list(self._running):
             if proc.is_alive:
                 proc.interrupt(reason)
+        listeners, self._death_listeners = self._death_listeners, []
+        for callback in listeners:
+            callback(self)
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else "dead"

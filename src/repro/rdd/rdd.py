@@ -563,18 +563,23 @@ class RDD:
                         reduce_op: Callable, concat_op: Callable,
                         parallelism: int = 4, *,
                         merge_op: Optional[Callable] = None,
-                        topology_aware: bool = True) -> Any:
+                        topology_aware: bool = True,
+                        recovery: Any = None) -> Any:
         """Sparker's split aggregation (see :mod:`repro.core.sai`).
 
         ``merge_op`` is the executor-local IMM merge over whole aggregators
         (defaults to a whole-object ``splitOp``/``reduceOp`` round-trip,
-        valid when aggregator and segment types coincide).
+        valid when aggregator and segment types coincide). ``recovery`` is
+        an optional :class:`~repro.faults.RecoveryPolicy` arming the
+        fault-tolerant reduce path; by default it is taken from the
+        context's armed fault controller, if any.
         """
         from ..core.sai import split_aggregate
         return split_aggregate(self, zero, seq_op, split_op, reduce_op,
                                concat_op, parallelism=parallelism,
                                merge_op=merge_op,
-                               topology_aware=topology_aware)
+                               topology_aware=topology_aware,
+                               recovery=recovery)
 
     def sum(self) -> Any:
         """Sum of all elements."""

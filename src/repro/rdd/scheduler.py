@@ -35,8 +35,8 @@ from typing import (
 )
 
 from ..obs import JobEnd, JobStart, StageCompleted, StageSubmitted
-from ..sim import Interrupt
-from .executor import Executor, ExecutorLost, TaskKilled
+from ..sim import Interrupt, SimulationError
+from .executor import Executor, ExecutorLost
 from .rdd import RDD, ShuffleDependency
 from .shuffle import FetchFailed
 from .tasks import ReducedResultTask, ResultTask, ShuffleMapTask, Task
@@ -140,15 +140,24 @@ class DAGScheduler:
     def run_reduced_job(self, rdd: RDD,
                         func: Callable[[int, list, Any], Any],
                         reduce_op: Callable[[Any, Any], Any],
-                        job_id: int) -> Generator:
+                        job_id: int,
+                        partitions: Optional[Sequence[int]] = None,
+                        detail: bool = False) -> Generator:
         """Process body: run an IMM reduced-result stage (paper §4.3).
 
         Returns ``[(executor_id, object_id), ...]`` — one entry per executor
         that holds a merged aggregator. Any task failure clears the shared
         objects and resubmits the entire stage.
+
+        ``partitions`` restricts the stage to a subset (recovery re-runs
+        only a dead executor's lost partitions); with ``detail`` the return
+        value is ``(holders, contributions)`` where ``contributions`` maps
+        each holding executor to the sorted partitions merged into it —
+        the lineage record recovery needs to recompute a lost partial.
         """
         sc = self.sc
-        parts = list(range(rdd.num_partitions()))
+        parts = list(partitions if partitions is not None
+                     else range(rdd.num_partitions()))
         self._job_start(job_id, "reduced_result", rdd, len(parts))
         yield sc.env.timeout(sc.cluster.config.driver_job_overhead)
         stage_id = self._new_stage_id()
@@ -171,20 +180,31 @@ class DAGScheduler:
                 self._cleanup_objects(object_id)
                 self._close_stage(info, job_id)
                 continue
-            except (TaskKilled, ExecutorLost, Exception):
+            except (Interrupt, JobFailed, SimulationError):
+                # Not task failures: the driver is being torn down, a
+                # nested stage exhausted its budget, or the kernel itself
+                # broke. Resubmitting would mask the real problem.
+                raise
+            except Exception:
                 # IMM semantics: the shared value may be partially merged;
                 # clean up the whole stage and resubmit it (paper §3.2).
+                # TaskKilled/ExecutorLost land here with every other task
+                # failure — one handler, one policy.
                 self._cleanup_objects(object_id)
                 self._close_stage(info, job_id)
                 continue
             self._close_stage(info, job_id)
             holders: List[Tuple[int, Tuple[int, int]]] = []
+            contributions: Dict[int, List[int]] = {}
             seen: Set[int] = set()
-            for _partition, (executor_id, obj_id) in sorted(raw.items()):
+            for partition, (executor_id, obj_id) in sorted(raw.items()):
                 if executor_id not in seen:
                     seen.add(executor_id)
                     holders.append((executor_id, obj_id))
+                contributions.setdefault(executor_id, []).append(partition)
             self._job_end(job_id, "reduced_result", succeeded=True)
+            if detail:
+                return holders, contributions
             return holders
         self._job_end(job_id, "reduced_result", succeeded=False)
         raise JobFailed(
@@ -321,9 +341,13 @@ class DAGScheduler:
                     return partition, output
                 except FetchFailed:
                     raise
-                except (TaskKilled, ExecutorLost, Exception) as exc:
-                    if isinstance(exc, Interrupt):
-                        raise
+                except (Interrupt, JobFailed, SimulationError):
+                    # Abort/teardown and scheduler-level failures are not
+                    # retryable task outcomes; let them surface untouched.
+                    raise
+                except Exception:
+                    # TaskKilled, ExecutorLost and every other task-level
+                    # failure: same retry budget, same policy.
                     failures += 1
                     tried.add(executor.executor_id)
                     if not retry_tasks or failures >= MAX_TASK_FAILURES:

@@ -230,6 +230,20 @@ class Store:
             return self._items.popleft()
         return None
 
+    def cancel(self, event: Event) -> bool:
+        """Withdraw an abandoned ``get`` event from the waiter queue.
+
+        A getter that timed out must be cancelled, or the next ``put``
+        would wake it and the item would vanish into a process that
+        stopped listening. Returns False when the event is not queued
+        (it already received an item, or was never a getter here).
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            return False
+        return True
+
     def __repr__(self) -> str:
         return (f"<Store {self.name!r} items={len(self._items)}"
                 f" getters={len(self._getters)}>")

@@ -138,3 +138,59 @@ def test_executor_kill_clears_object_manager(sc):
     run_merge(sc, executor, (0, 0), 0, 5, lambda a, b: a + b)
     executor.kill()
     assert executor.object_manager.get((0, 0)) is None
+
+
+# ---------------------------------------------------------- epoch fencing
+def run_absorb(sc, executor, object_id, epoch, value, op):
+    proc = sc.env.process(
+        executor.object_manager.absorb(object_id, epoch, value, op))
+    return sc.env.run(until=proc)
+
+
+def test_fenced_object_rejects_task_merges(sc):
+    executor = sc.executors[0]
+    run_merge(sc, executor, (0, 0), 0, 5, lambda a, b: a + b)
+    executor.object_manager.fence((0, 0), 1)
+    with pytest.raises(StaleMergeError):
+        run_merge(sc, executor, (0, 0), 0, 7, lambda a, b: a + b)
+    assert executor.object_manager.get((0, 0)) == 5
+
+
+def test_fence_is_monotonic_and_validated(sc):
+    manager = sc.executors[0].object_manager
+    run_merge(sc, sc.executors[0], (0, 0), 0, 1, lambda a, b: a + b)
+    manager.fence((0, 0), 3)
+    manager.fence((0, 0), 1)  # stale fence: no retreat
+    assert manager.epoch_of((0, 0)) == 3
+    with pytest.raises(ValueError):
+        manager.fence((0, 0), 0)
+
+
+def test_fence_unknown_object_is_noop(sc):
+    manager = sc.executors[0].object_manager
+    manager.fence((9, 9), 2)
+    assert manager.epoch_of((9, 9)) == 0
+
+
+def test_absorb_merges_at_matching_epoch(sc):
+    executor = sc.executors[0]
+    run_merge(sc, executor, (0, 0), 0, 5, lambda a, b: a + b)
+    executor.object_manager.fence((0, 0), 1)
+    run_absorb(sc, executor, (0, 0), 1, 7, lambda a, b: a + b)
+    assert executor.object_manager.get((0, 0)) == 12
+    assert executor.object_manager.merge_count((0, 0)) == 2
+
+
+def test_absorb_at_stale_epoch_rejected(sc):
+    executor = sc.executors[0]
+    run_merge(sc, executor, (0, 0), 0, 5, lambda a, b: a + b)
+    executor.object_manager.fence((0, 0), 2)
+    with pytest.raises(StaleMergeError):
+        run_absorb(sc, executor, (0, 0), 1, 7, lambda a, b: a + b)
+    assert executor.object_manager.get((0, 0)) == 5
+
+
+def test_absorb_into_unknown_object_rejected(sc):
+    executor = sc.executors[0]
+    with pytest.raises(StaleMergeError):
+        run_absorb(sc, executor, (4, 4), 1, 7, lambda a, b: a + b)

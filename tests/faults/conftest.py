@@ -1,0 +1,79 @@
+"""Shared harness for the fault-injection suite.
+
+``run_split_agg`` runs one split aggregation of a fixed integer-valued
+workload (exact float addition, so recovery must reproduce the fault-free
+result *bitwise*) under an optional plan, and reports everything the
+tests assert on: the result array, the final virtual time, and the
+controller's injected/recovery records.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.faults import FaultController, FaultPlan, RecoveryPolicy
+from repro.rdd import SparkerContext
+from repro.serde import SizedPayload
+
+PAYLOAD_ARGS = dict(
+    seq_op=lambda a, x: a.merge_inplace(x),
+    split_op=lambda u, i, n: u.split(i, n),
+    reduce_op=lambda a, b: a.merge(b),
+    concat_op=SizedPayload.concat,
+)
+
+N_ITEMS = 24
+N_PARTITIONS = 8
+WIDTH = 64
+
+
+def make_context(num_nodes: int = 4) -> SparkerContext:
+    return SparkerContext(ClusterConfig.laptop(num_nodes=num_nodes))
+
+
+def expected_sum() -> np.ndarray:
+    return np.sum([np.full(WIDTH, float(i)) for i in range(N_ITEMS)],
+                  axis=0)
+
+
+@dataclass
+class AggRun:
+    """One split aggregation's observable outcome."""
+
+    result: np.ndarray
+    now: float
+    injected: List = field(default_factory=list)
+    actions: List = field(default_factory=list)
+
+    @property
+    def action_names(self) -> List[str]:
+        return [a.action for a in self.actions]
+
+
+def run_split_agg(plan: Optional[FaultPlan] = None,
+                  recovery: Optional[RecoveryPolicy] = None,
+                  num_nodes: int = 4, parallelism: int = 4,
+                  sc: Optional[SparkerContext] = None) -> AggRun:
+    """Aggregate the fixed workload, optionally under an armed plan."""
+    if sc is None:
+        sc = make_context(num_nodes)
+    controller = None
+    if plan is not None:
+        controller = FaultController(sc, plan, recovery).arm()
+    data = [SizedPayload(np.full(WIDTH, float(i))) for i in range(N_ITEMS)]
+    rdd = sc.parallelize(data, N_PARTITIONS)
+    result = rdd.split_aggregate(
+        lambda: SizedPayload(np.zeros(WIDTH)), parallelism=parallelism,
+        recovery=None if plan is not None else recovery, **PAYLOAD_ARGS)
+    return AggRun(result=result.data, now=sc.now,
+                  injected=list(controller.injected) if controller else [],
+                  actions=list(controller.actions) if controller else [])
+
+
+@pytest.fixture(scope="module")
+def baseline() -> AggRun:
+    """The fault-free run every recovery test compares against bitwise."""
+    return run_split_agg()

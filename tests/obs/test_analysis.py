@@ -163,3 +163,75 @@ def test_sparse_savings_silent_when_dense_only():
     assert not sparse.observed
     assert sparse.bytes_saved == 0.0
     assert sparse.savings_ratio == 0.0
+
+
+def test_fault_report_latency_and_recovery_cost():
+    from repro.obs import FaultInjected, RecoveryAction
+
+    events = [
+        FaultInjected(time=1.0, fault="executor_crash",
+                      target="executor 3", trigger="at_time",
+                      executor_id=3),
+        RecoveryAction(time=1.2, action="ring_abort", job_id=7, attempt=1),
+        RecoveryAction(time=1.5, action="recovered", job_id=7,
+                       seconds=0.3),
+        FaultInjected(time=2.0, fault="straggler", target="executor 1",
+                      trigger="window", executor_id=1),
+    ]
+    report = analyze_events(events).faults
+    assert report.observed
+    assert len(report.injected) == 2
+    assert len(report.actions) == 2
+    # Only detectable faults (crash/drop) get a latency pairing; the
+    # straggler is injected but never "answered".
+    assert len(report.detection_latency) == 1
+    fault, latency = report.detection_latency[0]
+    assert fault.fault == "executor_crash"
+    assert latency == pytest.approx(0.2)
+    assert report.recovery_by_job == {7: pytest.approx(0.3)}
+
+
+def test_fault_report_empty_when_unfaulted():
+    report = analyze_events([]).faults
+    assert not report.observed
+    assert report.detection_latency == []
+    assert report.recovery_by_job == {}
+
+
+def test_render_analysis_includes_fault_section():
+    from repro.obs import FaultInjected, RecoveryAction
+    from repro.obs.__main__ import render_analysis
+
+    events = [
+        FaultInjected(time=0.5, fault="executor_crash",
+                      target="executor 2", trigger="ring_hop",
+                      executor_id=2, detail="channel 0 hop 1"),
+        RecoveryAction(time=0.6, action="ring_rebuild", job_id=3,
+                       attempt=1),
+        RecoveryAction(time=0.9, action="recovered", job_id=3,
+                       seconds=0.4),
+    ]
+    text = render_analysis(analyze_events(events))
+    assert "Injected faults" in text
+    assert "executor_crash" in text
+    assert "Recovery actions" in text
+    assert "recovery virtual-time cost" in text
+    assert "job 3" in text
+
+
+def test_chrome_trace_marks_faults():
+    from repro.obs import FaultInjected, RecoveryAction
+    from repro.obs.chrome_trace import chrome_trace
+
+    events = [
+        FaultInjected(time=0.5, fault="message_drop", target="rank 0 -> 1",
+                      trigger="link", src=0, dst=1, channel="ring/0"),
+        RecoveryAction(time=0.7, action="tree_fallback", site="tree",
+                       job_id=2),
+    ]
+    trace = chrome_trace(events)["traceEvents"]
+    instants = [e for e in trace if e.get("ph") == "i"]
+    assert {e["name"] for e in instants} == \
+        {"fault:message_drop", "recovery:tree_fallback"}
+    drop = next(e for e in instants if e["name"] == "fault:message_drop")
+    assert drop["ts"] == pytest.approx(0.5e6)

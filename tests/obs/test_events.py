@@ -5,6 +5,7 @@ import pytest
 from repro.obs import (
     EVENT_TYPES,
     BlockEvent,
+    FaultInjected,
     ImmMerge,
     JobEnd,
     JobStart,
@@ -12,6 +13,7 @@ from repro.obs import (
     MessageSent,
     NicSample,
     PhaseSpan,
+    RecoveryAction,
     RingHop,
     SegmentRepresentation,
     StageCompleted,
@@ -60,6 +62,12 @@ SAMPLES = [
     NicSample(time=0.8, node_id=0, hostname="node0", is_driver=True,
               in_rate=1e8, out_rate=2e8, in_utilization=0.08,
               out_utilization=0.16),
+    FaultInjected(time=0.85, fault="executor_crash", target="executor 3",
+                  trigger="ring_hop", executor_id=3,
+                  detail="channel 0 hop 2"),
+    RecoveryAction(time=0.9, action="ring_rebuild", site="ring", job_id=1,
+                   executor_id=3, attempt=1, ranks=3, seconds=0.05,
+                   detail="survivors re-ranked"),
 ]
 
 
