@@ -1,0 +1,176 @@
+"""Collective-engine benchmark: writes ``BENCH_collectives.json``.
+
+Sweeps the full ``{cluster} x {aggregator size} x {algorithm} x
+{parallelism}`` matrix on the simulator, measuring the virtual-time
+reduce+gather cost of every registered collective at every channel
+count, then asks the cost-model auto-tuner (:mod:`repro.comm.cost`) for
+its pick on each cell and scores the decision against the empirical
+grid. The acceptance gate: the tuner's choice must land within 10% of
+the empirically best candidate on *every* cell; any miss exits non-zero.
+
+Each cell also re-checks bit-identity — every algorithm must reproduce
+the ring's float64 bytes exactly, so algorithm choice is purely a
+performance decision.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/collective_matrix.py          # full
+    PYTHONPATH=src python benchmarks/collective_matrix.py --smoke  # CI gate
+
+``--smoke`` runs the 2-node cluster at one size only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster import MB, Cluster, ClusterConfig
+from repro.comm import ScalableCommunicator
+from repro.comm.cost import CollectiveCostModel, choose_collective
+from repro.serde import SizedPayload
+from repro.sim import Environment
+
+ALGORITHMS = ("ring", "hd", "hierarchical")
+PARALLELISMS = (1, 2, 4, 8)
+SIZES_MB = (1, 16, 64)
+NODE_COUNTS = (2, 8)
+TOLERANCE = 0.10
+ELEMS = 64
+
+
+def run_cell(config: ClusterConfig, algorithm: str, parallelism: int,
+             nbytes: float) -> tuple:
+    """One reduce+gather; returns (virtual seconds, result bytes)."""
+    env = Environment()
+    cluster = Cluster(env, config)
+    comm = ScalableCommunicator(cluster, parallelism=parallelism)
+    rng = np.random.default_rng(3)
+    values = [SizedPayload(rng.random(ELEMS), sim_bytes=nbytes)
+              for _ in range(comm.size)]
+    split = lambda u, i, k: u.split(i, k)  # noqa: E731
+    reduce_ = lambda a, b: a.merge(b)  # noqa: E731
+    proc = env.process(comm.reduce_scatter_gather(
+        values, split, reduce_, SizedPayload.concat,
+        algorithm=None if algorithm == "ring" else algorithm))
+    result = env.run(until=proc)
+    return env.now, result.data.tobytes()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="one cluster, one size (CI gate)")
+    args = parser.parse_args()
+
+    node_counts = NODE_COUNTS[:1] if args.smoke else NODE_COUNTS
+    sizes_mb = SIZES_MB[:1] if args.smoke else SIZES_MB
+
+    cells = {}
+    failures = []
+    for nodes in node_counts:
+        config = ClusterConfig.bic(num_nodes=nodes)
+        # one model per cluster, like one tuner per SparkerContext
+        model = CollectiveCostModel.from_config(config)
+        probe_cluster = Cluster(Environment(), config)
+        slots = probe_cluster.executors
+        for size_mb in sizes_mb:
+            nbytes = size_mb * MB
+            empirical = {}
+            ring_bytes = {}  # parallelism fixes the segment grid, so the
+            mismatches = []  # bit-identity baseline is per-P ring bytes
+            for algorithm in ALGORITHMS:
+                for p in PARALLELISMS:
+                    seconds, raw = run_cell(config, algorithm, p, nbytes)
+                    empirical[(algorithm, p)] = seconds
+                    if algorithm == "ring":
+                        ring_bytes[p] = raw
+                    elif raw != ring_bytes[p]:
+                        mismatches.append(f"{algorithm}/P{p}")
+
+            winner, estimates = choose_collective(
+                model, nbytes, slots, ALGORITHMS, PARALLELISMS)
+            best_key = min(empirical, key=empirical.get)
+            best = empirical[best_key]
+            chosen = empirical[(winner.algorithm, winner.parallelism)]
+            gap = chosen / best - 1.0
+
+            cell_name = f"bic{nodes}_{size_mb}MB"
+            ok = gap <= TOLERANCE and not mismatches
+            if not ok:
+                failures.append(cell_name)
+            cells[cell_name] = {
+                "nodes": nodes,
+                "executors": len(slots),
+                "aggregator_bytes": nbytes,
+                "empirical_seconds": {
+                    f"{a}/P{p}": t for (a, p), t in empirical.items()},
+                "empirical_best": {
+                    "algorithm": best_key[0], "parallelism": best_key[1],
+                    "seconds": best},
+                "tuner_choice": {
+                    "algorithm": winner.algorithm,
+                    "parallelism": winner.parallelism,
+                    "predicted_seconds": dict(
+                        (f"{pl.algorithm}/P{pl.parallelism}", t)
+                        for pl, t in estimates)[
+                        f"{winner.algorithm}/P{winner.parallelism}"],
+                    "measured_seconds": chosen},
+                "tuner_gap_vs_best": gap,
+                "within_tolerance": gap <= TOLERANCE,
+                "bit_identical": not mismatches,
+                "bit_mismatches": mismatches,
+            }
+            status = "ok" if ok else "FAIL"
+            print(f"{cell_name:14s} best={best_key[0]}/P{best_key[1]} "
+                  f"{best:.4f}s  tuner={winner.algorithm}/"
+                  f"P{winner.parallelism} {chosen:.4f}s "
+                  f"(gap {100.0 * gap:+.1f}%) {status}")
+
+            # online loop: fold this cell's measurement into the model,
+            # exactly as CollectiveCompleted does in a live job
+            predicted = dict(
+                ((pl.algorithm, pl.parallelism), t)
+                for pl, t in estimates)
+            for (algorithm, p), seconds in empirical.items():
+                model.observe(algorithm, predicted[(algorithm, p)], seconds)
+
+    report = {
+        "benchmark": "collective_matrix",
+        "configuration": {
+            "cluster": "bic", "node_counts": list(node_counts),
+            "sizes_mb": list(sizes_mb), "algorithms": list(ALGORITHMS),
+            "parallelisms": list(PARALLELISMS),
+            "tolerance": TOLERANCE, "smoke": args.smoke,
+        },
+        "cells": cells,
+        "all_within_tolerance": not failures,
+        "notes": (
+            "Virtual seconds of one reduce_scatter_gather per cell. The "
+            "tuner gap is (measured seconds of the tuner's pick) / (best "
+            "measured candidate) - 1; the gate is 10%. Bit-identity vs "
+            "the ring is re-checked on every cell, so the tuner can only "
+            "trade time, never bytes."
+        ),
+    }
+    target = (Path(__file__).resolve().parent.parent
+              / "BENCH_collectives.json")
+    if not args.smoke:
+        target.write_text(json.dumps(report, indent=2) + "\n",
+                          encoding="utf-8")
+        print(f"\nwrote {target}")
+    else:
+        print(json.dumps(report, indent=2))
+    if failures:
+        print(f"FAILED: tuner outside tolerance (or bit mismatch) in "
+              f"{failures}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import AggregationSpec
 from repro.cluster import MB, ClusterConfig
 from repro.faults import (
     AtRingHop,
@@ -69,7 +70,7 @@ def run_once(plan: FaultPlan | None) -> dict:
         zero, lambda a, x: a.merge_inplace(x),
         lambda u, i, n: u.split(i, n),
         lambda a, b: a.merge(b),
-        SizedPayload.concat, parallelism=PARALLELISM)
+        SizedPayload.concat, AggregationSpec(parallelism=PARALLELISM))
     wall = time.perf_counter() - began
 
     return {

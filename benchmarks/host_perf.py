@@ -36,6 +36,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import AggregationSpec
 from repro.bench.profile import profile_host
 from repro.bench.workloads import run_workload
 from repro.cluster import ClusterConfig
@@ -79,7 +80,7 @@ def run_sweep(sweep, pool=None) -> dict:
     for name, nodes, agg, iters in sweep:
         result = run_workload(name, ClusterConfig.bic(nodes),
                               aggregation=agg, iterations=iters,
-                              host_pool=pool)
+                              spec=AggregationSpec(host_pool=pool))
         rows.append({
             "workload": name,
             "nodes": nodes,

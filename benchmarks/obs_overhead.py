@@ -22,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import AggregationSpec
 from repro.cluster import MB, ClusterConfig
 from repro.obs import EventLogWriter, NicMonitor, RecordingListener
 from repro.rdd import SparkerContext
@@ -59,7 +60,7 @@ def run_once(mode: str) -> dict:
     rdd.split_aggregate(zero, lambda a, x: a.merge_inplace(x),
                         lambda u, i, n: u.split(i, n),
                         lambda a, b: a.merge(b),
-                        SizedPayload.concat, parallelism=4)
+                        SizedPayload.concat, AggregationSpec(parallelism=4))
     wall = time.perf_counter() - began
 
     if monitor is not None:

@@ -38,6 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import AggregationSpec
 from repro.bench.experiments import sparse_agg_comparison
 from repro.cluster import ClusterConfig
 from repro.data import concentrated_classification, sparse_classification
@@ -77,7 +78,7 @@ def run_config(name: str) -> dict:
     pts, dim = points_for(name)
     res = sparse_agg_comparison(
         pts, dim, config=ClusterConfig.bic(num_nodes=NODES),
-        iterations=ITERATIONS, parallelism=4)
+        iterations=ITERATIONS)
     dense, adaptive = res["dense"], res["adaptive"]
     bit_identical = bool(
         np.array_equal(dense.pop("weights"), adaptive.pop("weights")))
@@ -112,7 +113,8 @@ def run_batched_microbench(repeats: int = 3) -> dict:
             began = time.perf_counter()
             LogisticRegressionWithSGD.train(
                 rdd, dim, num_iterations=3, aggregation="split",
-                sparse_aggregation=True, batched=batched)
+                spec=AggregationSpec(sparse_aggregation=True,
+                                     batched=batched))
             walls[mode].append(time.perf_counter() - began)
             virtual[mode] = sc.now
     best = {mode: min(times) for mode, times in walls.items()}

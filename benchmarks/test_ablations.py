@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 from conftest import run_once
 
+from repro import AggregationSpec
 from repro.bench import format_table
 from repro.cluster import MB, Cluster, ClusterConfig
 from repro.comm import MpiCommunicator, ScalableCommunicator, sc_transport
@@ -46,7 +47,8 @@ def _aggregate_once(config, method, sim_bytes, depth=2):
     zero = lambda: SizedPayload(np.zeros(64), sim_bytes=sim_bytes)  # noqa: E731
     t0 = sc.now
     if method == "split":
-        rdd.split_aggregate(zero, parallelism=4, **_payload_args())
+        rdd.split_aggregate(zero, spec=AggregationSpec(parallelism=4),
+                            **_payload_args())
     else:
         rdd.tree_aggregate(zero, lambda a, x: a.merge_inplace(x),
                            lambda a, b: a.merge(b), depth=depth)

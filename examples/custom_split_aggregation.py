@@ -15,7 +15,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro import ClusterConfig, MB, SparkerContext
+from repro import AggregationSpec, ClusterConfig, MB, SparkerContext
 from repro.serde import segment_range
 
 DIM = 4_096  # features per record
@@ -108,7 +108,7 @@ def run(aggregation: str):
             split_op,
             lambda a, b: a.merge(b),
             concat_op,
-            parallelism=4,
+            AggregationSpec(parallelism=4),
             merge_op=lambda a, b: a.merge(b))
     elapsed = sc.now - t0
     mean = result.sum1 / result.count

@@ -14,7 +14,7 @@ Run:  python examples/evaluation_pipeline.py
 
 import numpy as np
 
-from repro import ClusterConfig, SparkerContext
+from repro import AggregationSpec, ClusterConfig, SparkerContext
 from repro.core import derive_split_ops
 from repro.data import dataset
 from repro.ml import BinaryClassificationMetrics, LogisticRegressionWithSGD
@@ -60,7 +60,7 @@ def main() -> None:
         lambda: FeatureStats(spec.surrogate_features),
         lambda agg, p: agg.add(p),
         ops.split_op, ops.reduce_op, ops.concat_op,
-        parallelism=4, merge_op=ops.merge_op)
+        AggregationSpec(parallelism=4), merge_op=ops.merge_op)
     busiest = int(np.argmax(stats.hits))
     print(f"feature activity (auto-split aggregation): busiest feature "
           f"#{busiest} appears in {int(stats.hits[busiest])} samples; "

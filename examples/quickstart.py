@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import ClusterConfig, SparkerContext
+from repro import AggregationSpec, ClusterConfig, SparkerContext
 from repro.bench import BreakdownRecorder
 from repro.data import sparse_classification
 from repro.ml import LogisticRegressionWithSGD
@@ -20,6 +20,12 @@ from repro.ml import LogisticRegressionWithSGD
 NUM_FEATURES = 2_000
 NUM_SAMPLES = 2_000
 ITERATIONS = 8
+
+#: every reduction knob lives on one immutable spec; the default is the
+#: paper's parallel directed ring with 4 channels. Try
+#: ``AggregationSpec(collective="auto")`` to let the cost-model tuner pick
+#: the collective + parallelism per aggregation.
+SPEC = AggregationSpec(parallelism=4)
 
 
 def train(aggregation: str):
@@ -35,6 +41,7 @@ def train(aggregation: str):
         rdd, NUM_FEATURES,
         num_iterations=ITERATIONS, step_size=2.0,
         aggregation=aggregation,
+        spec=SPEC,
         # Pretend the 2k-dim surrogate stands for a 2M-dim paper-scale
         # model so the aggregator is big enough for reduction to matter.
         size_scale=1_000.0,

@@ -16,7 +16,7 @@ Run:  python examples/topic_modeling.py
 
 import numpy as np
 
-from repro import ClusterConfig, SparkerContext
+from repro import AggregationSpec, ClusterConfig, SparkerContext
 from repro.bench import BreakdownRecorder, format_table
 from repro.bench.experiments import aws_config_for_cores
 from repro.data import SURROGATE_LDA_TOPICS, dataset
@@ -35,7 +35,7 @@ def topic_recovery_demo() -> None:
     rdd = sc.parallelize(docs, 8).cache()
     rdd.count()
     model = LDA(k=4, num_iterations=15, aggregation="split",
-                parallelism=2, seed=3).fit(rdd, 80)
+                spec=AggregationSpec(parallelism=2), seed=3).fit(rdd, 80)
 
     print("log-likelihood trajectory (should rise):")
     traj = model.log_likelihoods

@@ -24,7 +24,13 @@ Quickstart::
 """
 
 from .cluster import GB, KB, MB, Cluster, ClusterConfig
-from .core import SpawnRDD, split_aggregate, tree_aggregate, tree_reduce
+from .core import (
+    AggregationSpec,
+    SpawnRDD,
+    split_aggregate,
+    tree_aggregate,
+    tree_reduce,
+)
 from .rdd import RDD, SparkerContext, StorageLevel
 
 __version__ = "1.0.0"
@@ -38,6 +44,7 @@ __all__ = [
     "tree_aggregate",
     "tree_reduce",
     "split_aggregate",
+    "AggregationSpec",
     "SpawnRDD",
     "KB",
     "MB",

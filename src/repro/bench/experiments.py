@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..cluster import KB, MB, Cluster, ClusterConfig
+from ..core.spec import AggregationSpec
 from ..comm import (
     MpiCommunicator,
     ScalableCommunicator,
@@ -358,7 +359,8 @@ def fig16_aggregation_scaling(
                         zero, lambda a, x: a.merge_inplace(x),
                         lambda u, i, n: u.split(i, n),
                         lambda a, b: a.merge(b),
-                        SizedPayload.concat, parallelism=4)
+                        SizedPayload.concat,
+                        AggregationSpec(parallelism=4))
                 else:
                     result = rdd.tree_aggregate(
                         zero, lambda a, x: a.merge_inplace(x),
@@ -431,13 +433,15 @@ def sparse_agg_comparison(points: list, num_features: int,
         sc.event_bus.subscribe(rec)
         recorder = BreakdownRecorder(sc)
         began = sc.now
-        model = LogisticRegressionWithSGD.train(
-            rdd, num_features, num_iterations=iterations,
-            aggregation=aggregation, parallelism=parallelism,
-            size_scale=size_scale,
+        spec = AggregationSpec(
+            parallelism=parallelism,
             sparse_aggregation=(mode == "adaptive"),
             sparse_policy=sparse_policy if mode == "adaptive" else None,
             batched=batched)
+        model = LogisticRegressionWithSGD.train(
+            rdd, num_features, num_iterations=iterations,
+            aggregation=aggregation, spec=spec,
+            size_scale=size_scale)
         elapsed = sc.now - began
         breakdown = recorder.finish()
         analysis = analyze_events(rec.events)

@@ -140,10 +140,12 @@ def _main(argv: List[str] | None = None) -> int:
     parser.add_argument("--top", type=int, default=15)
     args = parser.parse_args(argv)
 
+    from ..core.spec import AggregationSpec
+
     result, breakdown = profile_host(
         run_workload, args.workload, ClusterConfig.bic(args.nodes),
         aggregation=args.agg, iterations=args.iters,
-        host_pool=args.pool or None, top_n=args.top)
+        spec=AggregationSpec(host_pool=args.pool or None), top_n=args.top)
     print(result)
     print(breakdown)
     for bucket, name, seconds in breakdown.top:

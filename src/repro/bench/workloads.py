@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..cluster import ClusterConfig
+from ..core.spec import AggregationSpec, spec_with_legacy, warn_deprecated_kwarg
 from ..data.registry import SURROGATE_LDA_TOPICS, DatasetSpec, dataset
 from ..ml.classification import (
     LinearModel,
@@ -92,36 +93,45 @@ class WorkloadResult:
 
 def run_workload(name: str, config: ClusterConfig,
                  aggregation: str = "tree", iterations: int = 3,
-                 parallelism: int = 4,
+                 spec: Optional[AggregationSpec] = None,
                  partitions: Optional[int] = None,
-                 sparse_aggregation: bool = False,
-                 sparse_policy=None, batched: bool = False,
-                 listener=None, host_pool=None) -> WorkloadResult:
+                 listener=None, *,
+                 parallelism: Optional[int] = None,
+                 sparse_aggregation: Optional[bool] = None,
+                 sparse_policy=None, batched: Optional[bool] = None,
+                 host_pool=None) -> WorkloadResult:
     """Train one workload end-to-end on a fresh simulated cluster.
 
     Data generation and cache materialization happen before the measured
     window (the paper measures model training, with datasets preloaded
-    MEMORY_ONLY). ``sparse_aggregation``/``sparse_policy`` turn on the
-    density-adaptive payload for the LR/SVM workloads; ``batched`` uses
-    the per-partition CSR gradient kernel; ``listener``, when given, is
-    subscribed to the context's event bus for the training window;
-    ``host_pool`` (an int worker count or a
-    :class:`~repro.rdd.hostpool.HostPool`) parallelizes pure task compute
-    on the host without changing any simulated quantity.
+    MEMORY_ONLY). ``spec`` carries every reduction knob — collective
+    algorithm (or ``"auto"`` for the cost-model tuner), parallelism, the
+    density-adaptive sparse payload, the per-partition CSR ``batched``
+    kernel and the host-side compute pool; the trailing keywords are
+    deprecated shims mapping onto it. ``listener``, when given, is
+    subscribed to the context's event bus for the training window.
     """
     try:
         workload = WORKLOADS[name]
     except KeyError:
         known = ", ".join(WORKLOADS)
         raise KeyError(f"unknown workload {name!r}; known: {known}") from None
-    spec = workload.spec
-    if workload.model == "lda" and (sparse_aggregation or batched):
+    ds = workload.spec
+    if isinstance(spec, int):
+        # the pre-spec signature's positional parallelism
+        warn_deprecated_kwarg("parallelism", "run_workload", stacklevel=3)
+        spec = AggregationSpec(parallelism=spec)
+    spec = spec_with_legacy(
+        spec, "run_workload",
+        parallelism=parallelism, sparse_aggregation=sparse_aggregation,
+        sparse_policy=sparse_policy, batched=batched, host_pool=host_pool)
+    if workload.model == "lda" and (spec.sparse_aggregation or spec.batched):
         raise ValueError(
             "sparse_aggregation/batched apply to the LR/SVM workloads only")
-    sc = SparkerContext(config, host_pool=host_pool)
+    sc = SparkerContext(config, host_pool=spec.host_pool)
     n_parts = partitions or sc.default_parallelism
 
-    samples, _truth = spec.generate()
+    samples, _truth = ds.generate()
     rdd = sc.parallelize(samples, n_parts).cache()
     rdd.count()  # materialize MEMORY_ONLY before the measured window
 
@@ -132,26 +142,23 @@ def run_workload(name: str, config: ClusterConfig,
     if workload.model == "lda":
         model = LDA(
             k=SURROGATE_LDA_TOPICS, num_iterations=iterations,
-            aggregation=aggregation, parallelism=parallelism,
-            size_scale=spec.size_scale, sample_scale=spec.compute_scale,
-        ).fit(rdd, spec.surrogate_features)
+            aggregation=aggregation, spec=spec,
+            size_scale=ds.size_scale, sample_scale=ds.compute_scale,
+        ).fit(rdd, ds.surrogate_features)
         final_loss = -model.log_likelihoods[-1]
     else:
         trainer = (LogisticRegressionWithSGD if workload.model == "lr"
                    else SVMWithSGD)
         model: LinearModel = trainer.train(
-            rdd, spec.surrogate_features,
+            rdd, ds.surrogate_features,
             num_iterations=iterations,
             step_size=workload.step_size,
             reg_param=workload.reg_param,
             mini_batch_fraction=workload.mini_batch_fraction,
             aggregation=aggregation,
-            parallelism=parallelism,
-            size_scale=spec.size_scale,
-            sample_scale=spec.compute_scale,
-            sparse_aggregation=sparse_aggregation,
-            sparse_policy=sparse_policy,
-            batched=batched,
+            spec=spec,
+            size_scale=ds.size_scale,
+            sample_scale=ds.compute_scale,
         )
         final_loss = model.losses[-1]
 

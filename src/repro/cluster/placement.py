@@ -16,14 +16,14 @@ hops a cheap intra-node hop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from ..sim import Environment
 from .config import ClusterConfig
 from .network import Network
 from .node import Node
 
-__all__ = ["ExecutorSlot", "Cluster"]
+__all__ = ["ExecutorSlot", "Cluster", "host_blocks"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,34 @@ class ExecutorSlot:
 
     def __repr__(self) -> str:
         return f"<ExecutorSlot {self.executor_id} on {self.hostname}>"
+
+
+def host_blocks(slots: Sequence[ExecutorSlot]
+                ) -> List[Tuple[str, List[int]]]:
+    """Group a ranked slot list into contiguous same-host rank runs.
+
+    Returns ``[(hostname, [rank, ...]), ...]`` in rank order — the
+    host-topology view the hierarchical collective and the cost model
+    consume (rank 0 of each block is that host's *leader*). Hostname-
+    sorted rankings always satisfy contiguity; an id-sorted ranking that
+    interleaves hosts raises ``ValueError``, because a host-level
+    reduction over non-contiguous ranks cannot preserve the canonical
+    rank-order reduction chain.
+    """
+    blocks: List[Tuple[str, List[int]]] = []
+    seen = set()
+    for rank, slot in enumerate(slots):
+        host = slot.hostname
+        if blocks and blocks[-1][0] == host:
+            blocks[-1][1].append(rank)
+            continue
+        if host in seen:
+            raise ValueError(
+                f"host {host!r} appears in non-contiguous rank runs; "
+                f"host-level grouping requires a hostname-sorted ranking")
+        seen.add(host)
+        blocks.append((host, [rank]))
+    return blocks
 
 
 class Cluster:

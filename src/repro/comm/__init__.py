@@ -5,6 +5,19 @@ reduction) of the paper, plus the MPI baseline used throughout its
 evaluation.
 """
 
+from .collectives import (
+    CollectiveAlgorithm,
+    available_collectives,
+    get_collective,
+    register_collective,
+)
+from .cost import (
+    CollectiveCostModel,
+    CollectivePlan,
+    CostCalibrator,
+    choose_collective,
+    cost_model_for,
+)
 from .fabric import CommFabric
 from .micro import measure_latency, measure_throughput
 from .mpi import MPICH_RS_SHORT_THRESHOLD, MpiCommunicator
@@ -24,6 +37,15 @@ __all__ = [
     "ScalableCommunicator",
     "ring_reduce_scatter_rank",
     "ring_allgather_rank",
+    "CollectiveAlgorithm",
+    "register_collective",
+    "get_collective",
+    "available_collectives",
+    "CollectiveCostModel",
+    "CollectivePlan",
+    "CostCalibrator",
+    "choose_collective",
+    "cost_model_for",
     "MpiCommunicator",
     "MPICH_RS_SHORT_THRESHOLD",
     "measure_latency",

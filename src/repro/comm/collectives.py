@@ -1,0 +1,555 @@
+"""Pluggable collective algorithms for the split-aggregation reduce step.
+
+The paper hard-codes one reduction topology — the parallel directed ring
+reduce-scatter of §4.2 — but its own Figure 14/15 sweeps show the best
+collective depends on segment size, executor count and host topology.
+This module makes the algorithm a *registry entry* so
+:func:`~repro.core.sai.split_aggregate` (via
+:class:`~repro.core.spec.AggregationSpec`'s ``collective`` field, or the
+cost-model tuner in :mod:`repro.comm.cost`) can pick per call:
+
+* ``"ring"`` — the existing PDR ring
+  (:meth:`~repro.comm.ring.ScalableCommunicator.reduce_scatter`),
+* ``"hd"`` — recursive halving(-doubling): ``log2(N)`` exchange rounds
+  over power-of-two rank blocks, with a pre-fold round absorbing the
+  ranks beyond the largest power of two. Fewer, larger messages — wins
+  when per-message overhead dominates (small segments, few ranks).
+* ``"hierarchical"`` — a two-level reduce: every member ships its
+  split segments to its *host leader* over loopback in parallel (the
+  intra-host merge, priced like the IMM merge path at
+  ``merge_bandwidth``), then each segment's accumulator walks an
+  inter-host ring over one leader per host. Sequential depth drops from
+  ``N - 1`` hops to ``H`` inter-host hops — wins with many executors
+  per host.
+
+**The bit-identity contract.** The seed ring reduces every global
+segment ``g`` (local index ``j = g mod N`` on channel ``p``) as one
+left-deep chain in rank order starting at rank ``j``::
+
+    acc = v[j]
+    for r in (j+1, j+2, ..., j-1 mod N):
+        acc = reduce_op(v[r], acc)      # contribution first, acc second
+
+Float addition is not associative, so *every* algorithm here realizes
+exactly this association — hierarchical folds member contributions one
+at a time in rank order as the accumulator passes each host, and
+halving-doubling defers contributions (shipping ordered
+``(origin_rank, value)`` lists, honestly sized on the wire) and folds
+only the canonical prefix chain. All three therefore produce
+bit-identical final values; they differ only in message schedule, wire
+bytes and virtual time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..cluster.placement import host_blocks
+from ..obs import EventBus, RingHop, channel_str
+from ..rdd.executor import ExecutorLost
+from ..serde import sim_sizeof
+from .fabric import CommFabric, RecvTimeout
+
+__all__ = [
+    "CollectiveAlgorithm",
+    "RingCollective",
+    "HalvingDoublingCollective",
+    "HierarchicalCollective",
+    "register_collective",
+    "get_collective",
+    "available_collectives",
+    "hd_reduce_scatter_channel",
+]
+
+ReduceOp = Callable[[Any, Any], Any]
+SplitOp = Callable[[Any, int, int], Any]
+
+
+class CollectiveAlgorithm:
+    """One registered reduce-scatter strategy.
+
+    ``reduce_scatter`` is a process body taking the communicator, the
+    per-rank aggregators and the split/reduce callbacks, returning
+    ``{rank: {global_segment_index: reduced_segment}}`` — the same shape
+    :meth:`~repro.comm.ring.ScalableCommunicator.gather_concat`
+    consumes, so every algorithm composes with the driver gather.
+    """
+
+    name: str = "?"
+
+    def validate(self, comm: Any) -> None:
+        """Raise ``ValueError`` when ``comm`` cannot run this algorithm."""
+
+    def reduce_scatter(self, comm: Any, values: Sequence[Any],
+                       split_op: SplitOp,
+                       reduce_op: ReduceOp) -> Generator:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, CollectiveAlgorithm] = {}
+
+
+def register_collective(algo: CollectiveAlgorithm) -> CollectiveAlgorithm:
+    """Register ``algo`` under ``algo.name`` (last registration wins)."""
+    if not algo.name or algo.name == "?":
+        raise ValueError(f"collective algorithm needs a name: {algo!r}")
+    _REGISTRY[algo.name] = algo
+    return algo
+
+
+def get_collective(name: str) -> CollectiveAlgorithm:
+    """Look up a registered algorithm by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown collective {name!r}; registered: {known}") from None
+
+
+def available_collectives() -> Tuple[str, ...]:
+    """Names of all registered algorithms, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# --------------------------------------------------------------------- ring
+class RingCollective(CollectiveAlgorithm):
+    """The seed PDR ring, delegated to the communicator itself."""
+
+    name = "ring"
+
+    def reduce_scatter(self, comm: Any, values: Sequence[Any],
+                       split_op: SplitOp,
+                       reduce_op: ReduceOp) -> Generator:
+        result = yield from comm.reduce_scatter(values, split_op, reduce_op)
+        return result
+
+
+# ------------------------------------------------------- chain-order state
+class _ChainState:
+    """Deferred reduction state of one segment: fold only in chain order.
+
+    Holds the folded canonical prefix (``acc`` covers origin ranks
+    ``start .. start+count-1`` mod ``size``) plus unordered pending
+    contributions by origin rank. Because contributions are globally
+    disjoint and folding only ever extends the prefix, merging two
+    partial states and folding opportunistically reproduces the ring's
+    exact left-deep chain no matter how contributions travelled.
+    """
+
+    __slots__ = ("start", "size", "acc", "count", "pending")
+
+    def __init__(self, start: int, size: int):
+        self.start = start
+        self.size = size
+        self.acc: Any = None
+        self.count = 0
+        self.pending: Dict[int, Any] = {}
+
+    def add(self, origin: int, value: Any) -> None:
+        self.pending[origin] = value
+
+    def fold(self, reduce_op: ReduceOp) -> float:
+        """Fold every prefix-extending contribution; returns merge bytes."""
+        if self.acc is None:
+            value = self.pending.pop(self.start, None)
+            if value is None:
+                return 0.0
+            self.acc = value
+            self.count = 1
+        merged_bytes = 0.0
+        while self.count < self.size and self.pending:
+            nxt = (self.start + self.count) % self.size
+            value = self.pending.pop(nxt, None)
+            if value is None:
+                break
+            self.acc = reduce_op(value, self.acc)
+            merged_bytes += sim_sizeof(self.acc)
+            self.count += 1
+        return merged_bytes
+
+    @property
+    def complete(self) -> bool:
+        return self.count == self.size
+
+    def wire_size(self) -> float:
+        total = sim_sizeof(self.acc) if self.acc is not None else 0.0
+        for value in self.pending.values():
+            total += sim_sizeof(value)
+        return total
+
+    def export(self) -> Tuple[Any, int, List[Tuple[int, Any]]]:
+        return (self.acc, self.count, list(self.pending.items()))
+
+    def absorb(self, exported: Tuple[Any, int, List[Tuple[int, Any]]]) -> None:
+        acc, count, items = exported
+        if acc is not None:
+            if self.acc is not None:  # pragma: no cover - disjointness guard
+                raise RuntimeError(
+                    f"two folded prefixes for segment {self.start}")
+            self.acc = acc
+            self.count = count
+        self.pending.update(items)
+
+
+def _owner_block(n: int, n2: int, owner: int) -> Tuple[int, int]:
+    """Contiguous local-segment range ``[lo, hi)`` owned by ``owner``."""
+    return (owner * n) // n2, ((owner + 1) * n) // n2
+
+
+# --------------------------------------------------- recursive halving (hd)
+def hd_reduce_scatter_channel(
+    fabric: CommFabric,
+    rank: int,
+    size: int,
+    segments: Dict[int, Any],
+    reduce_op: ReduceOp,
+    merge_bandwidth: float,
+    channel: Any = 0,
+    bus: Optional[EventBus] = None,
+    executor_id: int = -1,
+    recv_timeout: Optional[float] = None,
+) -> Generator:
+    """Per-rank recursive-halving reduce-scatter over one channel.
+
+    ``segments`` maps local index ``0..size-1`` to this rank's raw
+    contribution. Rounds: an optional pre-fold (rank ``r >= 2^m`` ships
+    its whole contribution set to rank ``r - 2^m``), then ``m`` pairwise
+    exchanges at distances ``2^(m-1) .. 1`` in which each rank sends the
+    chain states of the half it gives up and absorbs its kept half.
+    States carry deferred ``(origin, value)`` contributions and fold
+    eagerly only along the canonical prefix chain, so the result is
+    bit-identical to the ring (see module docstring); wire sizes price
+    the deferred payloads honestly.
+
+    Returns ``{local_index: reduced_segment}`` for this rank's final
+    owner block — empty for the pre-folded extra ranks.
+    """
+    env = fabric.env
+    n = size
+    if n == 1:
+        return {0: segments[0]}
+    m = n.bit_length() - 1
+    n2 = 1 << m
+    channel_key = channel_str(("hd", channel))
+
+    states: Dict[int, _ChainState] = {}
+    for j in range(n):
+        state = _ChainState(j, n)
+        state.add(rank, segments[j])
+        state.fold(reduce_op)  # seats rank j's own prefix; merges nothing
+        states[j] = state
+
+    def _recv(hop: int) -> Generator:
+        try:
+            payload = yield from fabric.recv(rank, tag=(channel_key, hop),
+                                             timeout=recv_timeout)
+        except RecvTimeout as exc:
+            raise ExecutorLost(
+                f"hd rank {rank} heard nothing on channel {channel_key} "
+                f"round {hop} for {recv_timeout:g}s") from exc
+        return payload
+
+    def _emit_hop(hop: int, began: float, send_bytes: float,
+                  recv_bytes: float, merge_time: float) -> None:
+        if bus is not None and bus.active:
+            bus.emit(RingHop(time=env.now, rank=rank,
+                             executor_id=executor_id, channel=channel_key,
+                             hop=hop, send_bytes=send_bytes,
+                             recv_bytes=recv_bytes, began=began,
+                             merge_time=merge_time))
+
+    # ---- round 0: fold the ranks beyond the largest power of two ----------
+    if rank >= n2:
+        partner = rank - n2
+        payload = [(j, states[j].export()) for j in range(n)]
+        nbytes = sum(states[j].wire_size() for j in range(n))
+        began = env.now
+        yield from fabric.send(rank, partner, payload, tag=(channel_key, 0),
+                               nbytes=nbytes)
+        _emit_hop(0, began, nbytes, 0.0, 0.0)
+        return {}
+    if rank + n2 < n:
+        began = env.now
+        incoming = yield from _recv(0)
+        merged_bytes = 0.0
+        recv_bytes = 0.0
+        for j, exported in incoming:
+            state = states[j]
+            state.absorb(exported)
+            merged_bytes += state.fold(reduce_op)
+            recv_bytes += state.wire_size()
+        merge_time = merged_bytes / merge_bandwidth
+        if merge_time > 0:
+            yield env.timeout(merge_time)
+        _emit_hop(0, began, 0.0, recv_bytes, merge_time)
+
+    # ---- rounds 1..m: pairwise halving over the power-of-two core ---------
+    block_lo, block_hi = 0, n2
+    for t in range(1, m + 1):
+        half = (block_hi - block_lo) // 2
+        mid = block_lo + half
+        if rank < mid:
+            partner = rank + half
+            send_lo, send_hi = mid, block_hi
+            block_hi = mid
+        else:
+            partner = rank - half
+            send_lo, send_hi = block_lo, mid
+            block_lo = mid
+        seg_lo = _owner_block(n, n2, send_lo)[0]
+        seg_hi = _owner_block(n, n2, send_hi - 1)[1]
+        payload = []
+        nbytes = 0.0
+        for j in range(seg_lo, seg_hi):
+            state = states[j]
+            if state.acc is None and not state.pending:
+                continue
+            nbytes += state.wire_size()
+            payload.append((j, state.export()))
+            states[j] = _ChainState(j, n)
+        began = env.now
+        in_flight = fabric.isend(rank, partner, payload,
+                                 tag=(channel_key, t), nbytes=nbytes)
+        incoming = yield from _recv(t)
+        merged_bytes = 0.0
+        recv_bytes = 0.0
+        for j, exported in incoming:
+            state = states[j]
+            state.absorb(exported)
+            merged_bytes += state.fold(reduce_op)
+            recv_bytes += state.wire_size()
+        merge_time = merged_bytes / merge_bandwidth
+        if merge_time > 0:
+            yield env.timeout(merge_time)
+        yield in_flight
+        _emit_hop(t, began, nbytes, recv_bytes, merge_time)
+
+    # ---- final fold: every contribution of the owned block is local -------
+    results: Dict[int, Any] = {}
+    merged_bytes = 0.0
+    lo, hi = _owner_block(n, n2, rank)
+    for j in range(lo, hi):
+        state = states[j]
+        merged_bytes += state.fold(reduce_op)
+        if not state.complete:  # pragma: no cover - algorithm invariant
+            raise RuntimeError(
+                f"hd rank {rank} segment {j}: only {state.count}/{n} "
+                f"contributions folded")
+        results[j] = state.acc
+    merge_time = merged_bytes / merge_bandwidth
+    if merge_time > 0:
+        yield env.timeout(merge_time)
+    return results
+
+
+class HalvingDoublingCollective(CollectiveAlgorithm):
+    """Recursive halving reduce-scatter (``log2(N)`` rounds per channel)."""
+
+    name = "hd"
+
+    def reduce_scatter(self, comm: Any, values: Sequence[Any],
+                       split_op: SplitOp,
+                       reduce_op: ReduceOp) -> Generator:
+        if len(values) != comm.size:
+            raise ValueError(
+                f"expected {comm.size} values (one per rank), "
+                f"got {len(values)}")
+        env = comm.env
+        n, p_total = comm.size, comm.parallelism
+        num = comm.num_segments
+        merge_bw = comm.cluster.config.merge_bandwidth
+
+        def rank_proc(rank: int):
+            value = values[rank]
+            channel_procs = []
+            for p in range(p_total):
+                local_segments = {
+                    j: split_op(value, p * n + j, num) for j in range(n)
+                }
+                channel_procs.append(comm._track(env.process(
+                    hd_reduce_scatter_channel(
+                        comm.fabric, rank, n, local_segments, reduce_op,
+                        merge_bw, channel=p, bus=comm.bus,
+                        executor_id=comm.ranked[rank].executor_id,
+                        recv_timeout=comm.recv_timeout),
+                    name=f"hd:r{rank}c{p}",
+                )))
+            results: Dict[int, Any] = {}
+            for p, proc in enumerate(channel_procs):
+                block = yield proc
+                for j, segment in block.items():
+                    results[p * n + j] = segment
+            return rank, results
+
+        procs = [comm._track(env.process(rank_proc(r), name=f"hd:rank{r}"))
+                 for r in range(n)]
+        owned: Dict[int, Dict[int, Any]] = {}
+        for proc in procs:
+            rank, results = yield proc
+            if results:
+                owned[rank] = results
+        return owned
+
+
+# ------------------------------------------------------------- hierarchical
+class HierarchicalCollective(CollectiveAlgorithm):
+    """Two-level reduce: intra-host leader gather + inter-host chain walk.
+
+    Phase 1 (intra-host, parallel): every non-leader rank ships its split
+    segments for each channel to its host's leader over loopback. Phase 2
+    (inter-host): for each global segment, an accumulator starts at the
+    chain-start rank's host and visits the hosts in rank order; each
+    leader folds its members' contributions one at a time — exactly the
+    canonical chain — then forwards the accumulator. Sequential depth per
+    segment is the number of host runs (≈ H) instead of ``N - 1``.
+    """
+
+    name = "hierarchical"
+
+    def validate(self, comm: Any) -> None:
+        if not comm.topology_aware:
+            raise ValueError(
+                "hierarchical collective requires topology_aware=True "
+                "(host grouping needs hostname-contiguous ranks)")
+        host_blocks(comm.ranked)  # raises on non-contiguous hosts
+
+    def reduce_scatter(self, comm: Any, values: Sequence[Any],
+                       split_op: SplitOp,
+                       reduce_op: ReduceOp) -> Generator:
+        if len(values) != comm.size:
+            raise ValueError(
+                f"expected {comm.size} values (one per rank), "
+                f"got {len(values)}")
+        env = comm.env
+        fabric = comm.fabric
+        bus = comm.bus
+        n, p_total = comm.size, comm.parallelism
+        num = comm.num_segments
+        merge_bw = comm.cluster.config.merge_bandwidth
+        recv_timeout = comm.recv_timeout
+        blocks = host_blocks(comm.ranked)
+        leader_of_block = [ranks[0] for _host, ranks in blocks]
+        block_of: Dict[int, int] = {}
+        for bi, (_host, ranks) in enumerate(blocks):
+            for r in ranks:
+                block_of[r] = bi
+
+        #: contrib[p][origin_rank] = {local_index: raw split segment}
+        contrib: List[Dict[int, Dict[int, Any]]] = [
+            {} for _ in range(p_total)]
+
+        def member_proc(rank: int):
+            value = values[rank]
+            leader = leader_of_block[block_of[rank]]
+            pending = []
+            for p in range(p_total):
+                local = {j: split_op(value, p * n + j, num)
+                         for j in range(n)}
+                if rank == leader:
+                    contrib[p][rank] = local
+                else:
+                    nbytes = sum(sim_sizeof(v) for v in local.values())
+                    pending.append(fabric.isend(
+                        rank, leader, (rank, local),
+                        tag=(channel_str(("hg", p)), rank), nbytes=nbytes))
+            for event in pending:
+                yield event
+
+        def leader_gather(bi: int):
+            _host, ranks = blocks[bi]
+            leader = ranks[0]
+            for p in range(p_total):
+                for r in ranks:
+                    if r == leader:
+                        continue
+                    try:
+                        origin, local = yield from fabric.recv(
+                            leader, tag=(channel_str(("hg", p)), r),
+                            timeout=recv_timeout)
+                    except RecvTimeout as exc:
+                        raise ExecutorLost(
+                            f"hierarchical leader {leader} heard nothing "
+                            f"from member rank {r} on channel {p} for "
+                            f"{recv_timeout:g}s") from exc
+                    contrib[p][origin] = local
+
+        members = [comm._track(env.process(member_proc(r),
+                                           name=f"hier:member{r}"))
+                   for r in range(n)]
+        gathers = [comm._track(env.process(leader_gather(bi),
+                                           name=f"hier:gather{bi}"))
+                   for bi in range(len(blocks))]
+        for proc in members:
+            yield proc
+        for proc in gathers:
+            yield proc
+
+        def walk(p: int, j: int):
+            # Host runs of the chain j, j+1, ..., j+n-1 (mod n); the
+            # start host may appear twice (its suffix opens the chain,
+            # its prefix closes it).
+            runs: List[Tuple[int, List[int]]] = []
+            for s in range(n):
+                r = (j + s) % n
+                bi = block_of[r]
+                if runs and runs[-1][0] == bi:
+                    runs[-1][1].append(r)
+                else:
+                    runs.append((bi, [r]))
+            acc: Any = None
+            cur_leader: Optional[int] = None
+            for hop, (bi, run) in enumerate(runs):
+                leader = leader_of_block[bi]
+                if cur_leader is not None and leader != cur_leader:
+                    tag = (channel_str(("hw", p, j)), hop)
+                    began = env.now
+                    tracing = bus is not None and bus.active
+                    send_bytes = sim_sizeof(acc) if tracing else 0.0
+                    yield from fabric.send(cur_leader, leader, acc, tag=tag)
+                    try:
+                        acc = yield from fabric.recv(leader, tag=tag,
+                                                     timeout=recv_timeout)
+                    except RecvTimeout as exc:
+                        raise ExecutorLost(
+                            f"hierarchical segment {p * n + j} lost its "
+                            f"accumulator between leaders {cur_leader} and "
+                            f"{leader}") from exc
+                else:
+                    began = env.now
+                    tracing = bus is not None and bus.active
+                    send_bytes = 0.0
+                cur_leader = leader
+                merged_bytes = 0.0
+                for r in run:
+                    value = contrib[p][r][j]
+                    if acc is None:
+                        acc = value
+                    else:
+                        acc = reduce_op(value, acc)
+                        merged_bytes += sim_sizeof(acc)
+                merge_time = merged_bytes / merge_bw
+                if merge_time > 0:
+                    yield env.timeout(merge_time)
+                if tracing and bus.active:
+                    bus.emit(RingHop(
+                        time=env.now, rank=leader,
+                        executor_id=comm.ranked[leader].executor_id,
+                        channel=channel_str(("hier", p)), hop=hop,
+                        send_bytes=send_bytes,
+                        recv_bytes=sim_sizeof(acc) if tracing else 0.0,
+                        began=began, merge_time=merge_time))
+            return cur_leader, p * n + j, acc
+
+        walks = [comm._track(env.process(walk(p, j), name=f"hier:c{p}s{j}"))
+                 for p in range(p_total) for j in range(n)]
+        owned: Dict[int, Dict[int, Any]] = {}
+        for proc in walks:
+            leader, global_idx, segment = yield proc
+            owned.setdefault(leader, {})[global_idx] = segment
+        return owned
+
+
+register_collective(RingCollective())
+register_collective(HalvingDoublingCollective())
+register_collective(HierarchicalCollective())

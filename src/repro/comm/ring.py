@@ -410,11 +410,25 @@ class ScalableCommunicator:
         return concat_op(ordered)
 
     def reduce_scatter_gather(self, values: Sequence[Any], split_op: SplitOp,
-                              reduce_op: ReduceOp,
-                              concat_op: ConcatOp) -> Generator:
-        """Process body: full scalable reduction (reduce-scatter + gather)."""
-        owned = yield self._track(self.env.process(
-            self.reduce_scatter(values, split_op, reduce_op)))
+                              reduce_op: ReduceOp, concat_op: ConcatOp,
+                              algorithm: Optional[str] = None) -> Generator:
+        """Process body: full scalable reduction (reduce-scatter + gather).
+
+        ``algorithm`` selects the reduce-scatter strategy by registry name
+        (see :mod:`repro.comm.collectives`); ``None`` or ``"ring"`` runs
+        the built-in PDR ring. Every algorithm is bit-identical — the
+        gather ships whatever ranks own and concatenates in global segment
+        order, so only message schedule and virtual time differ.
+        """
+        if algorithm in (None, "ring"):
+            owned = yield self._track(self.env.process(
+                self.reduce_scatter(values, split_op, reduce_op)))
+        else:
+            from .collectives import get_collective
+            algo = get_collective(algorithm)
+            algo.validate(self)
+            owned = yield self._track(self.env.process(
+                algo.reduce_scatter(self, values, split_op, reduce_op)))
         result = yield self._track(self.env.process(
             self.gather_concat(owned, concat_op)))
         return result

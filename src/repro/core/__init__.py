@@ -18,11 +18,25 @@ from .auto_split import (
 from .imm import MutableObjectManager, ObjectId, StaleMergeError
 from .sai import split_aggregate
 from .spawn_rdd import SpawnRDD
+from .spec import (
+    COLLECTIVES,
+    AggregationSpec,
+    resolve_host_pool,
+    resolve_sparse_policy,
+    spec_with_legacy,
+    warn_deprecated_kwarg,
+)
 
 __all__ = [
     "tree_aggregate",
     "tree_reduce",
     "split_aggregate",
+    "AggregationSpec",
+    "COLLECTIVES",
+    "resolve_sparse_policy",
+    "resolve_host_pool",
+    "spec_with_legacy",
+    "warn_deprecated_kwarg",
     "derive_split_ops",
     "DerivedOps",
     "AutoSegment",

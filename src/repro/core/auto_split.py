@@ -41,6 +41,7 @@ from ..serde import (
     segment_range,
     sim_sizeof,
 )
+from .spec import AggregationSpec
 
 __all__ = ["derive_split_ops", "AutoSegment", "UnsplittableError",
            "DerivedOps"]
@@ -265,7 +266,8 @@ def _plan(prototype: Any) -> List[_FieldPlan]:
 
 
 def derive_split_ops(prototype: Any, verify: bool = True,
-                     policy: Optional[SparsePolicy] = None) -> DerivedOps:
+                     policy: Optional[SparsePolicy] = None,
+                     spec: Optional[AggregationSpec] = None) -> DerivedOps:
     """Inspect ``prototype`` and generate SAI callbacks for its type.
 
     ``concat_op`` reconstructs an instance of the prototype's class via
@@ -275,8 +277,13 @@ def derive_split_ops(prototype: Any, verify: bool = True,
     whole-object state doubling). With a ``policy`` the generated
     ``split_op`` emits density-adaptive segments: blocks below the policy
     threshold travel in the sparse (index, value) wire format and every
-    merge re-evaluates the representation.
+    merge re-evaluates the representation. Passing ``spec`` instead takes
+    the policy from :attr:`AggregationSpec.resolved_sparse_policy` — the
+    job-wide resolution site — so derived ops and the seqOp accumulator
+    can never disagree about defaults.
     """
+    if policy is None and spec is not None:
+        policy = spec.resolved_sparse_policy
     plans = _plan(prototype)
     cls = type(prototype)
     array_fields = [p for p in plans if p.kind == "array"]

@@ -48,14 +48,16 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..comm.ring import ScalableCommunicator
-from ..obs import RecoveryAction
+from ..obs import CollectiveChosen, CollectiveCompleted, CollectiveCostEstimate, RecoveryAction
 from ..rdd.costing import ELEMENT_OVERHEAD, cost_of
 from ..rdd.rdd import RDD
 from ..rdd.scheduler import JobFailed
 from ..rdd.task_context import TaskContext
+from ..serde import sim_sizeof
 from ..sim import SimulationError
 from .aggregation import fresh_zero, tree_aggregate
 from .spawn_rdd import SpawnRDD
+from .spec import AggregationSpec, spec_with_legacy, warn_deprecated_kwarg
 
 __all__ = ["split_aggregate"]
 
@@ -71,22 +73,38 @@ Holders = List[Tuple[int, Tuple[int, int]]]
 
 def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
                     reduce_op: ReduceOp, concat_op: ConcatOp,
-                    parallelism: int = 4, *,
+                    spec: Optional[AggregationSpec] = None, *,
                     merge_op: Optional[MergeOp] = None,
-                    topology_aware: bool = True,
+                    parallelism: Optional[int] = None,
+                    topology_aware: Optional[bool] = None,
                     recovery: Any = None) -> Any:
     """Sparker's ``splitAggregate`` (blocking driver call).
 
     Returns the fully reduced value of type ``V`` (Figure 6: the action's
     result type is the segment type, produced by ``concatOp``).
 
-    ``recovery`` is an optional :class:`~repro.faults.RecoveryPolicy`;
-    when None it is taken from the context's armed fault controller
-    (``sc.faults``), and when neither exists the aggregation runs the
-    original, recovery-free path.
+    ``spec`` carries every reduction knob (see
+    :class:`~repro.core.spec.AggregationSpec`): the collective algorithm
+    (``"ring"`` | ``"hd"`` | ``"hierarchical"``, or ``"auto"`` to let the
+    cost-model tuner pick algorithm and parallelism from the holders'
+    actual wire sizes), the channel parallelism, topology awareness and
+    the recovery policy. The ``parallelism`` / ``topology_aware`` /
+    ``recovery`` keywords (and an integer passed for ``spec``, the old
+    positional parallelism) are deprecated shims mapping onto the spec.
+
+    With no recovery policy in the spec one is taken from the context's
+    armed fault controller (``sc.faults``); when neither exists the
+    aggregation runs the original, recovery-free path.
     """
-    if parallelism < 1:
-        raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+    if isinstance(spec, int):
+        # the pre-spec signature's 7th positional argument
+        warn_deprecated_kwarg("parallelism", "split_aggregate", stacklevel=3)
+        spec = AggregationSpec(parallelism=spec)
+    spec = spec_with_legacy(spec, "split_aggregate", stacklevel=4,
+                            parallelism=parallelism,
+                            topology_aware=topology_aware,
+                            recovery=recovery)
+    spec = AggregationSpec.from_env(spec)
     sc = rdd.sc
 
     if merge_op is None:
@@ -95,10 +113,11 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
 
     if rdd.num_partitions() == 0:
         z = fresh_zero(zero)
-        return concat_op([split_op(z, i, parallelism)
-                          for i in range(parallelism)])
+        return concat_op([split_op(z, i, spec.parallelism)
+                          for i in range(spec.parallelism)])
 
     controller = getattr(sc, "faults", None)
+    recovery = spec.recovery
     if recovery is None and controller is not None:
         recovery = controller.recovery
 
@@ -120,8 +139,14 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
         with sc.stopwatch.span("agg.compute"):
             holders = sc.run_reduced_job(rdd, partial_func, merge_op)
         with sc.stopwatch.span("agg.reduce"):
-            result = _reduce_once(sc, holders, parallelism, topology_aware,
-                                  split_op, reduce_op, concat_op)
+            decision = _choose_collective(sc, spec, holders)
+            cid, algorithm, chosen_p, predicted, model = decision
+            began = sc.now
+            result = _reduce_once(sc, holders, chosen_p,
+                                  spec.topology_aware, split_op, reduce_op,
+                                  concat_op, algorithm=algorithm)
+            _finish_collective(sc, model, cid, algorithm, chosen_p,
+                               predicted, began)
         return result
 
     # ---- fault-tolerant path ----------------------------------------------
@@ -129,22 +154,114 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
         holders, contributions = sc.run_reduced_job(
             rdd, partial_func, merge_op, detail=True)
     with sc.stopwatch.span("agg.reduce"):
+        decision = _choose_collective(sc, spec, holders)
+        cid, algorithm, chosen_p, predicted, model = decision
+        began = sc.now
         result = _ft_reduce(sc, rdd, partial_func, holders, contributions,
-                            zero, seq_op, merge_op, parallelism,
-                            topology_aware, split_op, reduce_op, concat_op,
-                            recovery, controller)
+                            zero, seq_op, merge_op, chosen_p,
+                            spec.topology_aware, split_op, reduce_op,
+                            concat_op, recovery, controller,
+                            algorithm=algorithm)
+        _finish_collective(sc, model, cid, algorithm, chosen_p,
+                           predicted, began)
     return result
+
+
+def _holder_value_bytes(sc: Any, holders: Holders) -> float:
+    """Mean wire size of the holders' in-memory aggregators.
+
+    This is the ``__sim_size__`` probe, so the density-adaptive sparse
+    format prices at its actual encoded size — the tuner sees the same
+    bytes the ring would put on the wire.
+    """
+    total = 0.0
+    for executor_id, obj in holders:
+        value = sc.executor_by_id(executor_id).object_manager.get(obj)
+        total += sim_sizeof(value)
+    return total / len(holders)
+
+
+def _choose_collective(sc: Any, spec: AggregationSpec, holders: Holders
+                       ) -> Tuple[int, str, int, float, Any]:
+    """Decide this aggregation's ``(algorithm, parallelism)``.
+
+    With ``spec.collective="auto"`` the cost model prices every
+    ``algorithm x parallelism_candidates`` pair against the holders'
+    measured wire sizes and placement; otherwise the spec's pinned choice
+    passes straight through. Returns ``(collective_id, algorithm,
+    parallelism, predicted_seconds, model)`` — ``model`` is None unless
+    the tuner ran (its prediction feeds the post-run calibration).
+
+    The decision itself is driver-side Python: it schedules no simulation
+    events, so a pinned-ring run remains bit-identical to the seed.
+    """
+    cid = getattr(sc, "_collective_seq", 0) + 1
+    sc._collective_seq = cid
+    bus = sc.event_bus
+    if spec.collective != "auto":
+        if bus.active:
+            slots = _slots_for(sc, holders)
+            value_bytes = _holder_value_bytes(sc, holders)
+            num = len(slots) * spec.parallelism
+            bus.emit(CollectiveChosen(
+                time=sc.now, collective_id=cid, algorithm=spec.collective,
+                parallelism=spec.parallelism, source="spec",
+                ranks=len(slots), hosts=len({s.hostname for s in slots}),
+                value_bytes=value_bytes,
+                segment_bytes=value_bytes / num))
+        return cid, spec.collective, spec.parallelism, 0.0, None
+
+    from ..comm.cost import choose_collective, cost_model_for
+    model = cost_model_for(sc)
+    slots = _slots_for(sc, holders)
+    value_bytes = _holder_value_bytes(sc, holders)
+    algorithms = ["ring", "hd"]
+    if spec.topology_aware:
+        algorithms.append("hierarchical")
+    winner, estimates = choose_collective(
+        model, value_bytes, slots, algorithms, spec.parallelism_candidates)
+    predicted = next(est for plan, est in estimates if plan is winner)
+    if bus.active:
+        for plan, est in estimates:
+            bus.emit(CollectiveCostEstimate(
+                time=sc.now, collective_id=cid, algorithm=plan.algorithm,
+                parallelism=plan.parallelism, predicted=est,
+                chosen=plan is winner))
+        bus.emit(CollectiveChosen(
+            time=sc.now, collective_id=cid, algorithm=winner.algorithm,
+            parallelism=winner.parallelism, source="auto",
+            ranks=winner.ranks, hosts=winner.num_hosts,
+            value_bytes=value_bytes, segment_bytes=winner.segment_bytes,
+            predicted=predicted))
+    return cid, winner.algorithm, winner.parallelism, predicted, model
+
+
+def _finish_collective(sc: Any, model: Any, cid: int, algorithm: str,
+                       parallelism: int, predicted: float,
+                       began: float) -> None:
+    """Close the measurement window: calibrate the model, emit the span."""
+    measured = sc.now - began
+    if model is not None:
+        model.observe(algorithm, predicted, measured)
+    if sc.event_bus.active:
+        sc.event_bus.emit(CollectiveCompleted(
+            time=sc.now, collective_id=cid, algorithm=algorithm,
+            parallelism=parallelism, began=began, seconds=measured,
+            predicted=predicted))
 
 
 def _reduce_once(sc: Any, holders: Holders, parallelism: int,
                  topology_aware: bool, split_op: SplitOp,
                  reduce_op: ReduceOp, concat_op: ConcatOp, *,
+                 algorithm: str = "ring",
                  faults: Any = None,
                  recv_timeout: Optional[float] = None,
                  watch_deaths: bool = False) -> Any:
     """One SpawnRDD + reduce-scatter + gather pass over ``holders``.
 
     The default arguments make this exactly the original reduce step;
+    ``algorithm`` dispatches the reduce-scatter strategy by registry name
+    (:mod:`repro.comm.collectives` — every strategy is bit-identical);
     ``watch_deaths`` additionally aborts the collective (interrupting all
     of its processes) the instant any holding executor dies, so a
     mid-collective crash surfaces immediately instead of via timeout.
@@ -181,7 +298,7 @@ def _reduce_once(sc: Any, holders: Holders, parallelism: int,
             watched.append(executor)
     try:
         proc = sc.env.process(comm.reduce_scatter_gather(
-            values, split_op, reduce_op, concat_op))
+            values, split_op, reduce_op, concat_op, algorithm=algorithm))
         result = sc.env.run(until=proc)
     except BaseException:
         if watch_deaths:
@@ -208,8 +325,18 @@ def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
                contributions: dict, zero: Any, seq_op: SeqOp,
                merge_op: MergeOp, parallelism: int, topology_aware: bool,
                split_op: SplitOp, reduce_op: ReduceOp, concat_op: ConcatOp,
-               recovery: Any, controller: Any) -> Any:
-    """The detect / recompute / rebuild loop of the fault-tolerant path."""
+               recovery: Any, controller: Any, *,
+               algorithm: str = "ring") -> Any:
+    """The detect / recompute / rebuild loop of the fault-tolerant path.
+
+    The loop is algorithm-agnostic: every registered collective surfaces
+    a lost peer as :class:`~repro.rdd.executor.ExecutorLost` (recv
+    deadline) or an abort interrupt (death listener), the rebuild
+    re-ranks the survivors, and the recomputed partials absorb under the
+    same epoch fence regardless of message topology. Rebuilds keep the
+    chosen ``algorithm`` — a shrunken ring is re-priced only on the next
+    aggregation, keeping recovery on the well-trodden path.
+    """
     agg_job = holders[0][1][0]  # stage 1's job id, for recovery events
     attempts = 0
     epoch = 0
@@ -278,8 +405,9 @@ def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
         try:
             result = _reduce_once(
                 sc, holders, parallelism, topology_aware, split_op,
-                reduce_op, concat_op, faults=controller,
-                recv_timeout=recovery.recv_timeout, watch_deaths=True)
+                reduce_op, concat_op, algorithm=algorithm,
+                faults=controller, recv_timeout=recovery.recv_timeout,
+                watch_deaths=True)
         except (JobFailed, SimulationError):
             # Retry budgets below this loop are already exhausted (or the
             # kernel itself broke): rebuilding the ring cannot help.

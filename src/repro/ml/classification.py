@@ -12,6 +12,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..core.spec import AggregationSpec, spec_with_legacy, warn_deprecated_kwarg
 from ..rdd.rdd import RDD
 from .gradient import HingeGradient, LogisticGradient
 from .linalg import LabeledPoint, SparseVector
@@ -72,25 +73,38 @@ class _SGDTrainer:
     def train(cls, data: RDD, num_features: int,
               num_iterations: int = 10, step_size: float = 1.0,
               reg_param: float = 0.0, mini_batch_fraction: float = 1.0,
-              aggregation: str = "tree", parallelism: int = 4,
+              aggregation: str = "tree",
+              spec: Optional[AggregationSpec] = None,
               size_scale: float = 1.0, sample_scale: float = 1.0,
               flop_time: float = JVM_FLOP_TIME,
               initial_weights: Optional[np.ndarray] = None,
-              convergence_tol: float = 0.0,
-              sparse_aggregation: bool = False,
+              convergence_tol: float = 0.0, *,
+              parallelism: Optional[int] = None,
+              sparse_aggregation: Optional[bool] = None,
               sparse_policy=None,
-              batched: bool = False) -> LinearModel:
+              batched: Optional[bool] = None) -> LinearModel:
         """Train on an RDD of :class:`LabeledPoint`.
 
         ``aggregation`` selects the backend: ``"tree"`` (vanilla Spark),
         ``"tree_imm"`` or ``"split"`` (Sparker) — the paper's §3.1
-        configuration switch. ``sparse_aggregation`` turns on the
-        density-adaptive sparse payload (optionally with a custom
-        ``sparse_policy``); ``batched`` enables the per-partition CSR
-        gradient kernel.
+        configuration switch. ``spec`` carries every reduction knob
+        (collective algorithm or ``"auto"``, parallelism, the
+        density-adaptive sparse payload, the per-partition CSR ``batched``
+        kernel); the ``parallelism`` / ``sparse_aggregation`` /
+        ``sparse_policy`` / ``batched`` keywords are deprecated shims
+        mapping onto it.
         """
         if num_features < 1:
             raise ValueError(f"num_features must be >= 1: {num_features}")
+        if isinstance(spec, int):
+            # the pre-spec signature's positional parallelism
+            warn_deprecated_kwarg("parallelism", f"{cls.__name__}.train",
+                                  stacklevel=3)
+            spec = AggregationSpec(parallelism=spec)
+        spec = spec_with_legacy(
+            spec, f"{cls.__name__}.train",
+            parallelism=parallelism, sparse_aggregation=sparse_aggregation,
+            sparse_policy=sparse_policy, batched=batched)
         updater = (SquaredL2Updater() if reg_param > 0
                    else cls.default_updater())
         optimizer = GradientDescent(
@@ -101,14 +115,11 @@ class _SGDTrainer:
             reg_param=reg_param,
             mini_batch_fraction=mini_batch_fraction,
             aggregation=aggregation,
-            parallelism=parallelism,
+            spec=spec,
             size_scale=size_scale,
             sample_scale=sample_scale,
             flop_time=flop_time,
             convergence_tol=convergence_tol,
-            sparse_aggregation=sparse_aggregation,
-            sparse_policy=sparse_policy,
-            batched=batched,
         )
         w0 = (np.zeros(num_features) if initial_weights is None
               else np.asarray(initial_weights, dtype=np.float64))

@@ -10,10 +10,13 @@ preprocessing stage and a second production consumer of the SAI.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from ..core.aggregation import tree_aggregate
 from ..core.sai import split_aggregate
+from ..core.spec import AggregationSpec, spec_with_legacy, warn_deprecated_kwarg
 from ..rdd.costing import Costed
 from ..rdd.rdd import RDD
 from .aggregators import FlatAggregator, concat_op, reduce_op, split_op
@@ -63,18 +66,30 @@ class StandardScalerModel:
 class StandardScaler:
     """Fits per-feature mean/variance with one distributed aggregation."""
 
-    def __init__(self, aggregation: str = "tree", parallelism: int = 4,
+    def __init__(self, aggregation: str = "tree",
+                 spec: Optional[AggregationSpec] = None,
                  size_scale: float = 1.0, sample_scale: float = 1.0,
-                 flop_time: float = JVM_FLOP_TIME):
+                 flop_time: float = JVM_FLOP_TIME, *,
+                 parallelism: Optional[int] = None):
         if aggregation not in AGGREGATION_MODES:
             raise ValueError(
                 f"aggregation must be one of {AGGREGATION_MODES}, "
                 f"got {aggregation!r}")
+        if isinstance(spec, int):
+            # the pre-spec signature's positional parallelism
+            warn_deprecated_kwarg("parallelism", "StandardScaler",
+                                  stacklevel=3)
+            spec = AggregationSpec(parallelism=spec)
         self.aggregation = aggregation
-        self.parallelism = parallelism
+        self.spec = spec_with_legacy(spec, "StandardScaler",
+                                     parallelism=parallelism)
         self.size_scale = size_scale
         self.sample_scale = sample_scale
         self.flop_time = flop_time
+
+    @property
+    def parallelism(self) -> int:
+        return self.spec.parallelism
 
     def fit(self, data: RDD, num_features: int) -> StandardScalerModel:
         """One pass: aggregate sum and sum-of-squares per feature.
@@ -105,8 +120,7 @@ class StandardScaler:
 
         if self.aggregation == "split":
             agg = split_aggregate(data, zero, seq_op, split_op, reduce_op,
-                                  concat_op, parallelism=self.parallelism,
-                                  merge_op=merge)
+                                  concat_op, self.spec, merge_op=merge)
         else:
             agg = tree_aggregate(data, zero, seq_op, merge,
                                  imm=(self.aggregation == "tree_imm"))

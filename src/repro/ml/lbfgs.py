@@ -21,12 +21,13 @@ the paper's "Driver" slice.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Tuple
+from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.aggregation import tree_aggregate
 from ..core.sai import split_aggregate
+from ..core.spec import AggregationSpec, spec_with_legacy, warn_deprecated_kwarg
 from ..rdd.costing import Costed
 from ..rdd.rdd import RDD
 from .aggregators import FlatAggregator, concat_op, reduce_op, split_op
@@ -54,9 +55,11 @@ class LBFGS:
                  max_iterations: int = 25, reg_param: float = 0.0,
                  convergence_tol: float = 1e-6,
                  max_line_search_steps: int = 8,
-                 aggregation: str = "tree", parallelism: int = 4,
+                 aggregation: str = "tree",
+                 spec: Optional[AggregationSpec] = None,
                  size_scale: float = 1.0, sample_scale: float = 1.0,
-                 flop_time: float = JVM_FLOP_TIME):
+                 flop_time: float = JVM_FLOP_TIME, *,
+                 parallelism: Optional[int] = None):
         if aggregation not in AGGREGATION_MODES:
             raise ValueError(
                 f"aggregation must be one of {AGGREGATION_MODES}, "
@@ -66,6 +69,10 @@ class LBFGS:
         if max_iterations < 1:
             raise ValueError(
                 f"max_iterations must be >= 1, got {max_iterations}")
+        if isinstance(spec, int):
+            # the pre-spec signature's positional parallelism
+            warn_deprecated_kwarg("parallelism", "LBFGS", stacklevel=3)
+            spec = AggregationSpec(parallelism=spec)
         self.gradient = gradient
         self.history = history
         self.max_iterations = max_iterations
@@ -73,10 +80,14 @@ class LBFGS:
         self.convergence_tol = convergence_tol
         self.max_line_search_steps = max_line_search_steps
         self.aggregation = aggregation
-        self.parallelism = parallelism
+        self.spec = spec_with_legacy(spec, "LBFGS", parallelism=parallelism)
         self.size_scale = size_scale
         self.sample_scale = sample_scale
         self.flop_time = flop_time
+
+    @property
+    def parallelism(self) -> int:
+        return self.spec.parallelism
 
     # -------------------------------------------------------------- internals
     def _loss_and_gradient(self, data: RDD, weights: np.ndarray
@@ -101,8 +112,7 @@ class LBFGS:
         zero = lambda: FlatAggregator(dim, size_scale)  # noqa: E731
         if self.aggregation == "split":
             agg = split_aggregate(data, zero, seq_op, split_op, reduce_op,
-                                  concat_op, parallelism=self.parallelism,
-                                  merge_op=merge)
+                                  concat_op, self.spec, merge_op=merge)
         else:
             agg = tree_aggregate(data, zero, seq_op, merge,
                                  imm=(self.aggregation == "tree_imm"))

@@ -12,12 +12,13 @@ The driver's M-step renormalizes the counts into the new topic-word matrix
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from ..core.aggregation import tree_aggregate
 from ..core.sai import split_aggregate
+from ..core.spec import AggregationSpec, spec_with_legacy, warn_deprecated_kwarg
 from ..rdd.costing import Costed
 from ..rdd.rdd import RDD
 from .aggregators import FlatAggregator, concat_op, reduce_op, split_op
@@ -77,9 +78,11 @@ class LDA:
     def __init__(self, k: int = 10, num_iterations: int = 10,
                  doc_concentration: float = 0.1,
                  topic_concentration: float = 0.01,
-                 aggregation: str = "tree", parallelism: int = 4,
+                 aggregation: str = "tree",
+                 spec: Optional[AggregationSpec] = None,
                  size_scale: float = 1.0, sample_scale: float = 1.0,
-                 token_time: float = LDA_TOKEN_TIME, seed: int = 7):
+                 token_time: float = LDA_TOKEN_TIME, seed: int = 7, *,
+                 parallelism: Optional[int] = None):
         if aggregation not in AGGREGATION_MODES:
             raise ValueError(
                 f"aggregation must be one of {AGGREGATION_MODES}, "
@@ -88,16 +91,24 @@ class LDA:
             raise ValueError(f"k must be >= 2, got {k}")
         if num_iterations < 1:
             raise ValueError(f"need at least one iteration: {num_iterations}")
+        if isinstance(spec, int):
+            # the pre-spec signature's positional parallelism
+            warn_deprecated_kwarg("parallelism", "LDA", stacklevel=3)
+            spec = AggregationSpec(parallelism=spec)
         self.k = k
         self.num_iterations = num_iterations
         self.doc_concentration = doc_concentration
         self.topic_concentration = topic_concentration
         self.aggregation = aggregation
-        self.parallelism = parallelism
+        self.spec = spec_with_legacy(spec, "LDA", parallelism=parallelism)
         self.size_scale = size_scale
         self.sample_scale = sample_scale
         self.token_time = token_time
         self.seed = seed
+
+    @property
+    def parallelism(self) -> int:
+        return self.spec.parallelism
 
     # ------------------------------------------------------------------- fit
     def fit(self, corpus: RDD, vocab_size: int) -> LDAModel:
@@ -150,7 +161,7 @@ class LDA:
             if self.aggregation == "split":
                 agg = split_aggregate(
                     corpus, zero, seq_op, split_op, reduce_op, concat_op,
-                    parallelism=self.parallelism, merge_op=merge)
+                    self.spec, merge_op=merge)
             else:
                 agg = tree_aggregate(
                     corpus, zero, seq_op, merge,

@@ -11,7 +11,7 @@ both MLlib LDA optimizers, just at mini-batch frequency.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 from numpy.random import default_rng
@@ -19,6 +19,7 @@ from scipy.special import digamma
 
 from ..core.aggregation import tree_aggregate
 from ..core.sai import split_aggregate
+from ..core.spec import AggregationSpec, spec_with_legacy, warn_deprecated_kwarg
 from ..rdd.costing import Costed
 from ..rdd.rdd import RDD
 from .aggregators import FlatAggregator, concat_op, reduce_op, split_op
@@ -37,9 +38,11 @@ class OnlineLDA:
                  doc_concentration: float = 0.1,
                  topic_concentration: float = 0.01,
                  tau0: float = 1.0, kappa: float = 0.51,
-                 aggregation: str = "tree", parallelism: int = 4,
+                 aggregation: str = "tree",
+                 spec: Optional[AggregationSpec] = None,
                  size_scale: float = 1.0, sample_scale: float = 1.0,
-                 token_time: float = LDA_TOKEN_TIME, seed: int = 7):
+                 token_time: float = LDA_TOKEN_TIME, seed: int = 7, *,
+                 parallelism: Optional[int] = None):
         if aggregation not in AGGREGATION_MODES:
             raise ValueError(
                 f"aggregation must be one of {AGGREGATION_MODES}, "
@@ -52,6 +55,10 @@ class OnlineLDA:
         if kappa < 0.5 or kappa > 1.0:
             raise ValueError(
                 f"kappa in [0.5, 1] required for convergence: {kappa}")
+        if isinstance(spec, int):
+            # the pre-spec signature's positional parallelism
+            warn_deprecated_kwarg("parallelism", "OnlineLDA", stacklevel=3)
+            spec = AggregationSpec(parallelism=spec)
         self.k = k
         self.num_iterations = num_iterations
         self.mini_batch_fraction = mini_batch_fraction
@@ -60,11 +67,16 @@ class OnlineLDA:
         self.tau0 = tau0
         self.kappa = kappa
         self.aggregation = aggregation
-        self.parallelism = parallelism
+        self.spec = spec_with_legacy(spec, "OnlineLDA",
+                                     parallelism=parallelism)
         self.size_scale = size_scale
         self.sample_scale = sample_scale
         self.token_time = token_time
         self.seed = seed
+
+    @property
+    def parallelism(self) -> int:
+        return self.spec.parallelism
 
     def fit(self, corpus: RDD, vocab_size: int) -> LDAModel:
         """Train on an RDD of word-count :class:`SparseVector` docs."""
@@ -125,7 +137,7 @@ class OnlineLDA:
             if self.aggregation == "split":
                 agg = split_aggregate(
                     batch, zero, seq_op, split_op, reduce_op, concat_op,
-                    parallelism=self.parallelism, merge_op=merge)
+                    self.spec, merge_op=merge)
             else:
                 agg = tree_aggregate(
                     batch, zero, seq_op, merge,

@@ -25,9 +25,10 @@ import numpy as np
 
 from ..core.aggregation import tree_aggregate
 from ..core.sai import split_aggregate
+from ..core.spec import AggregationSpec, spec_with_legacy, warn_deprecated_kwarg
 from ..rdd.costing import Costed
 from ..rdd.rdd import RDD
-from ..serde import DEFAULT_SPARSE_POLICY, SparsePolicy
+from ..serde import SparsePolicy
 from .aggregators import FlatAggregator, concat_op, reduce_op, split_op
 from .batched import batched_seq_op
 from .gradient import Gradient
@@ -84,12 +85,14 @@ class GradientDescent:
                  step_size: float = 1.0, num_iterations: int = 10,
                  reg_param: float = 0.0, mini_batch_fraction: float = 1.0,
                  aggregation: str = "tree", depth: int = 2,
-                 parallelism: int = 4, convergence_tol: float = 0.0,
+                 spec: Optional[AggregationSpec] = None,
+                 convergence_tol: float = 0.0,
                  size_scale: float = 1.0, sample_scale: float = 1.0,
-                 flop_time: float = JVM_FLOP_TIME,
-                 sparse_aggregation: bool = False,
+                 flop_time: float = JVM_FLOP_TIME, *,
+                 parallelism: Optional[int] = None,
+                 sparse_aggregation: Optional[bool] = None,
                  sparse_policy: Optional[SparsePolicy] = None,
-                 batched: bool = False):
+                 batched: Optional[bool] = None):
         if aggregation not in AGGREGATION_MODES:
             raise ValueError(
                 f"aggregation must be one of {AGGREGATION_MODES}, "
@@ -100,6 +103,11 @@ class GradientDescent:
             raise ValueError(
                 f"mini_batch_fraction in (0, 1] required: "
                 f"{mini_batch_fraction}")
+        if isinstance(spec, int):
+            # the pre-spec signature's 9th positional argument
+            warn_deprecated_kwarg("parallelism", "GradientDescent",
+                                  stacklevel=3)
+            spec = AggregationSpec(parallelism=spec)
         self.gradient = gradient
         self.updater = updater
         self.step_size = step_size
@@ -108,23 +116,35 @@ class GradientDescent:
         self.mini_batch_fraction = mini_batch_fraction
         self.aggregation = aggregation
         self.depth = depth
-        self.parallelism = parallelism
+        self.spec = spec_with_legacy(
+            spec, "GradientDescent",
+            parallelism=parallelism, sparse_aggregation=sparse_aggregation,
+            sparse_policy=sparse_policy, batched=batched)
         self.convergence_tol = convergence_tol
         self.size_scale = size_scale
         self.sample_scale = sample_scale
         self.flop_time = flop_time
-        # Density-adaptive aggregation: seqOp accumulates into a sparse
-        # (index, value) payload and every wire crossing re-evaluates the
-        # sparse-vs-dense format (the SparCML-style switch). Passing an
-        # explicit policy implies enabling the mode.
-        self.sparse_aggregation = sparse_aggregation \
-            or sparse_policy is not None
-        self.sparse_policy = (
-            (sparse_policy if sparse_policy is not None
-             else DEFAULT_SPARSE_POLICY)
-            if self.sparse_aggregation else None)
-        # Whole-partition CSR gradient kernel (host wall-clock only).
-        self.batched = batched
+        # Density-adaptive aggregation: resolved exactly once, here — the
+        # seqOp accumulator, the wire-format switch and any derived split
+        # ops all share this one policy object for the whole job.
+        self._resolved_policy = self.spec.resolved_sparse_policy
+
+    # Pre-spec attribute views, for callers that introspect the trainer.
+    @property
+    def parallelism(self) -> int:
+        return self.spec.parallelism
+
+    @property
+    def sparse_aggregation(self) -> bool:
+        return self.spec.sparse_aggregation
+
+    @property
+    def sparse_policy(self) -> Optional[SparsePolicy]:
+        return self._resolved_policy
+
+    @property
+    def batched(self) -> bool:
+        return self.spec.batched
 
     # ------------------------------------------------------------------ run
     def optimize(self, data: RDD,
@@ -198,13 +218,13 @@ class GradientDescent:
             seq_op = Costed(fold, sample_cost)
         merge = Costed(lambda a, b: a.merge(b), 0.0)
         size_scale = self.size_scale
-        policy = self.sparse_policy
+        policy = self._resolved_policy
         zero = lambda: FlatAggregator(dim, size_scale,  # noqa: E731
                                       policy=policy)
 
         if self.aggregation == "split":
             return split_aggregate(
                 batch, zero, seq_op, split_op, reduce_op, concat_op,
-                parallelism=self.parallelism, merge_op=merge)
+                self.spec, merge_op=merge)
         return tree_aggregate(batch, zero, seq_op, merge, depth=self.depth,
                               imm=(self.aggregation == "tree_imm"))

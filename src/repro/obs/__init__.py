@@ -39,6 +39,7 @@ from .analysis import (
     FaultReport,
     SparseSavings,
     TraceAnalysis,
+    TunerReport,
     analyze_events,
     classify_stage,
     phase_decomposition,
@@ -47,6 +48,9 @@ from .bus import EventBus, RecordingListener
 from .chrome_trace import chrome_trace, write_chrome_trace
 from .events import (
     BlockEvent,
+    CollectiveChosen,
+    CollectiveCompleted,
+    CollectiveCostEstimate,
     EVENT_TYPES,
     FaultInjected,
     ImmMerge,
@@ -102,6 +106,9 @@ __all__ = [
     "NicSample",
     "FaultInjected",
     "RecoveryAction",
+    "CollectiveCostEstimate",
+    "CollectiveChosen",
+    "CollectiveCompleted",
     "EventLogWriter",
     "dump_events",
     "load_events",
@@ -118,6 +125,7 @@ __all__ = [
     "FaultReport",
     "SparseSavings",
     "TraceAnalysis",
+    "TunerReport",
     "analyze_events",
     "phase_decomposition",
     "classify_stage",

@@ -97,6 +97,33 @@ def render_analysis(analysis: TraceAnalysis) -> str:
                  "wire", "dense"],
                 rows, title="Representation switch points"))
 
+    tuner = analysis.tuner
+    if tuner.observed:
+        out.append("")
+        rows = []
+        for decision, completion, error in tuner.rows:
+            rows.append([
+                decision.collective_id, decision.algorithm,
+                f"P={decision.parallelism}", decision.source,
+                f"{decision.ranks}x{decision.hosts}h",
+                f"{decision.value_bytes / 1e6:.1f}MB",
+                (f"{decision.predicted:.4f}s"
+                 if decision.source == "auto" else "-"),
+                (f"{completion.seconds:.4f}s"
+                 if completion is not None else "-"),
+                (f"{100.0 * error:+.1f}%" if error is not None else "-"),
+            ])
+        out.append(format_table(
+            ["id", "algorithm", "chan", "source", "ranks", "value",
+             "predicted", "measured", "error"],
+            rows, title="Collective tuner decisions"))
+        if tuner.tuned_count:
+            out.append(
+                f"tuned decisions: {tuner.tuned_count} of "
+                f"{len(tuner.chosen)}; mean |model error| "
+                f"{100.0 * tuner.mean_abs_error:.1f}% over "
+                f"{len(tuner.estimates)} candidate estimates")
+
     out.append("")
     if analysis.stragglers:
         rows = [[f"s{s.stage_id}.{s.stage_attempt}", s.partition,

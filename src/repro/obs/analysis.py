@@ -23,6 +23,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .events import (
+    CollectiveChosen,
+    CollectiveCompleted,
+    CollectiveCostEstimate,
     FaultInjected,
     NicSample,
     RecoveryAction,
@@ -39,6 +42,7 @@ __all__ = [
     "SaturationWindow",
     "SparseSavings",
     "FaultReport",
+    "TunerReport",
     "TraceAnalysis",
     "analyze_events",
 ]
@@ -177,6 +181,55 @@ class FaultReport:
                     + action.seconds)
 
 
+@dataclass
+class TunerReport:
+    """How the collective engine chose, and how well it predicted.
+
+    Collects every :class:`~repro.obs.events.CollectiveChosen` /
+    :class:`~repro.obs.events.CollectiveCompleted` pair (joined on
+    ``collective_id``) plus the candidate estimates of each tuned
+    decision. ``rows`` is the CLI table: one line per dispatched
+    collective with its predicted and measured reduce+gather seconds and
+    the relative model error (tuned decisions only — pinned specs carry
+    no prediction).
+    """
+
+    chosen: List[CollectiveChosen] = field(default_factory=list)
+    completed: List[CollectiveCompleted] = field(default_factory=list)
+    estimates: List[CollectiveCostEstimate] = field(default_factory=list)
+    #: (chosen, completed-or-None, relative_error-or-None), decision order
+    rows: List[Tuple[CollectiveChosen, Optional[CollectiveCompleted],
+                     Optional[float]]] = field(default_factory=list)
+
+    @property
+    def observed(self) -> bool:
+        return bool(self.chosen)
+
+    @property
+    def tuned_count(self) -> int:
+        return sum(1 for c in self.chosen if c.source == "auto")
+
+    @property
+    def mean_abs_error(self) -> float:
+        """Mean |predicted - measured| / measured over tuned decisions."""
+        errors = [e for _, _, e in self.rows if e is not None]
+        if not errors:
+            return 0.0
+        return sum(abs(e) for e in errors) / len(errors)
+
+    def finalize(self) -> None:
+        """Join decisions with their measured spans into ``rows``."""
+        done = {c.collective_id: c for c in self.completed}
+        for decision in self.chosen:
+            completion = done.get(decision.collective_id)
+            error: Optional[float] = None
+            if (completion is not None and decision.source == "auto"
+                    and completion.seconds > 0):
+                error = ((completion.predicted - completion.seconds)
+                         / completion.seconds)
+            self.rows.append((decision, completion, error))
+
+
 @dataclass(frozen=True)
 class SaturationWindow:
     """A contiguous run of NIC samples at or above the threshold."""
@@ -213,6 +266,7 @@ class TraceAnalysis:
     saturation: List[SaturationWindow] = field(default_factory=list)
     sparse: SparseSavings = field(default_factory=SparseSavings)
     faults: FaultReport = field(default_factory=FaultReport)
+    tuner: TunerReport = field(default_factory=TunerReport)
 
     @property
     def total_time(self) -> float:
@@ -362,11 +416,18 @@ def analyze_events(events: Iterable[TraceEvent], *,
             analysis.faults.injected.append(event)
         elif kind == "recovery_action":
             analysis.faults.actions.append(event)
+        elif kind == "collective_chosen":
+            analysis.tuner.chosen.append(event)
+        elif kind == "collective_completed":
+            analysis.tuner.completed.append(event)
+        elif kind == "collective_cost":
+            analysis.tuner.estimates.append(event)
         elif kind == "nic_sample":
             if event.is_driver or not driver_only_saturation:
                 nic_samples.append(event)
     analysis.unfinished_stages = max(open_stages, 0)
     analysis.faults.finalize()
+    analysis.tuner.finalize()
     analysis.stragglers = _find_stragglers(task_ends, straggler_factor)
     analysis.saturation = _saturation_windows(nic_samples,
                                               saturation_threshold)

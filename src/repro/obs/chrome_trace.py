@@ -102,6 +102,7 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
     out += _meta(DRIVER_PID, "driver", sort_index=0)
     out += _meta(DRIVER_PID, "jobs", tid=0, sort_index=0)
     out += _meta(DRIVER_PID, "phases", tid=1, sort_index=1)
+    collective_tid = 50  # after however many packed phase lanes appear
 
     # ------------------------------------------------------------- driver
     job_starts: Dict[int, TraceEvent] = {}
@@ -122,6 +123,49 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
     for lane, e in _pack_lanes(phase_spans):
         out.append(_span(DRIVER_PID, 1 + lane, e.key, e.began, e.time,
                          "phase", {"seconds": e.seconds}))
+
+    # -------------------------------------------------------- collectives
+    # One driver lane for the collective engine: each dispatched
+    # reduce+gather is a span (measured seconds), the tuner's decision and
+    # its per-candidate cost estimates are instant markers at decision
+    # time, so prediction vs reality lines up on one axis.
+    collective_events = [e for e in events if e.kind in
+                         ("collective_chosen", "collective_completed",
+                          "collective_cost")]
+    if collective_events:
+        out += _meta(DRIVER_PID, "collectives", tid=collective_tid,
+                     sort_index=collective_tid)
+        for event in collective_events:
+            if event.kind == "collective_completed":
+                out.append(_span(
+                    DRIVER_PID, collective_tid,
+                    f"{event.algorithm} P{event.parallelism}",
+                    event.began, event.time, "collective",
+                    {"collective_id": event.collective_id,
+                     "seconds": event.seconds,
+                     "predicted": event.predicted}))
+            elif event.kind == "collective_chosen":
+                out.append({"ph": "i", "pid": DRIVER_PID,
+                            "tid": collective_tid, "s": "t",
+                            "name": (f"chose {event.algorithm} "
+                                     f"P{event.parallelism}"),
+                            "cat": "collective", "ts": event.time * _US,
+                            "args": {"collective_id": event.collective_id,
+                                     "source": event.source,
+                                     "ranks": event.ranks,
+                                     "hosts": event.hosts,
+                                     "value_bytes": event.value_bytes,
+                                     "segment_bytes": event.segment_bytes,
+                                     "predicted": event.predicted}})
+            else:  # collective_cost: one estimate per candidate
+                out.append({"ph": "i", "pid": DRIVER_PID,
+                            "tid": collective_tid, "s": "t",
+                            "name": (f"est {event.algorithm} "
+                                     f"P{event.parallelism}"),
+                            "cat": "collective", "ts": event.time * _US,
+                            "args": {"collective_id": event.collective_id,
+                                     "predicted": event.predicted,
+                                     "chosen": event.chosen}})
 
     # ------------------------------------------------------------- faults
     # Instant markers on the job lane: faults pin where the controller

@@ -37,6 +37,9 @@ __all__ = [
     "NicSample",
     "FaultInjected",
     "RecoveryAction",
+    "CollectiveCostEstimate",
+    "CollectiveChosen",
+    "CollectiveCompleted",
     "EVENT_TYPES",
     "event_from_record",
     "channel_str",
@@ -391,6 +394,72 @@ class RecoveryAction(TraceEvent):
     detail: str = ""
 
 
+# ------------------------------------------------------------- collectives
+@dataclass(frozen=True)
+class CollectiveCostEstimate(TraceEvent):
+    """The tuner's predicted cost for one candidate configuration.
+
+    One per candidate per tuned aggregation: ``algorithm`` and
+    ``parallelism`` identify the candidate, ``predicted`` its modelled
+    reduce+gather seconds (calibration correction applied), ``chosen``
+    whether the tuner picked it. ``collective_id`` groups the candidates
+    of one decision with its :class:`CollectiveChosen` /
+    :class:`CollectiveCompleted` pair.
+    """
+
+    kind: ClassVar[str] = "collective_cost"
+
+    collective_id: int
+    algorithm: str
+    parallelism: int
+    predicted: float
+    chosen: bool = False
+
+
+@dataclass(frozen=True)
+class CollectiveChosen(TraceEvent):
+    """One split-aggregation's collective configuration was decided.
+
+    Emitted for every aggregation that runs through the strategy
+    dispatch — ``source`` is ``"auto"`` when the cost-model tuner chose,
+    ``"spec"`` when the spec pinned the algorithm. ``segment_bytes`` is
+    the mean per-segment wire size the decision saw; ``ranks`` / ``hosts``
+    describe the placement.
+    """
+
+    kind: ClassVar[str] = "collective_chosen"
+
+    collective_id: int
+    algorithm: str
+    parallelism: int
+    source: str  # "auto" | "spec"
+    ranks: int
+    hosts: int
+    value_bytes: float
+    segment_bytes: float
+    predicted: float = 0.0
+
+
+@dataclass(frozen=True)
+class CollectiveCompleted(TraceEvent):
+    """The reduce+gather window of one dispatched collective closed.
+
+    ``seconds`` is the measured virtual-time span; with ``predicted`` from
+    the matching :class:`CollectiveChosen` this is the model's
+    prediction-vs-measurement residual, which both the online calibrator
+    and the CLI tuner report consume.
+    """
+
+    kind: ClassVar[str] = "collective_completed"
+
+    collective_id: int
+    algorithm: str
+    parallelism: int
+    began: float
+    seconds: float
+    predicted: float = 0.0
+
+
 # --------------------------------------------------------------- sampling
 @dataclass(frozen=True)
 class NicSample(TraceEvent):
@@ -414,7 +483,8 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         JobStart, JobEnd, StageSubmitted, StageCompleted, TaskStart,
         TaskEnd, BlockEvent, MessageSent, MessageDelivered, RingHop,
         ImmMerge, SegmentRepresentation, PhaseSpan, NicSample,
-        FaultInjected, RecoveryAction,
+        FaultInjected, RecoveryAction, CollectiveCostEstimate,
+        CollectiveChosen, CollectiveCompleted,
     )
 }
 

@@ -9,7 +9,6 @@ simulation runs underneath — exactly the Spark driver experience.
 
 from __future__ import annotations
 
-import os
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Union
 
 from ..cluster import Cluster, ClusterConfig
@@ -72,15 +71,11 @@ class SparkerContext:
             e.executor_id: e for e in self.executors
         }
         self.dag = DAGScheduler(self)
-        if host_pool is None:
-            env_size = int(os.environ.get("SPARKER_HOST_POOL", "0") or "0")
-            env_mode = os.environ.get("SPARKER_HOST_POOL_MODE", "fork")
-            host_pool = (HostPool(env_size, mode=env_mode)
-                         if env_size > 1 or env_mode == "inline" else None)
-        elif isinstance(host_pool, int):
-            host_pool = HostPool(host_pool) if host_pool > 1 else None
+        # env-var resolution lives in core.spec (the engine's single
+        # reader of SPARKER_* overrides)
+        from ..core.spec import resolve_host_pool
         #: parallel host-compute backend; None = untouched serial engine
-        self.host_pool: Optional[HostPool] = host_pool
+        self.host_pool: Optional[HostPool] = resolve_host_pool(host_pool)
         self.driver_cpu = Resource(self.env, 1, name="driver")
         self.driver_getters = Resource(self.env,
                                        self.config.driver_result_threads,

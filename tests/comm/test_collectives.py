@@ -1,0 +1,197 @@
+"""Bit-identity and registry tests for the pluggable collective engine.
+
+The contract every algorithm in :mod:`repro.comm.collectives` must meet:
+for each global segment the final value is the seed ring's left-deep
+reduction chain, so float64 results are *byte-identical* across
+``ring`` / ``hd`` / ``hierarchical`` at any ring size and parallelism.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AggregationSpec
+from repro.cluster import Cluster, ClusterConfig
+from repro.comm import (
+    ScalableCommunicator,
+    available_collectives,
+    get_collective,
+)
+from repro.comm.collectives import _ChainState, _owner_block
+from repro.faults import (
+    AtRingHop,
+    ExecutorCrash,
+    FaultController,
+    FaultPlan,
+    RecoveryPolicy,
+)
+from repro.rdd import SparkerContext
+from repro.serde import SizedPayload
+from repro.sim import Environment
+
+from .conftest import concat_op, make_values, reduce_op, split_op
+
+RING_SIZES = [2, 3, 5, 8]
+ALGORITHMS = ["ring", "hd", "hierarchical"]
+
+
+def run_gather(algorithm, n, parallelism=2, elems=64, seed=0,
+               num_nodes=3, topology_aware=True):
+    """One full reduce_scatter_gather; returns the concatenated payload."""
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig.bic(num_nodes=num_nodes))
+    comm = ScalableCommunicator(cluster, parallelism=parallelism,
+                                topology_aware=topology_aware,
+                                slots=cluster.executors[:n])
+    values, expected = make_values(n, elems=elems, seed=seed)
+    proc = env.process(comm.reduce_scatter_gather(
+        values, split_op, reduce_op, concat_op, algorithm=algorithm))
+    result = env.run(until=proc)
+    return result, expected, env.now
+
+
+# ------------------------------------------------------------- registry
+def test_registry_lists_all_three():
+    assert set(ALGORITHMS) <= set(available_collectives())
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(KeyError, match="unknown collective"):
+        get_collective("quantum")
+
+
+def test_hierarchical_requires_topology_aware():
+    env = Environment()
+    cluster = Cluster(env, ClusterConfig.bic(num_nodes=2))
+    comm = ScalableCommunicator(cluster, parallelism=1,
+                                topology_aware=False)
+    with pytest.raises(ValueError, match="topology_aware"):
+        get_collective("hierarchical").validate(comm)
+
+
+# ---------------------------------------------------------- bit-identity
+@pytest.mark.parametrize("n", RING_SIZES)
+@pytest.mark.parametrize("parallelism", [1, 2, 4])
+def test_bit_identical_to_ring(n, parallelism):
+    baseline, expected, _ = run_gather("ring", n, parallelism)
+    np.testing.assert_allclose(baseline.data, expected)
+    for algorithm in ("hd", "hierarchical"):
+        result, _, _ = run_gather(algorithm, n, parallelism)
+        assert result.data.tobytes() == baseline.data.tobytes(), (
+            f"{algorithm} diverged from ring at n={n} P={parallelism}")
+
+
+@pytest.mark.parametrize("algorithm", ["hd", "hierarchical"])
+def test_bit_identical_under_adversarial_values(algorithm):
+    """Catastrophic-cancellation values expose any re-association."""
+    rng = np.random.default_rng(11)
+    n, parallelism, elems = 5, 2, 48
+    values = [SizedPayload(rng.standard_normal(elems) * 10.0 ** rng.integers(
+        -8, 8, size=elems)) for _ in range(n)]
+
+    def once(algo):
+        env = Environment()
+        cluster = Cluster(env, ClusterConfig.bic(num_nodes=3))
+        comm = ScalableCommunicator(cluster, parallelism=parallelism,
+                                    slots=cluster.executors[:n])
+        vals = [SizedPayload(v.data.copy()) for v in values]
+        proc = env.process(comm.reduce_scatter_gather(
+            vals, split_op, reduce_op, concat_op, algorithm=algo))
+        return env.run(until=proc)
+
+    assert once(algorithm).data.tobytes() == once("ring").data.tobytes()
+
+
+def test_hd_faster_than_ring_at_scale():
+    """Latency-bound regime: log2(n) rounds beat n-1 hops."""
+    _, _, ring_t = run_gather("ring", 8, 2, num_nodes=2)
+    _, _, hd_t = run_gather("hd", 8, 2, num_nodes=2)
+    assert hd_t < ring_t
+
+
+# ------------------------------------------------------------ chain state
+def test_chain_state_folds_in_ring_order():
+    calls = []
+
+    def op(a, b):
+        calls.append((a, b))
+        return a + b
+
+    st = _ChainState(start=2, size=4)
+    st.add(3, 3.0)
+    st.add(1, 1.0)  # out of order relative to the chain
+    st.add(0, 0.25)
+    st.fold(op)
+    assert not st.complete  # rank 2's own value has not arrived yet
+    assert st.acc is None and not calls
+    st.add(2, 20.0)
+    st.fold(op)
+    # chain from rank 2 walks 3, 0, 1: contribution FIRST, acc SECOND
+    assert st.complete
+    assert calls == [(3.0, 20.0), (0.25, 23.0), (1.0, 23.25)]
+    assert st.acc == 24.25
+
+
+def test_chain_state_defers_non_prefix_contributions():
+    st = _ChainState(start=1, size=3)
+    st.add(1, 10.0)
+    st.add(0, 0.5)  # last link of the chain: must stay pending
+    st.fold(lambda a, b: a + b)
+    assert st.acc == 10.0 and st.count == 1
+    assert st.pending == {0: 0.5}
+
+
+def test_chain_state_export_absorb_roundtrip():
+    op = lambda a, b: a + b  # noqa: E731
+    src = _ChainState(start=1, size=3)
+    src.add(1, 10.0)
+    src.add(0, 0.5)
+    src.fold(op)
+    dst = _ChainState(start=1, size=3)
+    dst.absorb(src.export())
+    dst.add(2, 2.0)
+    dst.fold(op)
+    assert dst.complete
+    assert dst.acc == (0.5 + (2.0 + 10.0))
+
+
+def test_chain_state_rejects_two_folded_prefixes():
+    st = _ChainState(start=0, size=2)
+    st.acc, st.count = 1.0, 1
+    other = _ChainState(start=0, size=2)
+    other.acc, other.count = 2.0, 1
+    with pytest.raises(RuntimeError, match="two folded prefixes"):
+        st.absorb(other.export())
+
+
+def test_owner_block_partitions_exactly():
+    n, n2 = 7, 4
+    blocks = [_owner_block(n, n2, owner) for owner in range(n2)]
+    covered = [j for lo, hi in blocks for j in range(lo, hi)]
+    assert covered == list(range(n))
+
+
+# ------------------------------------------------------------ faulted runs
+def _faulted_split_aggregate(algorithm):
+    sc = SparkerContext(ClusterConfig.laptop(num_nodes=4))
+    victim = sc.executors[2].executor_id
+    plan = FaultPlan(faults=(ExecutorCrash(victim, AtRingHop(1)),), seed=7)
+    FaultController(sc, plan,
+                    RecoveryPolicy(recv_timeout=0.25,
+                                   max_ring_attempts=3)).arm()
+    data = [SizedPayload(np.full(32, float(i + 1))) for i in range(8)]
+    rdd = sc.parallelize(data, 8)
+    zero = lambda: SizedPayload(np.zeros(32))  # noqa: E731
+    result = rdd.split_aggregate(
+        zero, lambda a, x: a.merge_inplace(x),
+        lambda u, i, n: u.split(i, n),
+        lambda a, b: a.merge(b),
+        SizedPayload.concat,
+        AggregationSpec(collective=algorithm, parallelism=2))
+    return result.data
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_faulted_runs_recover_with_exact_sum(algorithm):
+    expected = np.full(32, sum(range(1, 9)), dtype=float)
+    np.testing.assert_array_equal(_faulted_split_aggregate(algorithm),
+                                  expected)

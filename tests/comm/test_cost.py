@@ -1,0 +1,233 @@
+"""Cost model, online calibration, and tuner-choice tests.
+
+The model only steers scheduling (never correctness), so these tests pin
+the *decision properties* the tuner relies on: deterministic candidate
+ordering, ring-first tie-breaking, regime-correct rankings (latency-bound
+favours ``hd``, bandwidth-bound favours the ring), and that both feedback
+loops (EWMA correction + link calibration) move predictions toward what
+was measured.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cluster import MB, ClusterConfig
+from repro.comm.cost import (
+    SMALL_MESSAGE_BYTES,
+    CollectiveCostModel,
+    CollectivePlan,
+    CostCalibrator,
+    choose_collective,
+    cost_model_for,
+)
+from repro.obs import EventBus, MessageDelivered, NicSample
+
+
+def make_model(alpha=1e-3, stream=100 * MB, nic=1000 * MB,
+               merge=5000 * MB):
+    return CollectiveCostModel(
+        alpha_inter=alpha, alpha_intra=alpha / 10.0,
+        stream_bandwidth=stream, nic_bandwidth=nic,
+        loopback_stream=10 * stream, loopback_bandwidth=10 * nic,
+        merge_bandwidth=merge, ser_bandwidth=merge, deser_bandwidth=merge)
+
+
+def slots(*hostnames):
+    return [SimpleNamespace(hostname=h) for h in hostnames]
+
+
+def plan(algorithm, ranks=8, parallelism=2, hosts=(4, 4),
+         value_bytes=64.0 * MB):
+    return CollectivePlan(algorithm=algorithm, parallelism=parallelism,
+                          ranks=ranks, hosts=hosts,
+                          value_bytes=value_bytes)
+
+
+# ------------------------------------------------------------- prediction
+def test_predictions_positive_and_finite():
+    model = make_model()
+    for algorithm in ("ring", "hd", "hierarchical"):
+        t = model.predict(plan(algorithm))
+        assert 0.0 < t < 1e6
+
+
+def test_unknown_algorithm_has_no_formula():
+    with pytest.raises(ValueError, match="no cost formula"):
+        make_model().predict(plan("quantum"))
+
+
+def test_single_rank_pays_only_the_gather():
+    model = make_model()
+    times = {a: model.predict(plan(a, ranks=1, hosts=(1,)))
+             for a in ("ring", "hd", "hierarchical")}
+    # no reduce phase: every algorithm degenerates to the same gather
+    assert len(set(times.values())) == 1
+
+
+def test_latency_bound_regime_favours_hd():
+    """Huge alpha, tiny payload: log2(N) rounds beat N-1 hops."""
+    model = make_model(alpha=1.0)
+    p_ring = model.predict(plan("ring", ranks=16, hosts=(8, 8),
+                                value_bytes=1024.0))
+    p_hd = model.predict(plan("hd", ranks=16, hosts=(8, 8),
+                              value_bytes=1024.0))
+    assert p_hd < p_ring
+
+
+def test_bandwidth_bound_regime_favours_ring():
+    """Tiny alpha, huge payload: the ring's near-optimal volume wins."""
+    model = make_model(alpha=1e-7)
+    p_ring = model.predict(plan("ring", ranks=16, hosts=(8, 8),
+                                value_bytes=256.0 * MB))
+    p_hd = model.predict(plan("hd", ranks=16, hosts=(8, 8),
+                              value_bytes=256.0 * MB))
+    assert p_ring < p_hd
+
+
+def test_segment_bytes_divides_by_ranks_and_parallelism():
+    p = plan("ring", ranks=8, parallelism=4, value_bytes=64.0 * MB)
+    assert p.segment_bytes == 64.0 * MB / 32
+
+
+# ------------------------------------------------------------- correction
+def test_observe_corrects_systematic_bias():
+    model = make_model()
+    p = plan("ring")
+    predicted = model.predict(p)
+    model.observe("ring", predicted, 2.0 * predicted)  # model 2x optimistic
+    corrected = model.predict(p)
+    assert corrected == pytest.approx(2.0 * predicted)
+    assert model.observations["ring"] == 1
+
+
+def test_observe_is_an_ewma_not_a_jump():
+    model = make_model()
+    p = plan("hd")
+    first = model.predict(p)
+    model.observe("hd", first, 2.0 * first)
+    model.observe("hd", model.predict(p), first)  # contradicting sample
+    # correction settles between the two ratios, never oscillates outside
+    assert 1.0 < model.corrections["hd"] < 2.0
+
+
+def test_observe_ignores_degenerate_samples():
+    model = make_model()
+    model.observe("ring", 0.0, 1.0)
+    model.observe("ring", 1.0, 0.0)
+    assert "ring" not in model.corrections
+
+
+# ------------------------------------------------------------- calibrator
+def _delivered(nbytes, flight_time):
+    return MessageDelivered(time=0.0, transport="sc", src=0, dst=1,
+                            channel="0", hop=0, nbytes=nbytes,
+                            queue_wait=0.0, flight_time=flight_time)
+
+
+def test_calibrator_small_messages_refine_alpha():
+    model = make_model(alpha=1e-3)
+    cal = CostCalibrator(model)
+    for _ in range(64):
+        cal.on_event(_delivered(128.0, 4e-3))
+    assert cal.alpha_samples == 64
+    assert model.alpha_inter == pytest.approx(4e-3, rel=0.05)
+
+
+def test_calibrator_large_messages_refine_beta():
+    model = make_model(alpha=1e-3, stream=100 * MB)
+    cal = CostCalibrator(model)
+    nbytes = 64 * MB
+    # wire time consistent with a 200 MB/s achieved stream
+    for _ in range(64):
+        cal.on_event(_delivered(nbytes, model.alpha_inter
+                                + nbytes / (200 * MB)))
+    assert cal.beta_samples == 64
+    assert model.stream_bandwidth == pytest.approx(200 * MB, rel=0.05)
+
+
+def test_calibrator_ignores_sub_alpha_flights():
+    model = make_model(alpha=1e-3)
+    cal = CostCalibrator(model)
+    before = model.stream_bandwidth
+    cal.on_event(_delivered(SMALL_MESSAGE_BYTES + 1, 1e-9))
+    assert model.stream_bandwidth == before and cal.beta_samples == 0
+
+
+def test_calibrator_ratchets_nic_ceiling_up_only():
+    model = make_model(nic=1000 * MB)
+    cal = CostCalibrator(model)
+    cal.on_event(NicSample(time=0.0, node_id=0, hostname="h0",
+                           is_driver=False, in_rate=500 * MB,
+                           out_rate=400 * MB, in_utilization=0.5,
+                           out_utilization=0.4))
+    assert model.nic_bandwidth == 1000 * MB  # never lowered
+    cal.on_event(NicSample(time=0.0, node_id=0, hostname="h0",
+                           is_driver=False, in_rate=1500 * MB,
+                           out_rate=400 * MB, in_utilization=1.0,
+                           out_utilization=0.3))
+    assert model.nic_bandwidth == 1500 * MB
+    assert cal.nic_samples == 2
+
+
+# ---------------------------------------------------------------- chooser
+CANDIDATES = ("ring", "hd", "hierarchical")
+
+
+def test_choose_is_deterministic_and_exhaustive():
+    model = make_model()
+    sl = slots("h0", "h0", "h1", "h1")
+    winner1, est1 = choose_collective(model, 8.0 * MB, sl, CANDIDATES,
+                                      (1, 2, 4))
+    winner2, est2 = choose_collective(model, 8.0 * MB, sl, CANDIDATES,
+                                      (1, 2, 4))
+    assert winner1 == winner2
+    assert [(p.algorithm, p.parallelism) for p, _ in est1] == [
+        (a, p) for a in CANDIDATES for p in (1, 2, 4)]
+    assert est1 == est2
+    assert min(t for _, t in est1) == dict(
+        ((p.algorithm, p.parallelism), t) for p, t in est1)[
+        (winner1.algorithm, winner1.parallelism)]
+
+
+def test_ties_break_toward_ring_first():
+    """One rank: every algorithm prices identically -> seed ring wins."""
+    model = make_model()
+    winner, estimates = choose_collective(
+        model, 1.0 * MB, slots("h0"), CANDIDATES, (2, 4))
+    assert len({t for _, t in estimates}) <= 2  # per-P, not per-algo
+    assert winner.algorithm == "ring"
+    assert winner.parallelism == 2  # earlier candidate wins the tie too
+
+
+def test_choose_rejects_empty_slot_list():
+    with pytest.raises(ValueError, match="at least one slot"):
+        choose_collective(make_model(), 1.0, [], CANDIDATES, (1,))
+
+
+def test_host_profile_feeds_the_plan():
+    model = make_model()
+    winner, _ = choose_collective(
+        model, 1.0 * MB, slots("a", "a", "a", "b"), ("ring",), (1,))
+    assert winner.hosts == (3, 1)
+    assert winner.ranks == 4
+
+
+# ------------------------------------------------------------ model cache
+def test_cost_model_for_caches_per_context():
+    sc = SimpleNamespace(
+        cluster=SimpleNamespace(config=ClusterConfig.bic(num_nodes=2)))
+    model = cost_model_for(sc)
+    assert cost_model_for(sc) is model
+    assert not hasattr(sc, "collective_calibrator")  # no bus, no listener
+
+
+def test_cost_model_for_wires_the_calibrator_to_the_bus():
+    bus = EventBus()
+    sc = SimpleNamespace(
+        cluster=SimpleNamespace(config=ClusterConfig.bic(num_nodes=2)),
+        event_bus=bus)
+    model = cost_model_for(sc)
+    assert sc.collective_calibrator.model is model
+    bus.emit(_delivered(64.0, 5e-3))
+    assert sc.collective_calibrator.alpha_samples == 1

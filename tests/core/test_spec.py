@@ -1,0 +1,210 @@
+"""AggregationSpec: validation, env resolution, serialization, shims.
+
+The spec is the engine's single configuration value; these tests pin the
+contract the rest of the PR leans on — seed-identical defaults, the
+validation rules, exact dict round-trips (including nested policy /
+recovery objects), SPARKER_* env overrides resolved in one place, and
+the one-warning-per-legacy-kwarg shim discipline.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.spec import (
+    COLLECTIVES,
+    AggregationSpec,
+    resolve_host_pool,
+    resolve_sparse_policy,
+    spec_with_legacy,
+    warn_deprecated_kwarg,
+)
+from repro.faults import RecoveryPolicy
+from repro.rdd.hostpool import HostPool
+from repro.serde import DEFAULT_SPARSE_POLICY
+from repro.serde.cost import SparsePolicy
+
+
+# ------------------------------------------------------------ construction
+def test_defaults_are_seed_identical():
+    spec = AggregationSpec()
+    assert spec.collective == "ring"
+    assert spec.parallelism == 4
+    assert spec.topology_aware is True
+    assert spec.sparse_aggregation is False
+    assert spec.sparse_policy is None
+    assert spec.batched is False
+    assert spec.recovery is None
+    assert spec.host_pool is None
+
+
+def test_collective_is_validated():
+    for name in COLLECTIVES:
+        if name == "hierarchical":
+            AggregationSpec(collective=name, topology_aware=True)
+        else:
+            AggregationSpec(collective=name)
+    with pytest.raises(ValueError, match="collective must be one of"):
+        AggregationSpec(collective="butterfly")
+
+
+def test_parallelism_must_be_positive():
+    with pytest.raises(ValueError, match="parallelism must be >= 1"):
+        AggregationSpec(parallelism=0)
+    with pytest.raises(ValueError, match="parallelism_candidates"):
+        AggregationSpec(parallelism_candidates=())
+    with pytest.raises(ValueError, match="parallelism_candidates"):
+        AggregationSpec(parallelism_candidates=(2, 0))
+
+
+def test_candidates_normalize_to_tuple():
+    spec = AggregationSpec(parallelism_candidates=[1, 2])
+    assert spec.parallelism_candidates == (1, 2)
+
+
+def test_hierarchical_requires_topology_aware():
+    with pytest.raises(ValueError, match="topology_aware"):
+        AggregationSpec(collective="hierarchical", topology_aware=False)
+
+
+def test_explicit_policy_implies_sparse_mode():
+    policy = SparsePolicy(density_threshold=0.25)
+    spec = AggregationSpec(sparse_policy=policy)
+    assert spec.sparse_aggregation is True
+    assert spec.resolved_sparse_policy is policy
+
+
+def test_resolved_policy_falls_back_to_the_single_default():
+    assert AggregationSpec().resolved_sparse_policy is None
+    on = AggregationSpec(sparse_aggregation=True)
+    assert on.resolved_sparse_policy is DEFAULT_SPARSE_POLICY
+    # and the free function agrees (it IS the same resolution site)
+    assert resolve_sparse_policy(True, None) is DEFAULT_SPARSE_POLICY
+    assert resolve_sparse_policy(False, None) is None
+
+
+def test_replace_builds_variants_without_mutation():
+    spec = AggregationSpec()
+    variant = spec.replace(collective="hd", parallelism=8)
+    assert (variant.collective, variant.parallelism) == ("hd", 8)
+    assert spec.collective == "ring"  # frozen original untouched
+    with pytest.raises(Exception):
+        spec.parallelism = 2  # type: ignore[misc]
+
+
+# ------------------------------------------------------------- environment
+def test_from_env_with_nothing_set_is_identity():
+    base = AggregationSpec(collective="hd")
+    assert AggregationSpec.from_env(base, environ={}) is base
+
+
+def test_from_env_overrides_every_knob():
+    spec = AggregationSpec.from_env(environ={
+        "SPARKER_COLLECTIVE": " AUTO ",
+        "SPARKER_PARALLELISM": "8",
+        "SPARKER_TOPOLOGY_AWARE": "off",
+        "SPARKER_SPARSE_AGG": "1",
+        "SPARKER_BATCHED": "yes",
+        "SPARKER_HOST_POOL": "3",
+    })
+    assert spec.collective == "auto"
+    assert spec.parallelism == 8
+    assert spec.topology_aware is False
+    assert spec.sparse_aggregation is True
+    assert spec.batched is True
+    assert spec.host_pool == 3
+
+
+def test_resolve_host_pool_env_and_values(monkeypatch):
+    monkeypatch.delenv("SPARKER_HOST_POOL", raising=False)
+    monkeypatch.delenv("SPARKER_HOST_POOL_MODE", raising=False)
+    assert resolve_host_pool(None) is None
+    assert resolve_host_pool(1) is None  # <=1 workers: no pool
+    pool = resolve_host_pool(2)
+    assert isinstance(pool, HostPool) and pool.size == 2
+    assert resolve_host_pool(pool) is pool  # pass-through
+
+    monkeypatch.setenv("SPARKER_HOST_POOL", "3")
+    env_pool = resolve_host_pool(None)
+    assert isinstance(env_pool, HostPool) and env_pool.size == 3
+
+    # mode "inline" forces the pool path even without a size
+    monkeypatch.setenv("SPARKER_HOST_POOL", "0")
+    monkeypatch.setenv("SPARKER_HOST_POOL_MODE", "inline")
+    inline = resolve_host_pool(None)
+    assert isinstance(inline, HostPool) and inline.mode == "inline"
+
+
+# ------------------------------------------------------------ serialization
+def test_dict_round_trip_defaults():
+    spec = AggregationSpec()
+    assert AggregationSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_dict_round_trip_with_nested_objects():
+    spec = AggregationSpec(
+        collective="hierarchical",
+        parallelism=2,
+        parallelism_candidates=(2, 4),
+        sparse_policy=SparsePolicy(density_threshold=0.125),
+        recovery=RecoveryPolicy(recv_timeout=0.5, max_ring_attempts=2),
+    )
+    record = spec.to_dict()
+    back = AggregationSpec.from_dict(record)
+    assert back.collective == "hierarchical"
+    assert back.parallelism_candidates == (2, 4)
+    assert back.sparse_policy == spec.sparse_policy
+    assert back.recovery == spec.recovery
+    # and the dict itself is JSON-ready
+    import json
+    assert AggregationSpec.from_dict(
+        json.loads(json.dumps(record))) == back
+
+
+def test_host_pool_serializes_as_worker_count():
+    spec = AggregationSpec(host_pool=HostPool(2))
+    assert spec.to_dict()["host_pool"] == 2
+    assert AggregationSpec(host_pool=None).to_dict()["host_pool"] is None
+
+
+def test_from_dict_ignores_unknown_keys():
+    record = AggregationSpec().to_dict()
+    record["future_field"] = 42
+    assert AggregationSpec.from_dict(record) == AggregationSpec()
+
+
+# --------------------------------------------------------------- shims
+def test_spec_with_legacy_passthrough_emits_nothing():
+    spec = AggregationSpec(parallelism=2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert spec_with_legacy(spec, "site") is spec
+        assert spec_with_legacy(None, "site") == AggregationSpec()
+
+
+def test_spec_with_legacy_warns_once_per_kwarg():
+    with pytest.warns(DeprecationWarning) as caught:
+        spec = spec_with_legacy(None, "Trainer.train",
+                                parallelism=8, batched=True,
+                                sparse_aggregation=None)
+    messages = [str(w.message) for w in caught]
+    assert len(messages) == 2  # None kwargs are silent
+    assert any("'parallelism'" in m and "Trainer.train" in m
+               for m in messages)
+    assert any("'batched'" in m for m in messages)
+    assert spec.parallelism == 8 and spec.batched is True
+
+
+def test_legacy_values_override_the_spec():
+    base = AggregationSpec(parallelism=2, batched=False)
+    with pytest.warns(DeprecationWarning):
+        spec = spec_with_legacy(base, "site", parallelism=16)
+    assert spec.parallelism == 16
+    assert spec.batched is False  # untouched fields survive
+
+
+def test_warn_deprecated_kwarg_names_the_replacement():
+    with pytest.warns(DeprecationWarning,
+                      match=r"spec=AggregationSpec\(parallelism=\.\.\.\)"):
+        warn_deprecated_kwarg("parallelism", "split_aggregate",
+                              stacklevel=1)

@@ -1,0 +1,116 @@
+"""Legacy-kwarg shims must be *behaviourally invisible*.
+
+The api_redesign contract: every deprecated keyword maps onto the same
+:class:`~repro.core.AggregationSpec` the new API takes, so a legacy call
+and its spec-based translation drive the engine through the identical
+code path — which we verify at the strongest level available: the full
+recorded event log, serialized, must be byte-identical (same messages,
+same virtual timestamps, same ring hops, same merges), and so must the
+final aggregated bytes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import AggregationSpec
+from repro.cluster import ClusterConfig
+from repro.data import sparse_classification
+from repro.ml import LogisticRegressionWithSGD
+from repro.obs import RecordingListener
+from repro.rdd import SparkerContext
+from repro.serde import SizedPayload
+
+
+def _log_bytes(recorder):
+    """The whole run, serialized deterministically."""
+    return json.dumps([e.to_record() for e in recorder.events],
+                      sort_keys=True).encode()
+
+
+def _split_aggregate_run(call):
+    """One recorded split_aggregate; ``call(rdd, zero)`` does the invoke."""
+    sc = SparkerContext(ClusterConfig.bic(num_nodes=2))
+    recorder = RecordingListener()
+    sc.event_bus.subscribe(recorder)
+    data = [SizedPayload(np.full(64, float(i))) for i in range(12)]
+    rdd = sc.parallelize(data, 12).cache()
+    rdd.count()
+    zero = lambda: SizedPayload(np.zeros(64))  # noqa: E731
+    result = call(rdd, zero)
+    return result.data.tobytes(), _log_bytes(recorder)
+
+
+def _ops():
+    return dict(
+        seq_op=lambda a, x: a.merge_inplace(x),
+        split_op=lambda u, i, n: u.split(i, n),
+        reduce_op=lambda a, b: a.merge(b),
+        concat_op=SizedPayload.concat,
+    )
+
+
+def test_split_aggregate_parallelism_kwarg_matches_spec():
+    ops = _ops()
+
+    def legacy(rdd, zero):
+        with pytest.warns(DeprecationWarning, match="'parallelism'"):
+            return rdd.split_aggregate(
+                zero, ops["seq_op"], ops["split_op"], ops["reduce_op"],
+                ops["concat_op"], parallelism=2)
+
+    def via_spec(rdd, zero):
+        return rdd.split_aggregate(
+            zero, ops["seq_op"], ops["split_op"], ops["reduce_op"],
+            ops["concat_op"], AggregationSpec(parallelism=2))
+
+    legacy_result, legacy_log = _split_aggregate_run(legacy)
+    spec_result, spec_log = _split_aggregate_run(via_spec)
+    assert legacy_result == spec_result
+    assert legacy_log == spec_log
+
+
+def test_split_aggregate_int_positional_shim_matches_spec():
+    """The old positional-parallelism slot still works (and warns)."""
+    ops = _ops()
+
+    def legacy(rdd, zero):
+        with pytest.warns(DeprecationWarning, match="'parallelism'"):
+            return rdd.split_aggregate(
+                zero, ops["seq_op"], ops["split_op"], ops["reduce_op"],
+                ops["concat_op"], 2)
+
+    def via_spec(rdd, zero):
+        return rdd.split_aggregate(
+            zero, ops["seq_op"], ops["split_op"], ops["reduce_op"],
+            ops["concat_op"], AggregationSpec(parallelism=2))
+
+    legacy_result, legacy_log = _split_aggregate_run(legacy)
+    spec_result, spec_log = _split_aggregate_run(via_spec)
+    assert legacy_result == spec_result
+    assert legacy_log == spec_log
+
+
+def _train_run(**train_kwargs):
+    points, _ = sparse_classification(200, 30, 6, seed=31)
+    sc = SparkerContext(ClusterConfig.bic(num_nodes=2))
+    recorder = RecordingListener()
+    sc.event_bus.subscribe(recorder)
+    rdd = sc.parallelize(points, 24).cache()
+    rdd.count()
+    model = LogisticRegressionWithSGD.train(
+        rdd, 30, num_iterations=2, step_size=1.5, aggregation="split",
+        size_scale=1000.0, **train_kwargs)
+    return model.weights.tobytes(), _log_bytes(recorder)
+
+
+def test_trainer_legacy_kwargs_match_spec():
+    with pytest.warns(DeprecationWarning) as caught:
+        legacy_weights, legacy_log = _train_run(
+            parallelism=2, sparse_aggregation=True)
+    assert len(caught) == 2  # exactly one warning per legacy kwarg
+    spec_weights, spec_log = _train_run(spec=AggregationSpec(
+        parallelism=2, sparse_aggregation=True))
+    assert legacy_weights == spec_weights
+    assert legacy_log == spec_log

@@ -5,6 +5,9 @@ import pytest
 from repro.obs import (
     EVENT_TYPES,
     BlockEvent,
+    CollectiveChosen,
+    CollectiveCompleted,
+    CollectiveCostEstimate,
     FaultInjected,
     ImmMerge,
     JobEnd,
@@ -68,6 +71,15 @@ SAMPLES = [
     RecoveryAction(time=0.9, action="ring_rebuild", site="ring", job_id=1,
                    executor_id=3, attempt=1, ranks=3, seconds=0.05,
                    detail="survivors re-ranked"),
+    CollectiveCostEstimate(time=0.91, collective_id=1, algorithm="hd",
+                           parallelism=2, predicted=0.012, chosen=True),
+    CollectiveChosen(time=0.92, collective_id=1, algorithm="hd",
+                     parallelism=2, source="auto", ranks=6, hosts=2,
+                     value_bytes=8e6, segment_bytes=8e6 / 12,
+                     predicted=0.012),
+    CollectiveCompleted(time=0.95, collective_id=1, algorithm="hd",
+                        parallelism=2, began=0.92, seconds=0.03,
+                        predicted=0.012),
 ]
 
 
