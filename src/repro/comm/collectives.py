@@ -209,6 +209,7 @@ def hd_reduce_scatter_channel(
     bus: Optional[EventBus] = None,
     executor_id: int = -1,
     recv_timeout: Optional[float] = None,
+    parent_span: int = -1,
 ) -> Generator:
     """Per-rank recursive-halving reduce-scatter over one channel.
 
@@ -253,11 +254,13 @@ def hd_reduce_scatter_channel(
     def _emit_hop(hop: int, began: float, send_bytes: float,
                   recv_bytes: float, merge_time: float) -> None:
         if bus is not None and bus.active:
-            bus.emit(RingHop(time=env.now, rank=rank,
+            bus.emit(RingHop.fast(time=env.now, rank=rank,
                              executor_id=executor_id, channel=channel_key,
                              hop=hop, send_bytes=send_bytes,
                              recv_bytes=recv_bytes, began=began,
-                             merge_time=merge_time))
+                             merge_time=merge_time,
+                             span_id=bus.tracer.new_span(),
+                             parent_span_id=parent_span))
 
     # ---- round 0: fold the ranks beyond the largest power of two ----------
     if rank >= n2:
@@ -372,7 +375,8 @@ class HalvingDoublingCollective(CollectiveAlgorithm):
                         comm.fabric, rank, n, local_segments, reduce_op,
                         merge_bw, channel=p, bus=comm.bus,
                         executor_id=comm.ranked[rank].executor_id,
-                        recv_timeout=comm.recv_timeout),
+                        recv_timeout=comm.recv_timeout,
+                        parent_span=comm.span_id),
                     name=f"hd:r{rank}c{p}",
                 )))
             results: Dict[int, Any] = {}
@@ -532,13 +536,15 @@ class HierarchicalCollective(CollectiveAlgorithm):
                 if merge_time > 0:
                     yield env.timeout(merge_time)
                 if tracing and bus.active:
-                    bus.emit(RingHop(
+                    bus.emit(RingHop.fast(
                         time=env.now, rank=leader,
                         executor_id=comm.ranked[leader].executor_id,
                         channel=channel_str(("hier", p)), hop=hop,
                         send_bytes=send_bytes,
                         recv_bytes=sim_sizeof(acc) if tracing else 0.0,
-                        began=began, merge_time=merge_time))
+                        began=began, merge_time=merge_time,
+                        span_id=bus.tracer.new_span(),
+                        parent_span_id=comm.span_id))
             return cur_leader, p * n + j, acc
 
         walks = [comm._track(env.process(walk(p, j), name=f"hier:c{p}s{j}"))

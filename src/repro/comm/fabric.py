@@ -99,6 +99,9 @@ class CommFabric:
         self.delivered = 0
         #: messages dropped by the fault policy, for instrumentation
         self.dropped = 0
+        #: causal parent stamped on traced messages (the owning collective's
+        #: span); set by whoever drives the fabric, -1 when uncaused
+        self.parent_span = -1
 
     # ---------------------------------------------------------------- set-up
     def register(self, rank: int, node: Node) -> None:
@@ -143,11 +146,14 @@ class CommFabric:
         if self.faults is not None:
             channel, hop = _tag_channel_hop(tag)
             verdict = self.faults.message_fault(src, dst, channel, hop, size)
+        span = -1
         if self.bus is not None and self.bus.active:
             channel, hop = _tag_channel_hop(tag)
-            self.bus.emit(MessageSent(
+            span = self.bus.tracer.new_span()
+            self.bus.emit(MessageSent.fast(
                 time=sent_at, transport=self.transport.name, src=src,
-                dst=dst, channel=channel, hop=hop, nbytes=size))
+                dst=dst, channel=channel, hop=hop, nbytes=size,
+                span_id=span, parent_span_id=self.parent_span))
         yield from self.network.transfer(
             src_node, dst_node, size,
             stream_bandwidth=self.transport.stream_bandwidth,
@@ -164,7 +170,7 @@ class CommFabric:
             if extra > 0:
                 yield self.env.timeout(extra)
         self._mailbox(dst, tag).put((payload, src, size, sent_at,
-                                     self.env.now))
+                                     self.env.now, span))
         self.delivered += 1
 
     def isend(self, src: int, dst: int, payload: Any, tag: Hashable = 0,
@@ -189,18 +195,21 @@ class CommFabric:
         if self.faults is not None:
             channel, hop = _tag_channel_hop(tag)
             verdict = self.faults.message_fault(src, dst, channel, hop, size)
+        span = -1
         if self.bus is not None and self.bus.active:
             channel, hop = _tag_channel_hop(tag)
-            self.bus.emit(MessageSent(
+            span = self.bus.tracer.new_span()
+            self.bus.emit(MessageSent.fast(
                 time=sent_at, transport=transport.name, src=src,
-                dst=dst, channel=channel, hop=hop, nbytes=size))
+                dst=dst, channel=channel, hop=hop, nbytes=size,
+                span_id=span, parent_span_id=self.parent_span))
         network.messages += 1
         network.bytes_transferred += size
         done = Event(env, name=f"isend:{src}->{dst}")
 
         def _finish(_event: Any) -> None:
             self._mailbox(dst, tag).put((payload, src, size, sent_at,
-                                         env.now))
+                                         env.now, span))
             self.delivered += 1
             done.succeed(None)
 
@@ -265,16 +274,19 @@ class CommFabric:
             if not get.triggered:
                 box.cancel(get)
                 raise RecvTimeout(rank, tag, timeout)
-            payload, src, size, sent_at, arrived_at = get.value
+            payload, src, size, sent_at, arrived_at, span = get.value
         else:
-            payload, src, size, sent_at, arrived_at = yield get
+            payload, src, size, sent_at, arrived_at, span = yield get
         if self.bus is not None and self.bus.active:
             channel, hop = _tag_channel_hop(tag)
-            self.bus.emit(MessageDelivered(
+            # Same span as the matching MessageSent: the send/deliver pair
+            # IS one message span, which is the happens-before edge.
+            self.bus.emit(MessageDelivered.fast(
                 time=self.env.now, transport=self.transport.name, src=src,
                 dst=rank, channel=channel, hop=hop, nbytes=size,
                 queue_wait=self.env.now - arrived_at,
-                flight_time=arrived_at - sent_at))
+                flight_time=arrived_at - sent_at,
+                span_id=span, parent_span_id=self.parent_span))
         return payload
 
     # ------------------------------------------------------------ conveniences

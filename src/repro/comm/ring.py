@@ -66,6 +66,7 @@ def ring_reduce_scatter_rank(
     executor_id: int = -1,
     private: bool = False,
     recv_timeout: Optional[float] = None,
+    parent_span: int = -1,
 ) -> Generator:
     """Per-rank ring reduce-scatter over ``size`` ranks (one channel).
 
@@ -135,13 +136,15 @@ def ring_reduce_scatter_rank(
         if tracing and bus.active:
             recv_repr = representation_of(incoming)
             merged_repr = representation_of(merged)
-            bus.emit(RingHop(time=env.now, rank=rank,
+            hop_span = bus.tracer.new_span()
+            bus.emit(RingHop.fast(time=env.now, rank=rank,
                              executor_id=executor_id,
                              channel=channel_key, hop=k,
                              send_bytes=send_bytes, recv_bytes=recv_bytes,
                              began=began, merge_time=merge_cost,
                              send_repr=send_repr, recv_repr=recv_repr,
-                             send_dense_bytes=send_dense))
+                             send_dense_bytes=send_dense,
+                             span_id=hop_span, parent_span_id=parent_span))
             if merged_repr != local_repr:
                 bus.emit(SegmentRepresentation(
                     time=env.now, site="ring", executor_id=executor_id,
@@ -151,7 +154,9 @@ def ring_reduce_scatter_rank(
                     length=len(merged) if hasattr(merged, "__len__") else 0,
                     density=density_of(merged),
                     wire_bytes=sim_sizeof(merged),
-                    dense_bytes=sim_dense_sizeof(merged)))
+                    dense_bytes=sim_dense_sizeof(merged),
+                    span_id=bus.tracer.new_span(),
+                    parent_span_id=hop_span))
     owned = (rank + 1) % n
     return owned, current[owned]
 
@@ -166,6 +171,7 @@ def ring_allgather_rank(
     bus: Optional[EventBus] = None,
     executor_id: int = -1,
     recv_timeout: Optional[float] = None,
+    parent_span: int = -1,
 ) -> Generator:
     """Per-rank ring allgather: circulate owned segments to every rank.
 
@@ -198,12 +204,14 @@ def ring_allgather_rank(
         have[carry_idx] = carry_val
         yield in_flight
         if tracing and bus.active:
-            bus.emit(RingHop(time=env.now, rank=rank,
+            bus.emit(RingHop.fast(time=env.now, rank=rank,
                              executor_id=executor_id,
                              channel=channel_key, hop=k,
                              send_bytes=send_bytes,
                              recv_bytes=sim_sizeof(carry_val),
-                             began=began, merge_time=0.0))
+                             began=began, merge_time=0.0,
+                             span_id=bus.tracer.new_span(),
+                             parent_span_id=parent_span))
     return have
 
 
@@ -267,10 +275,19 @@ class ScalableCommunicator:
                                  faults=faults)
         for rank, slot in enumerate(self.ranked):
             self.fabric.register(rank, slot.node)
+        #: causal span of the collective driving this communicator; stamps
+        #: every hop and fabric message (see :meth:`set_span`)
+        self.span_id = -1
         #: every process this communicator spawned (for :meth:`abort`)
         self._procs: List[Process] = []
         #: cause of the abort, or None while healthy
         self.aborted: Optional[str] = None
+
+    def set_span(self, span_id: int) -> None:
+        """Adopt ``span_id`` as the causal parent of everything this
+        communicator does (ring hops, fabric messages, gather shipments)."""
+        self.span_id = span_id
+        self.fabric.parent_span = span_id
 
     def _track(self, proc: Process) -> Process:
         self._procs.append(proc)
@@ -345,7 +362,8 @@ class ScalableCommunicator:
                         # local_segments was built here and never re-read:
                         # skip the defensive copy.
                         private=True,
-                        recv_timeout=self.recv_timeout),
+                        recv_timeout=self.recv_timeout,
+                        parent_span=self.span_id),
                     name=f"rs:r{rank}c{p}",
                 )))
             results: Dict[int, Any] = {}
@@ -382,10 +400,13 @@ class ScalableCommunicator:
             total = sum(sim_sizeof(v) for v in results.values())
             yield env.timeout(self.serde.ser_time_bytes(total))
             sent_at = env.now
+            msg_span = -1
             if bus is not None and bus.active:
+                msg_span = bus.tracer.new_span()
                 bus.emit(MessageSent(
                     time=sent_at, transport=self.transport.name, src=rank,
-                    dst=-1, channel="gather", hop=rank, nbytes=total))
+                    dst=-1, channel="gather", hop=rank, nbytes=total,
+                    span_id=msg_span, parent_span_id=self.span_id))
             yield from network.transfer(slot.node, driver, total)
             arrived_at = env.now
             yield env.timeout(self.serde.deser_time_bytes(total))
@@ -394,7 +415,8 @@ class ScalableCommunicator:
                     time=env.now, transport=self.transport.name, src=rank,
                     dst=-1, channel="gather", hop=rank, nbytes=total,
                     queue_wait=env.now - arrived_at,
-                    flight_time=arrived_at - sent_at))
+                    flight_time=arrived_at - sent_at,
+                    span_id=msg_span, parent_span_id=self.span_id))
             for idx, value in results.items():
                 collected[idx] = value
 
@@ -456,7 +478,8 @@ class ScalableCommunicator:
                     self.fabric, rank, n, global_idx % n, value,
                     channel=("ag", p), bus=self.bus,
                     executor_id=self.ranked[rank].executor_id,
-                    recv_timeout=self.recv_timeout),
+                    recv_timeout=self.recv_timeout,
+                    parent_span=self.span_id),
                     name=f"ag:r{rank}c{p}")))
             everything: Dict[int, Any] = {}
             for p, proc in enumerate(chans):

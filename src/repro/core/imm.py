@@ -68,7 +68,8 @@ class MutableObjectManager:
         return entry
 
     def merge(self, object_id: ObjectId, stage_attempt: int, value: Any,
-              reduce_op: Callable[[Any, Any], Any]) -> Generator:
+              reduce_op: Callable[[Any, Any], Any],
+              parent_span: int = -1) -> Generator:
         """Process body: merge ``value`` into the shared object.
 
         The merge runs under the object's lock; merging two values costs a
@@ -114,14 +115,16 @@ class MutableObjectManager:
             entry.merge_count += 1
             if bus.active:
                 job_id, stage_id = object_id
-                bus.emit(ImmMerge(
+                bus.emit(ImmMerge.fast(
                     time=self.env.now,
                     executor_id=self.executor.executor_id, job_id=job_id,
                     stage_id=stage_id, merge_index=entry.merge_count - 1,
                     nbytes=sim_sizeof(value), lock_wait=lock_wait,
                     merge_time=self.env.now - merge_began,
                     representation=representation_of(entry.value),
-                    density=density_of(entry.value)))
+                    density=density_of(entry.value),
+                    span_id=bus.tracer.new_span(),
+                    parent_span_id=parent_span))
         finally:
             entry.lock.release()
 
@@ -146,7 +149,8 @@ class MutableObjectManager:
         return 0 if entry is None else entry.epoch
 
     def absorb(self, object_id: ObjectId, epoch: int, value: Any,
-               merge_op: Callable[[Any, Any], Any]) -> Generator:
+               merge_op: Callable[[Any, Any], Any],
+               parent_span: int = -1) -> Generator:
         """Process body: merge a recovery-recomputed partial into a fenced
         object.
 
@@ -185,14 +189,16 @@ class MutableObjectManager:
             entry.merge_count += 1
             if bus.active:
                 job_id, stage_id = object_id
-                bus.emit(ImmMerge(
+                bus.emit(ImmMerge.fast(
                     time=self.env.now,
                     executor_id=self.executor.executor_id, job_id=job_id,
                     stage_id=stage_id, merge_index=entry.merge_count - 1,
                     nbytes=sim_sizeof(value), lock_wait=lock_wait,
                     merge_time=self.env.now - merge_began,
                     representation=representation_of(entry.value),
-                    density=density_of(entry.value)))
+                    density=density_of(entry.value),
+                    span_id=bus.tracer.new_span(),
+                    parent_span_id=parent_span))
         finally:
             entry.lock.release()
 

@@ -144,7 +144,9 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
             began = sc.now
             result = _reduce_once(sc, holders, chosen_p,
                                   spec.topology_aware, split_op, reduce_op,
-                                  concat_op, algorithm=algorithm)
+                                  concat_op, algorithm=algorithm,
+                                  span_id=sc.event_bus.tracer
+                                  .collective_span(cid))
             _finish_collective(sc, model, cid, algorithm, chosen_p,
                                predicted, began)
         return result
@@ -161,7 +163,9 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
                             zero, seq_op, merge_op, chosen_p,
                             spec.topology_aware, split_op, reduce_op,
                             concat_op, recovery, controller,
-                            algorithm=algorithm)
+                            algorithm=algorithm,
+                            span_id=sc.event_bus.tracer
+                            .collective_span(cid))
         _finish_collective(sc, model, cid, algorithm, chosen_p,
                            predicted, began)
     return result
@@ -200,6 +204,8 @@ def _choose_collective(sc: Any, spec: AggregationSpec, holders: Holders
     bus = sc.event_bus
     if spec.collective != "auto":
         if bus.active:
+            tracer = bus.tracer
+            cspan = tracer.open_collective(cid)
             slots = _slots_for(sc, holders)
             value_bytes = _holder_value_bytes(sc, holders)
             num = len(slots) * spec.parallelism
@@ -208,7 +214,8 @@ def _choose_collective(sc: Any, spec: AggregationSpec, holders: Holders
                 parallelism=spec.parallelism, source="spec",
                 ranks=len(slots), hosts=len({s.hostname for s in slots}),
                 value_bytes=value_bytes,
-                segment_bytes=value_bytes / num))
+                segment_bytes=value_bytes / num,
+                span_id=cspan, parent_span_id=tracer.current_parent))
         return cid, spec.collective, spec.parallelism, 0.0, None
 
     from ..comm.cost import choose_collective, cost_model_for
@@ -222,17 +229,21 @@ def _choose_collective(sc: Any, spec: AggregationSpec, holders: Holders
         model, value_bytes, slots, algorithms, spec.parallelism_candidates)
     predicted = next(est for plan, est in estimates if plan is winner)
     if bus.active:
+        tracer = bus.tracer
+        cspan = tracer.open_collective(cid)
         for plan, est in estimates:
             bus.emit(CollectiveCostEstimate(
                 time=sc.now, collective_id=cid, algorithm=plan.algorithm,
                 parallelism=plan.parallelism, predicted=est,
-                chosen=plan is winner))
+                chosen=plan is winner,
+                span_id=tracer.new_span(), parent_span_id=cspan))
         bus.emit(CollectiveChosen(
             time=sc.now, collective_id=cid, algorithm=winner.algorithm,
             parallelism=winner.parallelism, source="auto",
             ranks=winner.ranks, hosts=winner.num_hosts,
             value_bytes=value_bytes, segment_bytes=winner.segment_bytes,
-            predicted=predicted))
+            predicted=predicted,
+            span_id=cspan, parent_span_id=tracer.current_parent))
     return cid, winner.algorithm, winner.parallelism, predicted, model
 
 
@@ -247,7 +258,8 @@ def _finish_collective(sc: Any, model: Any, cid: int, algorithm: str,
         sc.event_bus.emit(CollectiveCompleted(
             time=sc.now, collective_id=cid, algorithm=algorithm,
             parallelism=parallelism, began=began, seconds=measured,
-            predicted=predicted))
+            predicted=predicted,
+            span_id=sc.event_bus.tracer.close_collective(cid)))
 
 
 def _reduce_once(sc: Any, holders: Holders, parallelism: int,
@@ -256,7 +268,8 @@ def _reduce_once(sc: Any, holders: Holders, parallelism: int,
                  algorithm: str = "ring",
                  faults: Any = None,
                  recv_timeout: Optional[float] = None,
-                 watch_deaths: bool = False) -> Any:
+                 watch_deaths: bool = False,
+                 span_id: int = -1) -> Any:
     """One SpawnRDD + reduce-scatter + gather pass over ``holders``.
 
     The default arguments make this exactly the original reduce step;
@@ -271,6 +284,7 @@ def _reduce_once(sc: Any, holders: Holders, parallelism: int,
                                 slots=_slots_for(sc, holders),
                                 bus=sc.event_bus, faults=faults,
                                 recv_timeout=recv_timeout)
+    comm.set_span(span_id)
     spawned = SpawnRDD.from_holders(sc, holders)
     # The SpawnRDD launch validates static placement and reads each
     # executor's aggregator; its (cheap) results stay executor-side —
@@ -326,7 +340,7 @@ def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
                merge_op: MergeOp, parallelism: int, topology_aware: bool,
                split_op: SplitOp, reduce_op: ReduceOp, concat_op: ConcatOp,
                recovery: Any, controller: Any, *,
-               algorithm: str = "ring") -> Any:
+               algorithm: str = "ring", span_id: int = -1) -> Any:
     """The detect / recompute / rebuild loop of the fault-tolerant path.
 
     The loop is algorithm-agnostic: every registered collective surfaces
@@ -341,8 +355,24 @@ def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
     attempts = 0
     epoch = 0
     first_detect: Optional[float] = None
+    #: span of the recovery epoch (first detection -> recovered); every
+    #: recovery action and recompute job parents to it. Opened lazily so
+    #: a fault-free run allocates nothing.
+    epoch_span = -1
 
     def emit(action: str, **kw: Any) -> None:
+        nonlocal epoch_span
+        if sc.event_bus.active:
+            tracer = sc.event_bus.tracer
+            if epoch_span < 0:
+                epoch_span = tracer.new_span()
+            if action == "recovered":
+                # The epoch span closes on its own id, like JobEnd does.
+                kw.setdefault("span_id", epoch_span)
+                kw.setdefault("parent_span_id", span_id)
+            else:
+                kw.setdefault("span_id", tracer.new_span())
+                kw.setdefault("parent_span_id", epoch_span)
         event = RecoveryAction(time=sc.now, action=action, job_id=agg_job,
                                **kw)
         if controller is not None:
@@ -368,9 +398,14 @@ def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
             # Lineage recompute: re-run the reduced-result stage over only
             # the dead holders' partitions. The scheduler places them on
             # surviving executors (and survives further losses itself).
-            new_holders, new_contribs = sc.run_reduced_job(
-                rdd, partial_func, merge_op, partitions=lost_parts,
-                detail=True)
+            tracer = sc.event_bus.tracer
+            tracer.push_parent(epoch_span)
+            try:
+                new_holders, new_contribs = sc.run_reduced_job(
+                    rdd, partial_func, merge_op, partitions=lost_parts,
+                    detail=True)
+            finally:
+                tracer.pop_parent()
             # Fence the surviving aggregators at a fresh epoch so any
             # zombie merge from the original stage raises StaleMergeError,
             # then absorb the recomputed partials.
@@ -407,7 +442,7 @@ def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
                 sc, holders, parallelism, topology_aware, split_op,
                 reduce_op, concat_op, algorithm=algorithm,
                 faults=controller, recv_timeout=recovery.recv_timeout,
-                watch_deaths=True)
+                watch_deaths=True, span_id=span_id)
         except (JobFailed, SimulationError):
             # Retry budgets below this loop are already exhausted (or the
             # kernel itself broke): rebuilding the ring cannot help.
@@ -437,8 +472,13 @@ def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
             f"split aggregation failed {attempts} ring attempts and tree "
             f"fallback is disabled")
     SpawnRDD.cleanup_holders(sc, holders)
-    agg = tree_aggregate(rdd, zero, seq_op, merge_op,
-                         depth=recovery.tree_depth, imm=True)
+    tracer = sc.event_bus.tracer
+    tracer.push_parent(epoch_span)
+    try:
+        agg = tree_aggregate(rdd, zero, seq_op, merge_op,
+                             depth=recovery.tree_depth, imm=True)
+    finally:
+        tracer.pop_parent()
     result = concat_op([split_op(agg, i, parallelism)
                         for i in range(parallelism)])
     if first_detect is not None:

@@ -19,6 +19,7 @@ replays to a byte-identical event stream.
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 
 from ..obs import FaultInjected, channel_str
@@ -140,8 +141,12 @@ class FaultController:
 
     # -------------------------------------------------------------- recording
     def _record(self, event: FaultInjected) -> None:
-        self.injected.append(event)
         bus = self.sc.event_bus
+        if bus.active and event.span_id < 0:
+            # Injections are causal roots: they get their own span so
+            # recovery epochs and Chrome-trace markers can reference them.
+            event = replace(event, span_id=bus.tracer.new_span())
+        self.injected.append(event)
         if bus.active:
             bus.emit(event)
 

@@ -21,7 +21,15 @@ that from stage granularity down to tasks, messages and ring hops:
   sampling NIC utilization,
 * :mod:`repro.obs.analysis` — the Figure-2-style decomposition, straggler
   detection and driver-NIC saturation windows, recomputed from an event
-  log (``python -m repro.obs events.jsonl``).
+  log (``python -m repro.obs events.jsonl``),
+* :mod:`repro.obs.tracing` — the causal-span allocator
+  (:class:`Tracer`, owned by every bus) stamping
+  ``span_id``/``parent_span_id`` on traced events,
+* :mod:`repro.obs.critical_path` — span-DAG reconstruction and exact
+  per-job makespan attribution (compute / serde / wire / queueing /
+  recovery), slowest-hop and straggler blame,
+* :mod:`repro.obs.timeseries` — labeled windowed counters / gauges /
+  histograms over virtual time with exact p50/p95/p99 queries.
 
 Capture a trace::
 
@@ -46,6 +54,16 @@ from .analysis import (
 )
 from .bus import EventBus, RecordingListener
 from .chrome_trace import chrome_trace, write_chrome_trace
+from .critical_path import (
+    CollectiveAttribution,
+    CriticalPathReport,
+    CriticalTask,
+    JobAttribution,
+    RecoveryEpoch,
+    SEGMENT_LABELS,
+    Segment,
+    attribute_critical_path,
+)
 from .events import (
     BlockEvent,
     CollectiveChosen,
@@ -81,6 +99,14 @@ from .metrics import (
     MetricsRegistry,
     NicMonitor,
 )
+from .timeseries import (
+    TimeSeriesListener,
+    TimeSeriesStore,
+    WindowedCounter,
+    WindowedGauge,
+    WindowedHistogram,
+)
+from .tracing import NO_SPAN, Tracer
 
 __all__ = [
     "EventBus",
@@ -129,4 +155,19 @@ __all__ = [
     "analyze_events",
     "phase_decomposition",
     "classify_stage",
+    "Tracer",
+    "NO_SPAN",
+    "SEGMENT_LABELS",
+    "Segment",
+    "CriticalTask",
+    "JobAttribution",
+    "CollectiveAttribution",
+    "RecoveryEpoch",
+    "CriticalPathReport",
+    "attribute_critical_path",
+    "TimeSeriesStore",
+    "TimeSeriesListener",
+    "WindowedCounter",
+    "WindowedGauge",
+    "WindowedHistogram",
 ]

@@ -18,8 +18,14 @@ from typing import List, Optional, Sequence
 
 from .analysis import TraceAnalysis, analyze_events
 from .chrome_trace import write_chrome_trace
+from .critical_path import (
+    SEGMENT_LABELS,
+    CriticalPathReport,
+    attribute_critical_path,
+)
 from .log import load_events
 from .metrics import MetricsListener
+from .timeseries import TimeSeriesListener
 
 _BUCKET_LABELS = {
     "agg_compute": "Aggregation / compute",
@@ -178,6 +184,68 @@ def render_analysis(analysis: TraceAnalysis) -> str:
     return "\n".join(out)
 
 
+def render_critical_path(report: CriticalPathReport) -> str:
+    """Render a critical-path report as the CLI's attribution tables."""
+    from ..bench.harness import format_seconds, format_table
+
+    out: List[str] = []
+    if report.jobs:
+        rows = []
+        for job in report.jobs:
+            totals = job.totals()
+            makespan = job.makespan or 1.0
+            rows.append(
+                [job.job_id, job.job_kind,
+                 format_seconds(job.makespan)]
+                + [f"{100.0 * totals.get(label, 0.0) / makespan:.1f}%"
+                   for label in SEGMENT_LABELS]
+                + ["yes" if job.recovery else ""])
+        out.append(format_table(
+            ["job", "kind", "makespan"] + list(SEGMENT_LABELS) + ["recov"],
+            rows, title="Critical path (per-job makespan attribution)"))
+        blames = [(job.job_id, ct) for job in report.jobs
+                  for ct in job.critical_tasks if ct.blame]
+        for job_id, ct in blames:
+            out.append(f"  job {job_id} s{ct.stage_id}.{ct.stage_attempt}"
+                       f" straggler blame: {ct.blame}")
+    if report.unfinished:
+        for job in report.unfinished:
+            out.append(f"unfinished job {job.job_id} ({job.job_kind}, "
+                       f"{job.rdd_name}) started {job.began:.4f}s: "
+                       f"{job.note}")
+    if report.collectives:
+        rows = []
+        for coll in report.collectives:
+            hop = coll.slowest_hop
+            rows.append([
+                coll.collective_id, coll.algorithm,
+                f"P={coll.parallelism}", format_seconds(coll.seconds),
+                coll.hop_count,
+                (f"{hop.channel} hop {hop.hop} rank {hop.rank} "
+                 f"({format_seconds(hop.seconds)})" if hop else "-"),
+                (f"{coll.chain_channel} rank {coll.chain_rank}: "
+                 f"{format_seconds(coll.chain_merge_seconds)} merge + "
+                 f"{format_seconds(coll.chain_wire_seconds)} wire"
+                 if coll.chain_rank >= 0 else "-"),
+                (format_seconds(coll.recovery_seconds)
+                 if coll.recovery_seconds else "-"),
+            ])
+        out.append(format_table(
+            ["id", "algorithm", "chan", "seconds", "hops", "slowest hop",
+             "slowest chain", "recovery"],
+            rows, title="Collective attribution"))
+    if report.recovery_epochs:
+        for epoch in report.recovery_epochs:
+            state = "recovered" if epoch.recovered else "UNRECOVERED"
+            out.append(f"recovery epoch {epoch.began:.4f}s -> "
+                       f"{epoch.ended:.4f}s ({state}, "
+                       f"{epoch.actions} actions, "
+                       f"{format_seconds(epoch.seconds)})")
+    if not out:
+        out.append("critical path: no finished jobs in the log")
+    return "\n".join(out)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -187,6 +255,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="also write a Chrome/Perfetto trace here")
     parser.add_argument("--metrics", action="store_true",
                         help="also print the metrics-registry summary")
+    parser.add_argument("--timeseries", action="store_true",
+                        help="also print the windowed time-series summary")
+    parser.add_argument("--window", type=float, default=0.01,
+                        help="time-series window width in virtual seconds "
+                             "(default: 0.01)")
     parser.add_argument("--straggler-factor", type=float, default=2.0,
                         help="flag tasks slower than this multiple of "
                              "their stage median (default: 2.0)")
@@ -205,6 +278,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         events, straggler_factor=args.straggler_factor,
         saturation_threshold=args.saturation_threshold)
     print(render_analysis(analysis))
+    print()
+    print(render_critical_path(attribute_critical_path(
+        events, straggler_factor=args.straggler_factor)))
 
     if args.metrics:
         listener = MetricsListener()
@@ -212,6 +288,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             listener.on_event(event)
         print()
         print(listener.registry.summary())
+
+    if args.timeseries:
+        ts = TimeSeriesListener(window=args.window).replay(events)
+        print()
+        print(ts.store.summary())
 
     if args.chrome:
         count = write_chrome_trace(events, args.chrome)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Callable, List, Union
 
 from .events import TraceEvent
+from .tracing import Tracer
 
 __all__ = ["EventBus", "Listener", "RecordingListener"]
 
@@ -42,6 +43,8 @@ class EventBus:
         self._deliveries: List[Callable[[TraceEvent], Any]] = []
         #: events emitted while at least one listener was attached
         self.emitted = 0
+        #: causal span allocator; only advances while the bus is active
+        self.tracer = Tracer(self)
 
     @property
     def active(self) -> bool:

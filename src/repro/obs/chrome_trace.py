@@ -11,9 +11,15 @@ natively:
 * a *driver* process with a job lane and a phase lane
   (``agg.compute`` / ``ml.driver`` / ... spans from the stopwatch);
   injected faults and recovery actions appear as instant markers on the
-  job lane,
+  job lane, and each detection->recovered epoch is a span on a
+  dedicated *recovery* lane,
 * a *NIC* process carrying per-node utilization counter tracks sampled
   by :class:`~repro.obs.metrics.NicMonitor`.
+
+Critical paths are drawn as flow arrows (``ph: s/t/f``): each job's
+slice chains through its stages' critical tasks, and each collective's
+slice points at its slowest hop — load the trace in Perfetto and the
+arrows show exactly which task/hop the makespan waited on.
 
 Timestamps are microseconds of virtual time (the ``trace_event`` unit).
 """
@@ -33,6 +39,7 @@ from typing import (
     Union,
 )
 
+from .critical_path import attribute_critical_path
 from .events import TraceEvent
 
 __all__ = ["chrome_trace", "write_chrome_trace"]
@@ -42,6 +49,8 @@ DRIVER_PID = 1
 NIC_PID = 2
 #: executors start here: pid = EXECUTOR_PID_BASE + executor_id
 EXECUTOR_PID_BASE = 10
+#: driver-process thread id of the recovery-epoch lane
+RECOVERY_TID = 40
 
 _US = 1e6  # seconds -> trace_event microseconds
 
@@ -170,6 +179,20 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
     # ------------------------------------------------------------- faults
     # Instant markers on the job lane: faults pin where the controller
     # struck, recovery actions show the engine's answer on the same axis.
+    # Each detection->recovered epoch also gets a span on its own driver
+    # lane so recovery cost is visible as a width, not just ticks.
+    recovered = [e for e in events if e.kind == "recovery_action"
+                 and e.action == "recovered" and e.seconds > 0]
+    if recovered:
+        out += _meta(DRIVER_PID, "recovery", tid=RECOVERY_TID,
+                     sort_index=RECOVERY_TID)
+        for event in recovered:
+            out.append(_span(
+                DRIVER_PID, RECOVERY_TID,
+                f"recovery (attempt {event.attempt})",
+                event.time - event.seconds, event.time, "recovery",
+                {"site": event.site, "job_id": event.job_id,
+                 "seconds": event.seconds, "detail": event.detail}))
     for event in events:
         if event.kind == "fault_injected":
             out.append({"ph": "i", "pid": DRIVER_PID, "tid": 0, "s": "g",
@@ -194,6 +217,9 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
         {e.executor_id for e in task_ends}
         | {e.executor_id for e in ring_hops}
         | {e.executor_id for e in imm_merges})
+    # slice coordinates, for the critical-path flow arrows below
+    task_coords: Dict[Tuple[int, int, int, int], Tuple[int, int]] = {}
+    hop_coords: Dict[Tuple[int, str, int, float], Tuple[int, int]] = {}
     for executor_id in executor_ids:
         pid = EXECUTOR_PID_BASE + executor_id
         host = next((e.host for e in task_ends
@@ -207,6 +233,8 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
         core_lanes = 0
         for lane, e in _pack_lanes(mine):
             core_lanes = max(core_lanes, lane + 1)
+            task_coords[(e.stage_id, e.stage_attempt, e.partition,
+                         e.attempt)] = (pid, lane)
             out.append(_span(
                 pid, lane, f"s{e.stage_id}.p{e.partition}", e.began,
                 e.time, "task",
@@ -225,6 +253,8 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
                          sort_index=tid)
             for e in ring_hops:
                 if e.executor_id == executor_id and e.channel == channel:
+                    hop_coords[(e.executor_id, e.channel, e.hop,
+                                e.began)] = (pid, tid)
                     out.append(_span(
                         pid, tid, f"hop {e.hop}", e.began, e.time, "ring",
                         {"rank": e.rank, "send_bytes": e.send_bytes,
@@ -239,6 +269,52 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
                     e.time - e.merge_time - e.lock_wait, e.time, "imm",
                     {"job_id": e.job_id, "stage_id": e.stage_id,
                      "nbytes": e.nbytes, "lock_wait": e.lock_wait}))
+
+    # ------------------------------------------------ critical-path flows
+    # Flow arrows chain each job slice through its stages' critical
+    # tasks, and each collective slice to its slowest hop, so "what did
+    # the makespan wait on" reads straight off the Perfetto timeline.
+    report = attribute_critical_path(events)
+    flow_id = 1
+
+    def _flow(ph: str, fid: int, pid: int, tid: int, ts: float,
+              name: str) -> Dict[str, Any]:
+        rec = {"ph": ph, "id": fid, "pid": pid, "tid": tid,
+               "ts": ts * _US, "name": name, "cat": "critical_path"}
+        if ph == "f":
+            rec["bp"] = "e"
+        return rec
+
+    for job in report.jobs:
+        stops = [(DRIVER_PID, 0, job.began)]
+        for ct in job.critical_tasks:
+            coords = task_coords.get((ct.stage_id, ct.stage_attempt,
+                                      ct.partition, ct.attempt))
+            if coords is not None:
+                stops.append((coords[0], coords[1], ct.began))
+        if len(stops) < 2:
+            continue
+        name = f"critical path job {job.job_id}"
+        for index, (pid, tid, ts) in enumerate(stops):
+            ph = ("s" if index == 0
+                  else "f" if index == len(stops) - 1 else "t")
+            out.append(_flow(ph, flow_id, pid, tid, ts, name))
+        flow_id += 1
+    if collective_events:
+        for coll in report.collectives:
+            hop = coll.slowest_hop
+            if hop is None:
+                continue
+            coords = hop_coords.get((hop.executor_id, hop.channel,
+                                     hop.hop, hop.began))
+            if coords is None:
+                continue
+            name = f"slowest hop collective {coll.collective_id}"
+            out.append(_flow("s", flow_id, DRIVER_PID, collective_tid,
+                             coll.began, name))
+            out.append(_flow("f", flow_id, coords[0], coords[1],
+                             hop.began, name))
+            flow_id += 1
 
     # ---------------------------------------------------------------- NIC
     nic_samples = [e for e in events if e.kind == "nic_sample"]

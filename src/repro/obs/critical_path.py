@@ -1,0 +1,457 @@
+"""Critical-path reconstruction and makespan attribution.
+
+Rebuilds the span DAG of a recorded run and answers *where the time
+went*: every finished job's makespan is partitioned into contiguous,
+non-overlapping segments labelled
+
+* ``compute``  — task user code and IMM merge CPU,
+* ``serde``    — serialization / deserialization CPU,
+* ``wire``     — network time on the critical path (shuffle fetch minus
+  its CPU share, result shipping),
+* ``queueing`` — waiting for an executor core or the IMM merge lock,
+* ``overhead`` — task launch bookkeeping,
+* ``driver``   — scheduler gaps, task dispatch, stage wrap-up, and
+  driver-side result handling,
+* ``other``    — windows the log cannot explain (e.g. a stage with no
+  task events in a partial log).
+
+The partition is exact *by construction*: segment boundaries are laid
+out cumulatively from task metrics and the final boundary of every
+window is forced onto the window's true endpoint, so per-job segment
+seconds always sum to the job's virtual makespan (modulo float
+summation dust). That invariant is what the acceptance tests pin.
+
+The analyzer is span-aware but does not require spans: when events
+carry ``span_id``/``parent_span_id`` (a traced run) they are used to
+bind recovery epochs to recompute jobs and ring hops to collectives;
+detached-mode logs fall back to virtual-time windows keyed by
+``job_id`` / ``collective_id``. Degenerate logs (empty, truncated,
+unfinished jobs) produce a report with notes instead of raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .events import TaskEnd, TraceEvent
+
+__all__ = [
+    "Segment",
+    "CriticalTask",
+    "JobAttribution",
+    "HopBlame",
+    "CollectiveAttribution",
+    "RecoveryEpoch",
+    "UnfinishedJob",
+    "CriticalPathReport",
+    "attribute_critical_path",
+    "SEGMENT_LABELS",
+]
+
+#: every label a Segment may carry, in report order
+SEGMENT_LABELS = ("compute", "serde", "wire", "queueing", "overhead",
+                  "driver", "recovery", "other")
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous slice of a job's critical-path timeline."""
+
+    label: str
+    began: float
+    ended: float
+    detail: str = ""
+
+    @property
+    def seconds(self) -> float:
+        return self.ended - self.began
+
+
+@dataclass(frozen=True)
+class CriticalTask:
+    """The last-finishing task of one stage — the stage's critical task."""
+
+    stage_id: int
+    stage_attempt: int
+    partition: int
+    attempt: int
+    executor_id: int
+    began: float
+    ended: float
+    #: non-empty when this task is also a straggler vs its stage median
+    blame: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.ended - self.began
+
+
+@dataclass
+class JobAttribution:
+    """One finished job's exact makespan partition."""
+
+    job_id: int
+    job_kind: str
+    rdd_name: str
+    began: float
+    ended: float
+    succeeded: bool
+    #: True when this job ran inside a fault-recovery epoch (a lineage
+    #: recompute or a post-rebuild retry)
+    recovery: bool = False
+    segments: List[Segment] = field(default_factory=list)
+    critical_tasks: List[CriticalTask] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        return self.ended - self.began
+
+    def totals(self) -> Dict[str, float]:
+        """Seconds per segment label; sums to :attr:`makespan`."""
+        out: Dict[str, float] = {}
+        for seg in self.segments:
+            out[seg.label] = out.get(seg.label, 0.0) + seg.seconds
+        return out
+
+
+@dataclass(frozen=True)
+class HopBlame:
+    """One ring/HD hop identified as slowest in its collective."""
+
+    channel: str
+    rank: int
+    executor_id: int
+    hop: int
+    began: float
+    ended: float
+    merge_time: float
+
+    @property
+    def seconds(self) -> float:
+        return self.ended - self.began
+
+
+@dataclass
+class CollectiveAttribution:
+    """Where one dispatched collective's window went."""
+
+    collective_id: int
+    algorithm: str
+    parallelism: int
+    began: float
+    ended: float
+    seconds: float
+    hop_count: int = 0
+    #: the single longest hop span (None for hop-free algorithms)
+    slowest_hop: Optional[HopBlame] = None
+    #: the (channel, rank) whose summed hop time is largest — the rank
+    #: chain the collective actually waited for
+    chain_channel: str = ""
+    chain_rank: int = -1
+    chain_seconds: float = 0.0
+    chain_merge_seconds: float = 0.0
+    #: sum of "recovered" epochs that closed inside this window
+    recovery_seconds: float = 0.0
+
+    @property
+    def chain_wire_seconds(self) -> float:
+        return max(self.chain_seconds - self.chain_merge_seconds, 0.0)
+
+
+@dataclass
+class RecoveryEpoch:
+    """One detection -> recovered window of the fault-tolerant engine."""
+
+    began: float
+    ended: float
+    actions: int
+    recovered: bool
+    seconds: float
+    #: span ids belonging to this epoch (empty on detached logs)
+    span_ids: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class UnfinishedJob:
+    """A job the log opens but never closes (truncated / crashed run)."""
+
+    job_id: int
+    job_kind: str
+    rdd_name: str
+    began: float
+    note: str = "no job_end record"
+
+
+@dataclass
+class CriticalPathReport:
+    """Everything :func:`attribute_critical_path` reconstructed."""
+
+    jobs: List[JobAttribution] = field(default_factory=list)
+    collectives: List[CollectiveAttribution] = field(default_factory=list)
+    recovery_epochs: List[RecoveryEpoch] = field(default_factory=list)
+    unfinished: List[UnfinishedJob] = field(default_factory=list)
+
+    def totals(self) -> Dict[str, float]:
+        """Aggregate seconds per label across jobs.
+
+        Jobs flagged ``recovery`` contribute their whole makespan under
+        ``recovery`` — from the workload's point of view a lineage
+        recompute *is* recovery cost, whatever it spent inside.
+        """
+        out: Dict[str, float] = {}
+        for job in self.jobs:
+            if job.recovery:
+                out["recovery"] = out.get("recovery", 0.0) + job.makespan
+                continue
+            for label, seconds in job.totals().items():
+                out[label] = out.get(label, 0.0) + seconds
+        return out
+
+
+# ---------------------------------------------------------------- helpers
+def _critical_task(task_ends: List[TaskEnd]) -> Optional[TaskEnd]:
+    """The stage's last-finishing attempt (ties: highest partition)."""
+    if not task_ends:
+        return None
+    return max(task_ends, key=lambda e: (e.time, e.partition, e.attempt))
+
+
+def _blame(ct: TaskEnd, task_ends: List[TaskEnd],
+           straggler_factor: float) -> str:
+    durations = [e.duration for e in task_ends]
+    if len(durations) < 2:
+        return ""
+    stage_median = median(durations)
+    if stage_median <= 0 or ct.duration <= straggler_factor * stage_median:
+        return ""
+    return (f"partition {ct.partition} on executor {ct.executor_id}: "
+            f"{ct.duration / stage_median:.2f}x stage median")
+
+
+def _recovery_epochs(events: List[TraceEvent]) -> List[RecoveryEpoch]:
+    actions = sorted((e for e in events if e.kind == "recovery_action"),
+                     key=lambda e: e.time)
+    epochs: List[RecoveryEpoch] = []
+    open_began: Optional[float] = None
+    open_count = 0
+    open_spans: List[int] = []
+    for action in actions:
+        if open_began is None:
+            open_began = action.time
+            open_count = 0
+            open_spans = []
+        open_count += 1
+        # the "recovered" action carries the epoch span itself; every
+        # other action is parented to it
+        if action.action == "recovered":
+            if action.span_id >= 0:
+                open_spans.append(action.span_id)
+            began = open_began
+            if action.seconds > 0:
+                began = min(began, action.time - action.seconds)
+            epochs.append(RecoveryEpoch(
+                began=began, ended=action.time, actions=open_count,
+                recovered=True, seconds=action.seconds,
+                span_ids=tuple(sorted(set(open_spans)))))
+            open_began = None
+        elif action.parent_span_id >= 0:
+            open_spans.append(action.parent_span_id)
+    if open_began is not None and open_count:
+        last = actions[-1].time
+        epochs.append(RecoveryEpoch(
+            began=open_began, ended=last, actions=open_count,
+            recovered=False, seconds=last - open_began,
+            span_ids=tuple(sorted(set(open_spans)))))
+    return epochs
+
+
+def _job_in_recovery(job_start: TraceEvent,
+                     epochs: List[RecoveryEpoch]) -> bool:
+    parent = getattr(job_start, "parent_span_id", -1)
+    for epoch in epochs:
+        if parent >= 0 and parent in epoch.span_ids:
+            return True
+        if epoch.began - _EPS <= job_start.time <= epoch.ended + _EPS:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------- analyzer
+def attribute_critical_path(events: Iterable[TraceEvent],
+                            straggler_factor: float = 2.0
+                            ) -> CriticalPathReport:
+    """Partition every finished job's makespan along its critical path.
+
+    Never raises on degenerate input: empty iterables, logs truncated
+    mid-job, detached-mode streams with no job events, and stages with
+    missing task records all land in the report as ``unfinished`` notes
+    or ``other``-labelled segments.
+    """
+    events = list(events)
+    report = CriticalPathReport()
+
+    job_starts: Dict[int, TraceEvent] = {}
+    job_ends: Dict[int, TraceEvent] = {}
+    stages_by_job: Dict[int, List[TraceEvent]] = {}
+    stage_done: Dict[Tuple[int, int], TraceEvent] = {}
+    tasks_by_stage: Dict[Tuple[int, int], List[TaskEnd]] = {}
+    imm_by_key: Dict[Tuple[int, int, int], List[TraceEvent]] = {}
+    for event in events:
+        kind = event.kind
+        if kind == "job_start":
+            job_starts[event.job_id] = event
+        elif kind == "job_end":
+            job_ends[event.job_id] = event
+        elif kind == "stage_submitted":
+            stages_by_job.setdefault(event.job_id, []).append(event)
+        elif kind == "stage_completed":
+            stage_done[(event.stage_id, event.attempt)] = event
+        elif kind == "task_end":
+            tasks_by_stage.setdefault(
+                (event.stage_id, event.stage_attempt), []).append(event)
+        elif kind == "imm_merge":
+            imm_by_key.setdefault(
+                (event.job_id, event.stage_id, event.executor_id),
+                []).append(event)
+
+    report.recovery_epochs = _recovery_epochs(events)
+
+    for job_id in sorted(job_starts):
+        js = job_starts[job_id]
+        je = job_ends.get(job_id)
+        if je is None:
+            report.unfinished.append(UnfinishedJob(
+                job_id=job_id, job_kind=js.job_kind,
+                rdd_name=js.rdd_name, began=js.time))
+            continue
+        job = JobAttribution(
+            job_id=job_id, job_kind=je.job_kind, rdd_name=js.rdd_name,
+            began=js.time, ended=je.time, succeeded=je.succeeded,
+            recovery=_job_in_recovery(js, report.recovery_epochs))
+
+        cursor = js.time
+
+        def emit(label: str, until: float, detail: str = "") -> None:
+            nonlocal cursor
+            if until > cursor:
+                job.segments.append(Segment(label, cursor, until, detail))
+                cursor = until
+
+        for sub in sorted(stages_by_job.get(job_id, []),
+                          key=lambda e: (e.time, e.stage_id)):
+            comp = stage_done.get((sub.stage_id, sub.attempt))
+            if comp is None:
+                # truncated log / crashed stage: everything from here to
+                # the job end is unexplained
+                emit("other", je.time,
+                     f"stage {sub.stage_id} never completed")
+                break
+            emit("driver", sub.time, "scheduling")
+            stage_tasks = tasks_by_stage.get(
+                (sub.stage_id, sub.attempt), [])
+            ct = _critical_task(stage_tasks)
+            if ct is None:
+                emit("other", comp.time,
+                     f"stage {sub.stage_id}: no task events")
+                continue
+            job.critical_tasks.append(CriticalTask(
+                stage_id=ct.stage_id, stage_attempt=ct.stage_attempt,
+                partition=ct.partition, attempt=ct.attempt,
+                executor_id=ct.executor_id, began=ct.began, ended=ct.time,
+                blame=_blame(ct, stage_tasks, straggler_factor)))
+            m = ct.metrics
+            emit("driver", ct.began - m.slot_wait, "task dispatch")
+            emit("queueing", ct.began, "executor slot wait")
+            # inside the task window: cumulative boundaries from the
+            # metrics decomposition, final boundary pinned to the task's
+            # true end so the partition stays exact
+            overhead = max(ct.duration - m.fetch_wait - m.compute_time
+                           - m.serialize_time - m.output_wait, 0.0)
+            chunks: List[Tuple[str, float, str]] = [
+                ("overhead", overhead, "task launch"),
+                ("wire", max(m.fetch_wait - m.deserialize_time, 0.0),
+                 "shuffle fetch"),
+                ("serde", m.deserialize_time, "shuffle deserialize"),
+                ("compute", m.compute_time, ""),
+                ("serde", m.serialize_time, "result serialize"),
+            ]
+            merge = None
+            if sub.stage_kind == "reduced_result":
+                window = [e for e in imm_by_key.get(
+                              (job_id, ct.stage_id, ct.executor_id), [])
+                          if ct.began - _EPS <= e.time <= ct.time + _EPS]
+                if window:
+                    merge = max(window, key=lambda e: e.time)
+            if merge is not None:
+                ship = max(m.output_wait - merge.lock_wait
+                           - merge.merge_time, 0.0)
+                chunks += [
+                    ("queueing", merge.lock_wait, "imm lock wait"),
+                    ("compute", merge.merge_time, "imm merge"),
+                    ("wire", ship, "result ship"),
+                ]
+            else:
+                chunks.append(("wire", m.output_wait, "result ship"))
+            boundary = ct.began
+            for i, (label, dur, detail) in enumerate(chunks):
+                boundary = (ct.time if i == len(chunks) - 1
+                            else min(boundary + max(dur, 0.0), ct.time))
+                emit(label, boundary, detail)
+            emit("driver", comp.time, "stage wrap-up")
+        emit("driver", je.time, "result handling")
+        report.jobs.append(job)
+
+    _attribute_collectives(events, report)
+    return report
+
+
+def _attribute_collectives(events: List[TraceEvent],
+                           report: CriticalPathReport) -> None:
+    chosen = {e.collective_id: e for e in events
+              if e.kind == "collective_chosen"}
+    completed = {e.collective_id: e for e in events
+                 if e.kind == "collective_completed"}
+    ring_hops = [e for e in events if e.kind == "ring_hop"]
+    recovered = [e for e in events
+                 if e.kind == "recovery_action" and e.action == "recovered"]
+    for cid in sorted(completed):
+        comp = completed[cid]
+        decision = chosen.get(cid)
+        span = getattr(decision, "span_id", -1) if decision else -1
+        if span >= 0:
+            hops = [h for h in ring_hops if h.parent_span_id == span]
+        else:  # detached log: bind by the collective's time window
+            hops = [h for h in ring_hops
+                    if comp.began - _EPS <= h.began
+                    and h.time <= comp.time + _EPS]
+        attribution = CollectiveAttribution(
+            collective_id=cid, algorithm=comp.algorithm,
+            parallelism=comp.parallelism, began=comp.began,
+            ended=comp.time, seconds=comp.seconds, hop_count=len(hops))
+        if hops:
+            slowest = max(hops, key=lambda h: (h.time - h.began, h.hop))
+            attribution.slowest_hop = HopBlame(
+                channel=slowest.channel, rank=slowest.rank,
+                executor_id=slowest.executor_id, hop=slowest.hop,
+                began=slowest.began, ended=slowest.time,
+                merge_time=slowest.merge_time)
+            chains: Dict[Tuple[str, int], Tuple[float, float]] = {}
+            for h in hops:
+                key = (h.channel, h.rank)
+                total, merge = chains.get(key, (0.0, 0.0))
+                chains[key] = (total + (h.time - h.began),
+                               merge + h.merge_time)
+            (channel, rank), (total, merge) = max(
+                chains.items(), key=lambda kv: kv[1][0])
+            attribution.chain_channel = channel
+            attribution.chain_rank = rank
+            attribution.chain_seconds = total
+            attribution.chain_merge_seconds = merge
+        attribution.recovery_seconds = sum(
+            a.seconds for a in recovered
+            if comp.began - _EPS <= a.time <= comp.time + _EPS)
+        report.collectives.append(attribution)

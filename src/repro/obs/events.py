@@ -15,7 +15,7 @@ events, per-hop ring spans, and in-memory-merge events.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import MISSING, dataclass, field, fields
 from typing import Any, ClassVar, Dict, Optional, Type
 
 __all__ = [
@@ -57,11 +57,20 @@ def channel_str(channel: Any) -> str:
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """Base class: one observed occurrence at one virtual time."""
+    """Base class: one observed occurrence at one virtual time.
+
+    ``span_id`` / ``parent_span_id`` are the causal-tracing hooks: every
+    event emitted by a traced run carries the span it belongs to and the
+    span that caused it (job -> stage -> task -> collective -> hop/merge).
+    Both default to -1 ("untraced") and are omitted from serialized
+    records in that case, so logs written without a tracer are unchanged.
+    """
 
     kind: ClassVar[str] = "event"
 
     time: float
+    span_id: int = field(default=-1, kw_only=True)
+    parent_span_id: int = field(default=-1, kw_only=True)
 
     def to_record(self) -> Dict[str, Any]:
         """A flat JSON-ready dict with an ``event`` discriminator.
@@ -72,12 +81,52 @@ class TraceEvent:
         """
         record = dict(self.__dict__)
         record["event"] = self.kind
+        if record["span_id"] < 0:
+            del record["span_id"]
+            if record["parent_span_id"] < 0:
+                del record["parent_span_id"]
         return record
 
     @classmethod
     def from_record(cls, record: Dict[str, Any]) -> "TraceEvent":
         known = {f.name for f in fields(cls)}
         return cls(**{k: v for k, v in record.items() if k in known})
+
+    @classmethod
+    def fast(cls, **values: Any) -> "TraceEvent":
+        """Construct without the generated ``__init__``.
+
+        A frozen dataclass ``__init__`` routes every field through
+        ``object.__setattr__``, which is ~3x the cost of filling
+        ``__dict__`` directly — measurable on the per-message/per-hop
+        emit paths that dominate traced runs. This builds an identical
+        instance (defaults applied, ``==``/``to_record`` equal) by
+        writing the instance dict in one go. No field validation is
+        performed; hot emitters pass every non-default field.
+        """
+        event = object.__new__(cls)
+        defaults = cls.__dict__.get("_fast_defaults")
+        if defaults is None:
+            defaults = {}
+            factories = {}
+            for f in fields(cls):
+                if f.default is not MISSING:
+                    defaults[f.name] = f.default
+                elif f.default_factory is not MISSING:
+                    factories[f.name] = f.default_factory
+            cls._fast_defaults = defaults
+            cls._fast_factories = factories
+        factories = cls._fast_factories
+        if factories:
+            state = dict(defaults)
+            for name, factory in factories.items():
+                if name not in values:
+                    state[name] = factory()
+            state.update(values)
+        else:
+            state = {**defaults, **values}
+        object.__setattr__(event, "__dict__", state)
+        return event
 
 
 # ------------------------------------------------------------------- jobs
@@ -145,6 +194,12 @@ class TaskMetrics:
     deserialize_time: float = 0.0
     compute_time: float = 0.0
     serialize_time: float = 0.0
+    #: wall of the task's output step minus ``serialize_time``: shipping a
+    #: result/map-status to the driver, or the IMM lock+merge window.
+    #: A task's ``duration`` (which starts after the slot was acquired, so
+    #: excludes ``slot_wait``) decomposes exactly into launch overhead +
+    #: ``fetch_wait`` + ``compute_time`` + ``serialize_time`` + this.
+    output_wait: float = 0.0
     result_bytes: float = 0.0
     locality: str = "ANY"
 
@@ -187,6 +242,10 @@ class TaskEnd(TraceEvent):
         record = dict(self.__dict__)
         record["event"] = self.kind
         record["metrics"] = dict(self.metrics.__dict__)
+        if record["span_id"] < 0:
+            del record["span_id"]
+            if record["parent_span_id"] < 0:
+                del record["parent_span_id"]
         return record
 
     @classmethod

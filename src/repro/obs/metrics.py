@@ -270,13 +270,14 @@ class NicMonitor:
                 for node in self._nodes():
                     in_rate = flows.link_rate(node.nic_in)
                     out_rate = flows.link_rate(node.nic_out)
-                    self.bus.emit(NicSample(
+                    self.bus.emit(NicSample.fast(
                         time=env.now, node_id=node.node_id,
                         hostname=node.hostname,
                         is_driver=node is driver,
                         in_rate=in_rate, out_rate=out_rate,
                         in_utilization=in_rate / node.nic_in.capacity,
-                        out_utilization=out_rate / node.nic_out.capacity))
+                        out_utilization=out_rate / node.nic_out.capacity,
+                        span_id=self.bus.tracer.new_span()))
                     self.samples += 1
             yield env.timeout(self.interval)
 

@@ -1,0 +1,370 @@
+"""Windowed time-series metrics: labeled instruments over virtual time.
+
+:mod:`repro.obs.metrics` answers *how much, overall*; this module
+answers *how much, when, and where*. A :class:`TimeSeriesStore` holds
+labeled counters, gauges and histograms whose observations land in
+fixed-width virtual-time windows (``bucket = floor(time / window)``),
+so a run's behaviour can be queried per job, per node, per collective,
+and per time slice after the fact:
+
+* :class:`WindowedCounter` — per-window sums (bytes, event counts),
+  queried as totals or per-second rates,
+* :class:`WindowedGauge` — last-write-wins per window (NIC utilization),
+* :class:`WindowedHistogram` — per-window sample lists with *exact*
+  p50/p95/p99 quantiles (samples are merged and sorted at query time;
+  exactness over approximation, matching the registry's philosophy).
+
+Labels are free-form ``str -> str|int`` pairs. Queries match by label
+*subset*: ``store.total("ring.bytes", channel="0")`` sums every series
+of that name whose labels include ``channel="0"``, whatever else they
+carry. :class:`TimeSeriesListener` feeds a store from the event bus
+(or from a replayed log) and is bookkeeping-only: attaching it never
+changes simulated timings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .events import TraceEvent
+
+__all__ = [
+    "LabelSet",
+    "WindowedCounter",
+    "WindowedGauge",
+    "WindowedHistogram",
+    "TimeSeriesStore",
+    "TimeSeriesListener",
+]
+
+#: canonical label form: sorted (key, value-as-str) pairs
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Dict[str, Any]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Windowed:
+    """Shared bucket arithmetic for every instrument kind."""
+
+    __slots__ = ("name", "labels", "window")
+
+    def __init__(self, name: str, labels: LabelSet, window: float):
+        self.name = name
+        self.labels = labels
+        self.window = window
+
+    def bucket(self, time: float) -> int:
+        return int(math.floor(time / self.window))
+
+    def window_start(self, bucket: int) -> float:
+        return bucket * self.window
+
+    @property
+    def labels_dict(self) -> Dict[str, str]:
+        return dict(self.labels)
+
+    def _matches(self, subset: LabelSet) -> bool:
+        mine = dict(self.labels)
+        return all(mine.get(k) == v for k, v in subset)
+
+
+class WindowedCounter(_Windowed):
+    """Per-window monotone sums."""
+
+    __slots__ = ("buckets",)
+
+    def __init__(self, name: str, labels: LabelSet, window: float):
+        super().__init__(name, labels, window)
+        self.buckets: Dict[int, float] = {}
+
+    def inc(self, time: float, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        bucket = self.bucket(time)
+        self.buckets[bucket] = self.buckets.get(bucket, 0.0) + amount
+
+    @property
+    def total(self) -> float:
+        return sum(self.buckets.values())
+
+
+class WindowedGauge(_Windowed):
+    """Per-window last-write-wins values."""
+
+    __slots__ = ("buckets", "_stamp")
+
+    def __init__(self, name: str, labels: LabelSet, window: float):
+        super().__init__(name, labels, window)
+        self.buckets: Dict[int, float] = {}
+        self._stamp: Dict[int, float] = {}
+
+    def set(self, time: float, value: float) -> None:
+        bucket = self.bucket(time)
+        if time >= self._stamp.get(bucket, -math.inf):
+            self.buckets[bucket] = value
+            self._stamp[bucket] = time
+
+    @property
+    def last(self) -> float:
+        if not self.buckets:
+            return 0.0
+        return self.buckets[max(self.buckets)]
+
+
+class WindowedHistogram(_Windowed):
+    """Per-window sample lists with exact quantiles."""
+
+    __slots__ = ("buckets", "count", "total")
+
+    def __init__(self, name: str, labels: LabelSet, window: float):
+        super().__init__(name, labels, window)
+        self.buckets: Dict[int, List[float]] = {}
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, time: float, value: float) -> None:
+        self.buckets.setdefault(self.bucket(time), []).append(value)
+        self.count += 1
+        self.total += value
+
+    def samples(self, t0: Optional[float] = None,
+                t1: Optional[float] = None) -> List[float]:
+        """All samples whose window overlaps ``[t0, t1]`` (None = open)."""
+        out: List[float] = []
+        for bucket, values in self.buckets.items():
+            start = self.window_start(bucket)
+            if t0 is not None and start + self.window <= t0:
+                continue
+            if t1 is not None and start > t1:
+                continue
+            out.extend(values)
+        return out
+
+
+class TimeSeriesStore:
+    """Labeled windowed instruments plus the query surface over them.
+
+    ``window`` is the bucket width in virtual seconds; every instrument
+    created by this store shares it, so buckets from different series
+    line up and merge cleanly.
+    """
+
+    def __init__(self, window: float = 0.01):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._counters: Dict[Tuple[str, LabelSet], WindowedCounter] = {}
+        self._gauges: Dict[Tuple[str, LabelSet], WindowedGauge] = {}
+        self._histograms: Dict[Tuple[str, LabelSet], WindowedHistogram] = {}
+
+    # ------------------------------------------------------------ create
+    def counter(self, name: str, **labels: Any) -> WindowedCounter:
+        key = (name, _labelset(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = WindowedCounter(
+                name, key[1], self.window)
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> WindowedGauge:
+        key = (name, _labelset(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = WindowedGauge(
+                name, key[1], self.window)
+        return inst
+
+    def histogram(self, name: str, **labels: Any) -> WindowedHistogram:
+        key = (name, _labelset(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = WindowedHistogram(
+                name, key[1], self.window)
+        return inst
+
+    # ------------------------------------------------------------- query
+    def counters(self, name: str, **labels: Any) -> List[WindowedCounter]:
+        """Every counter series of ``name`` whose labels ⊇ ``labels``."""
+        subset = _labelset(labels)
+        return [inst for (n, _ls), inst in sorted(self._counters.items())
+                if n == name and inst._matches(subset)]
+
+    def gauges(self, name: str, **labels: Any) -> List[WindowedGauge]:
+        subset = _labelset(labels)
+        return [inst for (n, _ls), inst in sorted(self._gauges.items())
+                if n == name and inst._matches(subset)]
+
+    def histograms(self, name: str,
+                   **labels: Any) -> List[WindowedHistogram]:
+        subset = _labelset(labels)
+        return [inst for (n, _ls), inst in sorted(self._histograms.items())
+                if n == name and inst._matches(subset)]
+
+    def total(self, name: str, **labels: Any) -> float:
+        """Summed counter total across matching series."""
+        return sum(inst.total for inst in self.counters(name, **labels))
+
+    def rate(self, name: str, **labels: Any) -> List[Tuple[float, float]]:
+        """Merged counter buckets as ``(window_start, per_second)`` rows."""
+        merged: Dict[int, float] = {}
+        for inst in self.counters(name, **labels):
+            for bucket, amount in inst.buckets.items():
+                merged[bucket] = merged.get(bucket, 0.0) + amount
+        return [(bucket * self.window, amount / self.window)
+                for bucket, amount in sorted(merged.items())]
+
+    def quantile(self, name: str, q: float, t0: Optional[float] = None,
+                 t1: Optional[float] = None, **labels: Any) -> float:
+        """Exact nearest-rank quantile over merged histogram samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        samples: List[float] = []
+        for inst in self.histograms(name, **labels):
+            samples.extend(inst.samples(t0, t1))
+        if not samples:
+            return 0.0
+        samples.sort()
+        rank = min(int(q * len(samples)), len(samples) - 1)
+        return samples[rank]
+
+    def percentiles(self, name: str,
+                    qs: Sequence[float] = (0.5, 0.95, 0.99),
+                    **labels: Any) -> Dict[float, float]:
+        """p50/p95/p99 (by default) in one sorted pass."""
+        samples: List[float] = []
+        for inst in self.histograms(name, **labels):
+            samples.extend(inst.samples())
+        out: Dict[float, float] = {}
+        if not samples:
+            return {q: 0.0 for q in qs}
+        samples.sort()
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1], got {q}")
+            rank = min(int(q * len(samples)), len(samples) - 1)
+            out[q] = samples[rank]
+        return out
+
+    def names(self) -> List[Tuple[str, str]]:
+        """Every ``(kind, name)`` with at least one series, sorted."""
+        out = {("counter", n) for n, _ls in self._counters}
+        out |= {("gauge", n) for n, _ls in self._gauges}
+        out |= {("histogram", n) for n, _ls in self._histograms}
+        return sorted(out)
+
+    def summary(self) -> str:
+        """A plain-text dump: one line per name, series merged."""
+        lines: List[str] = []
+        for kind, name in self.names():
+            if kind == "counter":
+                series = self.counters(name)
+                windows = {b for inst in series for b in inst.buckets}
+                lines.append(
+                    f"counter   {name}: total={self.total(name):g} "
+                    f"series={len(series)} windows={len(windows)}")
+            elif kind == "gauge":
+                series = self.gauges(name)
+                last = series[-1].last if series else 0.0
+                lines.append(f"gauge     {name}: last={last:g} "
+                             f"series={len(series)}")
+            else:
+                series = self.histograms(name)
+                count = sum(inst.count for inst in series)
+                pct = self.percentiles(name)
+                lines.append(
+                    f"histogram {name}: n={count} "
+                    f"p50={pct[0.5]:.6g} p95={pct[0.95]:.6g} "
+                    f"p99={pct[0.99]:.6g} series={len(series)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<TimeSeriesStore window={self.window:g}s "
+                f"counters={len(self._counters)} "
+                f"gauges={len(self._gauges)} "
+                f"histograms={len(self._histograms)}>")
+
+
+class TimeSeriesListener:
+    """Feeds a :class:`TimeSeriesStore` from bus (or replayed) events.
+
+    Carries a ``stage_id -> job_id`` map built from ``stage_submitted``
+    events so per-task series get a ``job`` label even though
+    :class:`~repro.obs.events.TaskEnd` does not name its job.
+    """
+
+    def __init__(self, store: Optional[TimeSeriesStore] = None,
+                 window: float = 0.01):
+        self.store = store if store is not None \
+            else TimeSeriesStore(window=window)
+        self._stage_job: Dict[int, int] = {}
+
+    def replay(self, events: Iterable[TraceEvent]) -> "TimeSeriesListener":
+        """Feed a recorded log through the same mapping."""
+        for event in events:
+            self.on_event(event)
+        return self
+
+    def on_event(self, event: TraceEvent) -> None:
+        store = self.store
+        kind = event.kind
+        t = event.time
+        if kind == "stage_submitted":
+            self._stage_job[event.stage_id] = event.job_id
+        elif kind == "task_end":
+            job = self._stage_job.get(event.stage_id, -1)
+            store.counter("tasks.finished", status=event.status,
+                          job=job).inc(t)
+            store.histogram("tasks.duration_seconds", job=job,
+                            stage=event.stage_id,
+                            executor=event.executor_id).observe(
+                                t, event.duration)
+            store.counter("tasks.result_bytes", job=job,
+                          executor=event.executor_id).inc(
+                              t, event.metrics.result_bytes)
+        elif kind == "job_start":
+            store.counter("jobs.started", kind=event.job_kind).inc(t)
+        elif kind == "job_end":
+            store.counter("jobs.finished", kind=event.job_kind,
+                          succeeded=event.succeeded).inc(t)
+        elif kind == "message_sent":
+            store.counter("messages.bytes",
+                          transport=event.transport).inc(t, event.nbytes)
+        elif kind == "message_delivered":
+            store.histogram("messages.queue_wait_seconds",
+                            transport=event.transport).observe(
+                                t, event.queue_wait)
+        elif kind == "ring_hop":
+            store.counter("ring.bytes", channel=event.channel,
+                          executor=event.executor_id).inc(
+                              t, event.send_bytes)
+            store.histogram("ring.hop_seconds",
+                            channel=event.channel).observe(
+                                t, event.time - event.began)
+        elif kind == "imm_merge":
+            store.histogram("imm.merge_seconds",
+                            executor=event.executor_id).observe(
+                                t, event.merge_time)
+            store.histogram("imm.lock_wait_seconds",
+                            executor=event.executor_id).observe(
+                                t, event.lock_wait)
+        elif kind == "nic_sample":
+            node = "driver" if event.is_driver else event.hostname
+            store.gauge("nic.utilization", node=node,
+                        direction="in").set(t, event.in_utilization)
+            store.gauge("nic.utilization", node=node,
+                        direction="out").set(t, event.out_utilization)
+        elif kind == "collective_completed":
+            store.histogram("collective.seconds",
+                            algorithm=event.algorithm,
+                            collective=event.collective_id).observe(
+                                t, event.seconds)
+        elif kind == "fault_injected":
+            store.counter("faults.injected", fault=event.fault).inc(t)
+        elif kind == "recovery_action":
+            store.counter("recovery.actions", action=event.action).inc(t)
+            if event.action == "recovered":
+                store.histogram("recovery.seconds",
+                                site=event.site).observe(t, event.seconds)

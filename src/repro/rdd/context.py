@@ -58,6 +58,8 @@ class SparkerContext:
         #: observability fan-out (see :mod:`repro.obs`); subscribe listeners
         #: here to trace the run — with none attached nothing is recorded.
         self.event_bus = EventBus()
+        #: the bus's causal span allocator (see :mod:`repro.obs.tracing`)
+        self.tracer = self.event_bus.tracer
         self.cluster = Cluster(self.env, self.config,
                                driver_colocated=driver_colocated)
         self.serde = SerdeModel.from_config(self.config)
@@ -95,7 +97,11 @@ class SparkerContext:
     def _record_phase(self, key: str, seconds: float, now: float) -> None:
         """Mirror every closed stopwatch span onto the event bus."""
         if self.event_bus.active:
-            self.event_bus.emit(PhaseSpan(time=now, key=key, seconds=seconds))
+            tracer = self.event_bus.tracer
+            self.event_bus.emit(PhaseSpan(
+                time=now, key=key, seconds=seconds,
+                span_id=tracer.new_span(),
+                parent_span_id=tracer.current_parent))
 
     def _register_rdd(self, _rdd: RDD) -> int:
         rdd_id = self._next_rdd_id

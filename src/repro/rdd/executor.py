@@ -70,6 +70,9 @@ class Executor:
         self.compute_scale = 1.0
         #: completed task attempts, for instrumentation
         self.tasks_run = 0
+        #: span of the task body currently running a synchronous section
+        #: on this executor (parents block events; best-effort)
+        self._current_task_span = -1
 
     def _block_event(self, op: str, block_id: tuple, nbytes: float) -> None:
         """Mirror a memory-store operation onto the event bus."""
@@ -79,7 +82,9 @@ class Executor:
             bus.emit(BlockEvent(time=self.env.now,
                                 executor_id=self.executor_id, op=op,
                                 rdd_id=rdd_id, partition=partition,
-                                nbytes=nbytes))
+                                nbytes=nbytes,
+                                span_id=bus.tracer.new_span(),
+                                parent_span_id=self._current_task_span))
 
     # ------------------------------------------------------------------ submit
     def submit(self, task: Task) -> Process:
@@ -101,15 +106,21 @@ class Executor:
         yield self.task_slots.acquire()
         began = env.now
         tracing = bus.active
+        span = -1
         if tracing:
+            tracer = bus.tracer
+            span = tracer.new_span()
             bus.emit(TaskStart(time=began, stage_id=task.stage_id,
                                stage_attempt=task.stage_attempt,
                                partition=task.partition, attempt=task.attempt,
                                executor_id=self.executor_id,
-                               host=self.node.hostname))
+                               host=self.node.hostname, span_id=span,
+                               parent_span_id=tracer.stage_span(
+                                   task.stage_id, task.stage_attempt)))
         stats = {"slot_wait": began - queued, "fetch_wait": 0.0,
                  "deserialize_time": 0.0, "compute_time": 0.0,
-                 "serialize_time": 0.0, "result_bytes": 0.0}
+                 "serialize_time": 0.0, "output_wait": 0.0,
+                 "result_bytes": 0.0}
         status = "ok"
         try:
             if not self.alive:
@@ -127,25 +138,33 @@ class Executor:
             host_pool = self.sc.host_pool
             if host_pool is not None:
                 memo = host_pool.claim(task, self)
-            if memo is not None:
-                # Replay the precomputed body: same result, same charge,
-                # same bucket writes, at the same point in the timeline.
-                result = memo.replay(ctx, self)
-            else:
-                if host_pool is not None and host_pool.enabled:
-                    host_pool.stats["inline"] += 1
-                push_task_context(ctx)
-                try:
-                    result = task.run(ctx)
-                finally:
-                    pop_task_context()
+            self._current_task_span = span
+            try:
+                if memo is not None:
+                    # Replay the precomputed body: same result, same charge,
+                    # same bucket writes, at the same point in the timeline.
+                    result = memo.replay(ctx, self)
+                else:
+                    if host_pool is not None and host_pool.enabled:
+                        host_pool.stats["inline"] += 1
+                    push_task_context(ctx)
+                    try:
+                        result = task.run(ctx)
+                    finally:
+                        pop_task_context()
+            finally:
+                self._current_task_span = -1
             charged = ctx.drain_charges()
             if self.compute_scale != 1.0:
                 charged *= self.compute_scale
             stats["compute_time"] = charged
             if charged > 0:
                 yield env.timeout(charged)
-            output = yield from self._emit(task, result, ctx, stats)
+            emit_began = env.now
+            output = yield from self._emit(task, result, ctx, stats,
+                                           parent_span=span)
+            stats["output_wait"] = (env.now - emit_began
+                                    - stats["serialize_time"])
             self.tasks_run += 1
             # Exactly-once accumulator semantics: only a fully successful
             # attempt publishes its buffered updates.
@@ -171,11 +190,14 @@ class Executor:
                     executor_id=self.executor_id, host=self.node.hostname,
                     began=began, status=status,
                     metrics=TaskMetrics(locality=self._locality(task),
-                                        **stats)))
+                                        **stats),
+                    span_id=span,
+                    parent_span_id=bus.tracer.stage_span(
+                        task.stage_id, task.stage_attempt)))
 
     # ------------------------------------------------------------------- output
     def _emit(self, task: Task, result: Any, ctx: TaskContext,
-              stats: dict) -> Generator:
+              stats: dict, parent_span: int = -1) -> Generator:
         env = self.env
         sc = self.sc
         if isinstance(task, ShuffleMapTask):
@@ -190,7 +212,8 @@ class Executor:
             # In-memory merge: the shared object absorbs the result locally.
             stats["result_bytes"] = sim_sizeof(result)
             yield from self.object_manager.merge(
-                task.object_id, task.stage_attempt, result, task.reduce_op)
+                task.object_id, task.stage_attempt, result, task.reduce_op,
+                parent_span=parent_span)
             return (self.executor_id, task.object_id)
         if isinstance(task, ResultTask):
             nbytes = sim_sizeof(result)

@@ -392,32 +392,42 @@ class DAGScheduler:
         self.stage_log.append(info)
         bus = self.sc.event_bus
         if bus.active:
+            tracer = bus.tracer
+            span = tracer.open_stage(stage_id, attempt, job_id)
             bus.emit(StageSubmitted(
                 time=info.submitted_at, stage_id=stage_id,
                 attempt=attempt, stage_kind=kind, rdd_name=info.rdd_name,
-                num_tasks=num_tasks, job_id=job_id))
+                num_tasks=num_tasks, job_id=job_id,
+                span_id=span, parent_span_id=tracer.job_span(job_id)))
         return info
 
     def _close_stage(self, info: StageInfo, job_id: int) -> None:
         info.finished_at = self.sc.env.now
         bus = self.sc.event_bus
         if bus.active:
+            tracer = bus.tracer
             bus.emit(StageCompleted(
                 time=info.finished_at, stage_id=info.stage_id,
                 attempt=info.attempt, stage_kind=info.kind,
                 rdd_name=info.rdd_name, num_tasks=info.num_tasks,
-                job_id=job_id, began=info.submitted_at))
+                job_id=job_id, began=info.submitted_at,
+                span_id=tracer.close_stage(info.stage_id, info.attempt),
+                parent_span_id=tracer.job_span(job_id)))
 
     def _job_start(self, job_id: int, job_kind: str, rdd: RDD,
                    num_partitions: int) -> None:
         bus = self.sc.event_bus
         if bus.active:
+            tracer = bus.tracer
             bus.emit(JobStart(time=self.sc.env.now, job_id=job_id,
                               job_kind=job_kind, rdd_name=rdd.name,
-                              num_partitions=num_partitions))
+                              num_partitions=num_partitions,
+                              span_id=tracer.open_job(job_id),
+                              parent_span_id=tracer.current_parent))
 
     def _job_end(self, job_id: int, job_kind: str, succeeded: bool) -> None:
         bus = self.sc.event_bus
         if bus.active:
             bus.emit(JobEnd(time=self.sc.env.now, job_id=job_id,
-                            job_kind=job_kind, succeeded=succeeded))
+                            job_kind=job_kind, succeeded=succeeded,
+                            span_id=bus.tracer.close_job(job_id)))

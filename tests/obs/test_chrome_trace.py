@@ -122,3 +122,61 @@ def test_task_span_args_carry_metrics():
     assert span["args"]["compute"] == 0.9
     assert span["args"]["result_bytes"] == 64.0
     assert span["name"] == "s1.p0"
+
+
+def test_flow_arrows_chain_critical_path():
+    _sc, rec = run_lr("split", trace=True, num_iterations=1)
+    trace = chrome_trace(rec.events)
+    flows = [e for e in trace["traceEvents"] if e["ph"] in ("s", "t", "f")]
+    assert flows, "traced run must emit critical-path flow arrows"
+    assert all(e["cat"] == "critical_path" for e in flows)
+    by_id = {}
+    for e in flows:
+        by_id.setdefault(e["id"], []).append(e)
+    for flow_id, chain in by_id.items():
+        phases = [e["ph"] for e in chain]
+        assert phases.count("s") == 1, flow_id
+        assert phases.count("f") == 1, flow_id
+        finish = next(e for e in chain if e["ph"] == "f")
+        assert finish.get("bp") == "e"
+        # arrows advance monotonically along virtual time
+        stamps = [e["ts"] for e in chain]
+        assert stamps == sorted(stamps)
+
+
+def test_recovery_lane_on_fault_run():
+    import numpy as np
+
+    from repro import AggregationSpec
+    from repro.cluster import ClusterConfig
+    from repro.faults import (
+        AtTime,
+        ExecutorCrash,
+        FaultController,
+        FaultPlan,
+    )
+    from repro.obs import RecordingListener
+    from repro.obs.chrome_trace import RECOVERY_TID
+    from repro.rdd import SparkerContext
+    from repro.serde import SizedPayload
+
+    sc = SparkerContext(ClusterConfig.laptop(num_nodes=4))
+    rec = RecordingListener()
+    sc.event_bus.subscribe(rec)
+    eid = sc.cluster.executors[5].executor_id
+    FaultController(sc, FaultPlan(faults=(ExecutorCrash(
+        eid, AtTime(0.05)),))).arm()
+    data = [SizedPayload(np.full(16, float(i))) for i in range(24)]
+    rdd = sc.parallelize(data, 8)
+    rdd.split_aggregate(lambda: SizedPayload(np.zeros(16)),
+                        lambda a, x: a.merge_inplace(x),
+                        lambda u, i, n: u.split(i, n),
+                        lambda a, b: a.merge(b),
+                        SizedPayload.concat,
+                        spec=AggregationSpec(parallelism=4))
+    trace = chrome_trace(rec.events)
+    lanes = [e for e in trace["traceEvents"]
+             if e.get("pid") == DRIVER_PID and e.get("tid") == RECOVERY_TID
+             and e["ph"] == "X"]
+    assert lanes, "recovery epochs must appear on the driver RECOVERY lane"
+    assert all(e["dur"] > 0 for e in lanes)

@@ -1,0 +1,167 @@
+"""Critical-path attribution: the exact-makespan-partition invariant,
+collective blame, recovery epochs, and degenerate logs."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import AggregationSpec
+from repro.cluster import ClusterConfig
+from repro.faults import AtTime, ExecutorCrash, FaultController, FaultPlan
+from repro.obs import RecordingListener, attribute_critical_path
+from repro.obs.__main__ import render_critical_path
+from repro.rdd import SparkerContext
+from repro.serde import SizedPayload
+
+from .helpers import run_lr
+
+NODE_COUNTS = (2, 4, 8)
+
+
+def run_collective(algorithm, nodes, parallelism=4):
+    """One traced split_aggregate through the named collective."""
+    sc = SparkerContext(ClusterConfig.bic(num_nodes=nodes))
+    rec = RecordingListener()
+    sc.event_bus.subscribe(rec)
+    data = [SizedPayload(np.full(32, float(i))) for i in range(24)]
+    rdd = sc.parallelize(data, 2 * nodes).cache()
+    rdd.count()
+    rdd.split_aggregate(lambda: SizedPayload(np.zeros(32)),
+                        lambda a, x: a.merge_inplace(x),
+                        lambda u, i, n: u.split(i, n),
+                        lambda a, b: a.merge(b),
+                        SizedPayload.concat,
+                        spec=AggregationSpec(collective=algorithm,
+                                             parallelism=parallelism))
+    return rec.events
+
+
+def assert_exact_partition(report):
+    assert report.jobs, "no finished jobs attributed"
+    for job in report.jobs:
+        total = sum(job.totals().values())
+        assert total == pytest.approx(job.makespan, abs=1e-9)
+        # segments are contiguous and cover [began, ended] with no gaps
+        assert job.segments[0].began == job.began
+        assert job.segments[-1].ended == job.ended
+        for prev, nxt in zip(job.segments, job.segments[1:]):
+            assert nxt.began == prev.ended
+
+
+@pytest.mark.parametrize("nodes", NODE_COUNTS)
+@pytest.mark.parametrize("aggregation", ["tree", "split"])
+def test_lr_attribution_sums_to_makespan(aggregation, nodes):
+    points_sc = SparkerContext(ClusterConfig.bic(num_nodes=nodes))
+    rec = RecordingListener()
+    points_sc.event_bus.subscribe(rec)
+    from repro.data import sparse_classification
+    from repro.ml import LogisticRegressionWithSGD
+    points, _ = sparse_classification(120, 20, 5, seed=31)
+    rdd = points_sc.parallelize(points, 2 * nodes).cache()
+    rdd.count()
+    LogisticRegressionWithSGD.train(
+        rdd, 20, num_iterations=2, step_size=1.5,
+        aggregation=aggregation, size_scale=1000.0)
+    assert_exact_partition(attribute_critical_path(rec.events))
+
+
+@pytest.mark.parametrize("nodes", NODE_COUNTS)
+@pytest.mark.parametrize("algorithm", ["hd", "hierarchical"])
+def test_collective_attribution_sums_to_makespan(algorithm, nodes):
+    events = run_collective(algorithm, nodes)
+    report = attribute_critical_path(events)
+    assert_exact_partition(report)
+    assert report.collectives
+    coll = report.collectives[-1]
+    assert coll.algorithm == algorithm
+    assert coll.hop_count > 0
+    assert coll.slowest_hop is not None
+    assert coll.slowest_hop.seconds <= coll.seconds
+
+
+def test_slowest_hop_belongs_to_its_collective():
+    events = run_collective("ring", 2)
+    report = attribute_critical_path(events)
+    spans = {e.span_id for e in events if e.kind == "collective_chosen"}
+    for coll in report.collectives:
+        hop = coll.slowest_hop
+        matching = [e for e in events if e.kind == "ring_hop"
+                    and e.channel == hop.channel and e.hop == hop.hop
+                    and e.executor_id == hop.executor_id]
+        assert matching
+        assert all(e.parent_span_id in spans for e in matching)
+
+
+def test_detached_log_without_spans_still_attributes():
+    events = run_collective("ring", 2)
+    stripped = [dataclasses.replace(e, span_id=-1, parent_span_id=-1)
+                for e in events]
+    traced = attribute_critical_path(events)
+    detached = attribute_critical_path(stripped)
+    assert_exact_partition(detached)
+    assert len(detached.jobs) == len(traced.jobs)
+    assert len(detached.collectives) == len(traced.collectives)
+    for a, b in zip(detached.jobs, traced.jobs):
+        assert a.totals() == pytest.approx(b.totals())
+
+
+def test_recovery_attribution():
+    sc = SparkerContext(ClusterConfig.laptop(num_nodes=4))
+    rec = RecordingListener()
+    sc.event_bus.subscribe(rec)
+    eid = sc.cluster.executors[5].executor_id
+    FaultController(sc, FaultPlan(faults=(ExecutorCrash(
+        eid, AtTime(0.05)),))).arm()
+    data = [SizedPayload(np.full(16, float(i))) for i in range(24)]
+    rdd = sc.parallelize(data, 8)
+    rdd.split_aggregate(lambda: SizedPayload(np.zeros(16)),
+                        lambda a, x: a.merge_inplace(x),
+                        lambda u, i, n: u.split(i, n),
+                        lambda a, b: a.merge(b),
+                        SizedPayload.concat,
+                        spec=AggregationSpec(parallelism=4))
+    report = attribute_critical_path(rec.events)
+    assert_exact_partition(report)
+    assert report.recovery_epochs
+    epoch = report.recovery_epochs[0]
+    assert epoch.recovered
+    assert epoch.actions >= 2
+    assert epoch.seconds > 0
+    assert any(job.recovery for job in report.jobs)
+    assert report.totals().get("recovery", 0.0) > 0
+
+
+def test_empty_log_produces_empty_report():
+    report = attribute_critical_path([])
+    assert report.jobs == []
+    assert report.collectives == []
+    assert report.recovery_epochs == []
+    assert "no finished jobs" in render_critical_path(report)
+
+
+def test_unfinished_job_reported_not_raised():
+    events = run_collective("ring", 2)
+    cut = [e for e in events if e.kind != "job_end"]
+    report = attribute_critical_path(cut)
+    assert report.jobs == []
+    assert report.unfinished
+    rendered = render_critical_path(report)
+    assert "unfinished job" in rendered
+
+
+def test_cli_renders_attribution_table():
+    _sc, rec = run_lr("split", trace=True, num_iterations=1)
+    report = attribute_critical_path(rec.events)
+    rendered = render_critical_path(report)
+    assert "Critical path (per-job makespan attribution)" in rendered
+    assert "Collective attribution" in rendered
+    for label in ("compute", "serde", "wire", "queueing"):
+        assert label in rendered
+
+
+def test_report_totals_cover_every_job():
+    _sc, rec = run_lr("split", trace=True, num_iterations=2)
+    report = attribute_critical_path(rec.events)
+    assert sum(report.totals().values()) == pytest.approx(
+        sum(job.makespan for job in report.jobs), abs=1e-9)

@@ -116,3 +116,32 @@ def test_channel_str_normalizes():
     assert channel_str(3) == "3"
     assert channel_str(("ring", 2)) == "ring/2"
     assert channel_str((("a", 1), 2)) == "a/1/2"
+
+
+@pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+def test_fast_constructor_equivalent(event):
+    """TraceEvent.fast() must be indistinguishable from the dataclass
+    constructor: same equality, hash, and serialized record."""
+    rebuilt = type(event).fast(**event.__dict__)
+    assert rebuilt == event
+    assert hash(rebuilt) == hash(event)
+    assert rebuilt.to_record() == event.to_record()
+
+
+def test_fast_applies_defaults_and_factories():
+    fast = TaskEnd.fast(time=0.35, stage_id=3, stage_attempt=0,
+                        partition=2, attempt=0, executor_id=5,
+                        host="node1", began=0.15, status="ok")
+    assert fast.span_id == -1 and fast.parent_span_id == -1
+    assert isinstance(fast.metrics, TaskMetrics)
+    # the default_factory must produce a fresh TaskMetrics per call
+    other = TaskEnd.fast(time=0.4, stage_id=3, stage_attempt=0,
+                         partition=3, attempt=0, executor_id=5,
+                         host="node1", began=0.2, status="ok")
+    assert fast.metrics is not other.metrics
+
+
+def test_fast_events_stay_frozen():
+    fast = PhaseSpan.fast(time=0.7, key="agg.compute", seconds=0.25)
+    with pytest.raises(Exception):
+        fast.time = 1.0

@@ -93,3 +93,73 @@ def test_writer_rejects_use_after_close(tmp_path):
     writer.close()  # idempotent
     with pytest.raises(RuntimeError):
         writer.on_event(PhaseSpan(time=1.0, key="a", seconds=0.5))
+
+
+# ----------------------------------------------------- degenerate logs
+def test_empty_file_loads_empty(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert load_events(path) == []
+
+
+def test_header_only_log_loads_empty(tmp_path):
+    path = tmp_path / "header.jsonl"
+    dump_events([], path)
+    assert load_events(path) == []
+
+
+def test_truncated_tail_line_skipped(tmp_path):
+    path = tmp_path / "torn.jsonl"
+    dump_events(SAMPLES[:3], path)
+    text = path.read_text()
+    # tear the last record mid-line, as a crashing writer would
+    path.write_text(text[:len(text) - len(text.splitlines()[-1]) // 2 - 1])
+    assert load_events(path) == list(SAMPLES[:2])
+
+
+def test_blank_and_non_dict_lines_skipped(tmp_path):
+    path = tmp_path / "noise.jsonl"
+    dump_events(SAMPLES[:1], path)
+    with path.open("a") as handle:
+        handle.write("\n\n[1, 2, 3]\n\"just a string\"\n")
+    assert load_events(path) == list(SAMPLES[:1])
+
+
+# ---------------------------------------------------- buffered writing
+def test_writer_buffers_until_flush(tmp_path):
+    path = tmp_path / "buffered.jsonl"
+    writer = EventLogWriter(path, buffer_events=100)
+    writer.on_event(PhaseSpan(time=1.0, key="a", seconds=0.5))
+    writer.on_event(PhaseSpan(time=2.0, key="b", seconds=0.25))
+    assert writer.written == 2
+    writer._handle.flush()
+    assert load_events(path) == []       # still only the header on disk
+    writer.flush()
+    writer._handle.flush()
+    assert [e.key for e in load_events(path)] == ["a", "b"]
+    writer.close()
+
+
+def test_writer_auto_flushes_at_capacity(tmp_path):
+    path = tmp_path / "capacity.jsonl"
+    writer = EventLogWriter(path, buffer_events=3)
+    for i in range(7):
+        writer.on_event(PhaseSpan(time=float(i), key=f"k{i}", seconds=0.1))
+    writer._handle.flush()
+    assert len(load_events(path)) == 6   # two full batches, one buffered
+    writer.close()
+    assert len(load_events(path)) == 7
+
+
+def test_sync_writer_writes_every_event(tmp_path):
+    path = tmp_path / "sync.jsonl"
+    writer = EventLogWriter(path, buffer_events=1)
+    writer.on_event(PhaseSpan(time=1.0, key="a", seconds=0.5))
+    writer._handle.flush()
+    assert len(load_events(path)) == 1
+    writer.close()
+
+
+def test_writer_rejects_nonpositive_buffer(tmp_path):
+    with pytest.raises(ValueError, match="buffer_events"):
+        EventLogWriter(tmp_path / "x.jsonl", buffer_events=0)
