@@ -59,7 +59,9 @@ SMOKE_SWEEP = [
 ]
 
 FULL_POOLS = (1, 2, 8)
-SMOKE_POOLS = (2,)
+#: the smoke gate checks the full pool matrix too — the parity checksums
+#: must stay byte-identical across every pool size on the vectorized paths
+SMOKE_POOLS = (1, 2, 8)
 
 #: tolerated events/sec regression against the committed baseline
 REGRESSION_SLACK = 0.20

@@ -15,6 +15,15 @@ a function is defined in; C builtins carry no file and land in ``other``
 (they are a stable, small slice — dict/heap ops mostly owned by the
 kernel).
 
+``sim_core`` is additionally split into sub-buckets, because the two
+hottest kernel paths evolve independently and a perf PR needs to show
+which one it touched:
+
+* **allocator** — the max-min fair flow solver (``repro/cluster/flows``),
+* **calendar** — the bucket-queue event calendar (``repro/sim/calendar``),
+* **dispatch** — everything else driving virtual time (event trampoline,
+  executors, RDD machinery, comm engines).
+
 Command line::
 
     python -m repro.bench.profile LR-A --nodes 8 --agg tree --iters 3
@@ -29,7 +38,8 @@ import pstats
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Tuple
 
-__all__ = ["HostTimeBreakdown", "profile_host", "classify_path"]
+__all__ = ["HostTimeBreakdown", "profile_host", "classify_path",
+           "classify_sim_core", "BUCKETS", "SIM_CORE_SUBBUCKETS"]
 
 #: first match wins; paths are matched as substrings of the defining file
 _BUCKET_RULES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
@@ -43,6 +53,15 @@ _BUCKET_RULES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
 #: every bucket a breakdown reports, in display order
 BUCKETS: Tuple[str, ...] = ("sim_core", "user_compute", "serde", "other")
 
+#: first match wins; sub-attribution of ``sim_core`` self-time
+_SIM_CORE_SUBRULES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("allocator", ("/repro/cluster/flows",)),
+    ("calendar", ("/repro/sim/calendar",)),
+)
+
+#: sub-buckets of ``sim_core``, in display order
+SIM_CORE_SUBBUCKETS: Tuple[str, ...] = ("allocator", "calendar", "dispatch")
+
 
 def classify_path(filename: str) -> str:
     """Bucket name for a function defined in ``filename``."""
@@ -53,12 +72,23 @@ def classify_path(filename: str) -> str:
     return "other"
 
 
+def classify_sim_core(filename: str) -> str:
+    """Sub-bucket of ``sim_core`` for a kernel function's defining file."""
+    for sub, needles in _SIM_CORE_SUBRULES:
+        for needle in needles:
+            if needle in filename:
+                return sub
+    return "dispatch"
+
+
 @dataclass
 class HostTimeBreakdown:
     """Self-time per owner, plus the heaviest individual functions."""
 
     total: float
     buckets: Dict[str, float] = field(default_factory=dict)
+    #: ``sim_core`` self-time split into allocator / calendar / dispatch
+    sim_core_split: Dict[str, float] = field(default_factory=dict)
     #: ``(bucket, "file:function", self_seconds)`` — heaviest first
     top: List[Tuple[str, str, float]] = field(default_factory=list)
 
@@ -68,12 +98,23 @@ class HostTimeBreakdown:
             return 0.0
         return self.buckets.get(bucket, 0.0) / self.total
 
+    def sim_core_fraction(self, sub: str) -> float:
+        """Share of ``sim_core`` self-time owned by sub-bucket ``sub``."""
+        sim_core = self.buckets.get("sim_core", 0.0)
+        if sim_core <= 0:
+            return 0.0
+        return self.sim_core_split.get(sub, 0.0) / sim_core
+
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready form (used by ``benchmarks/host_perf.py``)."""
         return {
             "total_self_time": self.total,
             "buckets": dict(self.buckets),
             "fractions": {b: self.fraction(b) for b in BUCKETS},
+            "sim_core_split": dict(self.sim_core_split),
+            "sim_core_fractions": {
+                s: self.sim_core_fraction(s) for s in SIM_CORE_SUBBUCKETS
+            },
             "top": [
                 {"bucket": bucket, "function": name, "self_time": seconds}
                 for bucket, name, seconds in self.top
@@ -86,7 +127,12 @@ class HostTimeBreakdown:
             f" ({self.fraction(bucket):.0%})"
             for bucket in BUCKETS
         ]
-        return f"host time {self.total:.3f}s: " + ", ".join(parts)
+        split = ", ".join(
+            f"{sub} {self.sim_core_fraction(sub):.0%}"
+            for sub in SIM_CORE_SUBBUCKETS
+        )
+        return (f"host time {self.total:.3f}s: " + ", ".join(parts)
+                + f" [sim_core: {split}]")
 
 
 def profile_host(fn: Callable, *args: Any,
@@ -106,6 +152,8 @@ def profile_host(fn: Callable, *args: Any,
 
     stats = pstats.Stats(profiler)
     buckets: Dict[str, float] = {bucket: 0.0 for bucket in BUCKETS}
+    sim_core_split: Dict[str, float] = {
+        sub: 0.0 for sub in SIM_CORE_SUBBUCKETS}
     rows: List[Tuple[str, str, float]] = []
     total = 0.0
     for (filename, _lineno, funcname), entry in stats.stats.items():
@@ -114,11 +162,14 @@ def profile_host(fn: Callable, *args: Any,
             continue
         bucket = "other" if filename == "~" else classify_path(filename)
         buckets[bucket] += self_time
+        if bucket == "sim_core":
+            sim_core_split[classify_sim_core(filename)] += self_time
         total += self_time
         short = filename.rsplit("/", 1)[-1] if filename != "~" else "builtin"
         rows.append((bucket, f"{short}:{funcname}", self_time))
     rows.sort(key=lambda row: row[2], reverse=True)
     return result, HostTimeBreakdown(total=total, buckets=buckets,
+                                     sim_core_split=sim_core_split,
                                      top=rows[:top_n])
 
 
@@ -148,6 +199,12 @@ def _main(argv: List[str] | None = None) -> int:
         spec=AggregationSpec(host_pool=args.pool or None), top_n=args.top)
     print(result)
     print(breakdown)
+    sim_core = breakdown.buckets.get("sim_core", 0.0)
+    print(f"  sim_core breakdown ({sim_core:.3f}s):")
+    for sub in SIM_CORE_SUBBUCKETS:
+        print(f"  {breakdown.sim_core_split.get(sub, 0.0):8.3f}s"
+              f"  [{sub:>12}]  {breakdown.sim_core_fraction(sub):.0%}"
+              " of sim_core")
     for bucket, name, seconds in breakdown.top:
         print(f"  {seconds:8.3f}s  [{bucket:>12}]  {name}")
     return 0

@@ -33,7 +33,7 @@ from typing import Any, Callable, Optional
 
 import numpy as np
 
-from ..rdd.costing import ELEMENT_OVERHEAD, cost_of
+from ..rdd.costing import ELEMENT_OVERHEAD, Costed, cost_of
 from ..rdd.partitioner import ModuloPartitioner
 from ..rdd.rdd import RDD, MapPartitionsRDD, ShuffledRDD
 from ..rdd.task_context import TaskContext
@@ -62,6 +62,40 @@ def fresh_zero(zero: Any) -> Any:
     return copy.deepcopy(zero)
 
 
+def _fold_elements(acc: Any, data: list, seq_op: Callable[[Any, Any], Any],
+                   ctx: TaskContext) -> Any:
+    """Fold ``data`` into ``acc``, charging per-element virtual cost.
+
+    Equivalent to ``ctx.charge(cost_of(seq_op, acc, x) + ELEMENT_OVERHEAD);
+    acc = seq_op(acc, x)`` per element, with the ``Costed`` dispatch hoisted
+    out of the loop: this runs once per *sample* per iteration, and the
+    three wrapper frames per element (``cost_of`` -> ``Costed.cost`` ->
+    ``Costed.__call__``) cost more host time than the fold itself. The
+    charge accumulation keeps the exact per-element association order
+    (``charged + c0 + c1 + ...``), so charges stay bit-identical.
+    """
+    if isinstance(seq_op, Costed):
+        fn = seq_op.fn
+        cost_fn = seq_op.cost_fn
+        charged = ctx.charged
+        if callable(cost_fn):
+            for x in data:
+                charged += cost_fn(acc, x) + ELEMENT_OVERHEAD
+                ctx.charged = charged
+                acc = fn(acc, x)
+        else:
+            step = float(cost_fn) + ELEMENT_OVERHEAD
+            for x in data:
+                charged += step
+                ctx.charged = charged
+                acc = fn(acc, x)
+        return acc
+    for x in data:
+        ctx.charge(cost_of(seq_op, acc, x) + ELEMENT_OVERHEAD)
+        acc = seq_op(acc, x)
+    return acc
+
+
 def _partial_aggregate_rdd(rdd: RDD, zero: Any,
                            seq_op: Callable[[Any, Any], Any]) -> RDD:
     """Stage-1 RDD: one partial aggregator per partition."""
@@ -71,10 +105,7 @@ def _partial_aggregate_rdd(rdd: RDD, zero: Any,
         folder = getattr(seq_op, "fold_partition", None)
         if folder is not None:
             return [folder(acc, data, ctx)]
-        for x in data:
-            ctx.charge(cost_of(seq_op, acc, x) + ELEMENT_OVERHEAD)
-            acc = seq_op(acc, x)
-        return [acc]
+        return [_fold_elements(acc, data, seq_op, ctx)]
 
     return MapPartitionsRDD(rdd, run, label="partialAggregate")
 
@@ -133,10 +164,7 @@ def tree_aggregate(rdd: RDD, zero: Any, seq_op: Callable[[Any, Any], Any],
             folder = getattr(seq_op, "fold_partition", None)
             if folder is not None:
                 return folder(acc, data, ctx)
-            for x in data:
-                ctx.charge(cost_of(seq_op, acc, x) + ELEMENT_OVERHEAD)
-                acc = seq_op(acc, x)
-            return acc
+            return _fold_elements(acc, data, seq_op, ctx)
 
         with sc.stopwatch.span("agg.compute"):
             holders = sc.run_reduced_job(rdd, partial_func, comb_op)

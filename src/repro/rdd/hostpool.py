@@ -34,14 +34,47 @@ would put blocks and charge materialization), RDDs that opt out via
 attempts, re-placed tasks, and any run with tracing active (cache hits emit
 :class:`~repro.obs.BlockEvent` at simulated timestamps a worker cannot
 know).
+
+Zero-copy result transport
+--------------------------
+Forked workers serialize memos with pickle protocol 5 and a
+``buffer_callback``, which peels every contiguous NumPy buffer in the
+memo's object graph (bare ndarray results, the ``buf`` inside an IMM
+merge input like ``FlatAggregator``) out of the pickle stream. When the
+peeled buffers total at least :data:`_SHM_MIN_BYTES` the worker copies
+them into one :mod:`multiprocessing.shared_memory` segment with a
+deterministic name (``sparker_hp_<parent pid>_<entry index>``) and ships
+only the small pickle head plus buffer sizes through the pipe; the
+driver attaches the segment, **unlinks it immediately** (the mapping
+outlives the name, so a later crash cannot leak the file), and rebuilds
+the arrays as writable views over shared memory — the payload bytes are
+never copied or pickled. Sub-threshold or unpicklable-out-of-band
+results fall back to in-band pickle frames, byte-identical to the old
+transport.
+
+Segment lifecycle: attached segments are parked in a module registry so
+their mappings stay valid for as long as the simulation holds views into
+them, and an :mod:`atexit` sweep closes them at interpreter shutdown.
+If a worker dies between creating a segment and flushing its frame, the
+driver reaps the orphan by probing the deterministic names of every
+entry it never received (:func:`_reap_orphan`); chaos runs therefore
+leave nothing behind in ``/dev/shm``.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
 import struct
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - absent on some minimal platforms
+    from multiprocessing import resource_tracker as _resource_tracker
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _resource_tracker = None
+    _shared_memory = None
 
 from .accumulators import pop_task_context, push_task_context
 from .task_context import TaskContext
@@ -56,6 +89,156 @@ __all__ = ["HostPool", "TaskMemo"]
 
 #: pipe frame header: unsigned 64-bit payload length
 _HEADER = struct.Struct(">Q")
+
+#: shared-memory segment name prefix (suffix: ``<parent pid>_<entry index>``)
+_SHM_PREFIX = "sparker_hp_"
+#: smallest total out-of-band payload worth a shared-memory segment; below
+#: this the per-segment syscalls cost more than pickling the bytes in-band
+_SHM_MIN_BYTES = 4096
+
+#: attached (already unlinked) segments whose mappings back live arrays
+_live_segments: List[Any] = []
+
+
+def _sweep_segments(final: bool = False) -> None:
+    """Close every parked segment mapping whose views are gone.
+
+    All parked segments are already unlinked, so nothing here affects
+    ``/dev/shm`` — this only releases the driver's own mappings. A close
+    raises ``BufferError`` while simulation state still holds array
+    views into the mapping; such segments stay parked (``final=False``,
+    called between stages and from tests) or have their bookkeeping
+    detached so no destructor re-raises at interpreter teardown
+    (``final=True``, the :mod:`atexit` path — the OS reclaims the
+    mapping at process death).
+    """
+    kept = []
+    while _live_segments:
+        seg = _live_segments.pop()
+        try:
+            seg.close()
+        except BufferError:
+            if final:  # pragma: no cover - views alive at interpreter exit
+                seg._buf = None
+                seg._mmap = None
+                if getattr(seg, "_fd", -1) >= 0:
+                    try:
+                        os.close(seg._fd)
+                    except OSError:
+                        pass
+                    seg._fd = -1
+            else:
+                kept.append(seg)
+    _live_segments.extend(kept)
+
+
+atexit.register(_sweep_segments, final=True)
+
+
+def _segment_name(parent_pid: int, index: int) -> str:
+    return f"{_SHM_PREFIX}{parent_pid}_{index}"
+
+
+def _encode_frame(index: int, memo: Optional["TaskMemo"],
+                  parent_pid: int) -> bytes:
+    """Worker-side: serialize ``(index, memo)`` into one pipe frame.
+
+    Contiguous NumPy buffers inside the memo are peeled out-of-band
+    (pickle protocol 5); large payloads ride a freshly created
+    shared-memory segment, small ones are shipped in-band as bytes.
+    The frame is ``(head, segment_name, buffer_sizes, inline_buffers)``.
+    """
+    proto = pickle.HIGHEST_PROTOCOL
+    buffers: List[pickle.PickleBuffer] = []
+    try:
+        head = pickle.dumps((index, memo), proto,
+                            buffer_callback=buffers.append)
+    except Exception:
+        return pickle.dumps(
+            (pickle.dumps((index, None), proto), None, None, None), proto)
+    raws = [buf.raw() for buf in buffers]
+    total = sum(len(raw) for raw in raws)
+    if _shared_memory is not None and total >= _SHM_MIN_BYTES:
+        name = _segment_name(parent_pid, index)
+        try:
+            seg = _shared_memory.SharedMemory(name=name, create=True,
+                                              size=total)
+        except Exception:
+            seg = None
+        if seg is not None:
+            sizes = []
+            offset = 0
+            for raw in raws:
+                n = len(raw)
+                seg.buf[offset:offset + n] = raw
+                sizes.append(n)
+                offset += n
+            seg.close()
+            try:
+                # The worker hands ownership to the driver, which reaps
+                # the segment even if this worker dies before the frame
+                # lands (deterministic names); keeping the create-side
+                # tracker entry would make the tracker warn about — and
+                # try to unlink — names the driver already released.
+                _resource_tracker.unregister(seg._name, "shared_memory")
+            except Exception:  # pragma: no cover
+                pass
+            return pickle.dumps((head, name, sizes, None), proto)
+    # bytearray, not bytes: NumPy rebuilds out-of-band buffers as views
+    # over the object shipped here, and a bytes buffer would make every
+    # rebuilt array read-only — downstream merges mutate them in place.
+    return pickle.dumps((head, None, None,
+                         [bytearray(raw) for raw in raws]), proto)
+
+
+def _decode_frame(payload: bytes) -> Tuple[int, Optional["TaskMemo"]]:
+    """Driver-side: rebuild ``(index, memo)`` from one pipe frame.
+
+    Shared-memory frames attach the worker's segment, unlink it at once
+    (so no name can outlive this process, crash included), rebuild the
+    memo's arrays as zero-copy views over the mapping, and park the
+    segment in :data:`_live_segments` to keep the mapping alive.
+    """
+    head, name, sizes, inline = pickle.loads(payload)
+    if name is None:
+        if inline is None:
+            return pickle.loads(head)
+        return pickle.loads(head, buffers=inline)
+    seg = _shared_memory.SharedMemory(name=name)
+    try:
+        seg.unlink()
+        views = []
+        offset = 0
+        for n in sizes:
+            views.append(seg.buf[offset:offset + n])
+            offset += n
+        result = pickle.loads(head, buffers=views)
+    except Exception:
+        try:
+            seg.close()
+        except BufferError:  # pragma: no cover
+            pass
+        raise
+    _live_segments.append(seg)
+    return result
+
+
+def _reap_orphan(parent_pid: int, index: int) -> None:
+    """Unlink the segment a dead worker may have left for ``index``."""
+    if _shared_memory is None:  # pragma: no cover
+        return
+    try:
+        seg = _shared_memory.SharedMemory(name=_segment_name(parent_pid,
+                                                             index))
+    except FileNotFoundError:
+        return
+    except Exception:  # pragma: no cover - permission races etc.
+        return
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover
+        pass
+    seg.close()
 
 
 class TaskMemo:
@@ -179,9 +362,11 @@ class HostPool:
         Called by the DAG scheduler immediately before it spawns the
         stage's attempt loops; consumes no virtual time. Stages run
         strictly sequentially, so any memos left over from a previous
-        stage (placement mispredictions) are dropped first.
+        stage (placement mispredictions) are dropped first, and segment
+        mappings whose arrays the simulation has let go are released.
         """
         self._memos.clear()
+        _sweep_segments()
         if not self.enabled:
             return
         entries: List[Tuple[Tuple[int, int, int, int, int], Task,
@@ -243,11 +428,24 @@ class HostPool:
         """Compute ``entries`` on ``min(size, len(entries))`` forked workers.
 
         Worker ``w`` owns entries ``i`` with ``i % workers == w`` and
-        streams back length-prefixed pickle frames ``(i, memo_or_None)``;
-        entries whose memo fails to pickle are skipped individually (the
-        simulation runs them inline instead).
+        streams back length-prefixed frames built by :func:`_encode_frame`
+        (NumPy payloads ride shared memory, the rest in-band pickle);
+        entries whose memo fails to serialize are skipped individually
+        (the simulation runs them inline instead). Orphaned segments of
+        entries whose frame never arrived — a worker crash between
+        segment creation and frame flush — are reaped before returning.
         """
         workers = min(self.size, len(entries))
+        parent_pid = os.getpid()
+        if _resource_tracker is not None:
+            # Spawn the resource tracker *before* forking so workers
+            # inherit it instead of each lazily spawning their own —
+            # a per-worker tracker would outlive its worker and try to
+            # clean names the driver has already unlinked.
+            try:
+                _resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover
+                pass
         pipes: List[Tuple[int, int]] = []
         pids: List[int] = []
         for w in range(workers):
@@ -263,12 +461,7 @@ class HostPool:
                         for i in range(w, len(entries), workers):
                             _key, task, executor = entries[i]
                             memo = self._compute(task, executor)
-                            try:
-                                payload = pickle.dumps(
-                                    (i, memo), pickle.HIGHEST_PROTOCOL)
-                            except Exception:
-                                payload = pickle.dumps(
-                                    (i, None), pickle.HIGHEST_PROTOCOL)
+                            payload = _encode_frame(i, memo, parent_pid)
                             out.write(_HEADER.pack(len(payload)))
                             out.write(payload)
                 except BaseException:
@@ -280,6 +473,7 @@ class HostPool:
             pids.append(pid)
 
         computed: Dict[int, TaskMemo] = {}
+        received = set()
         for read_fd, _write_fd in pipes:
             with os.fdopen(read_fd, "rb") as src:
                 while True:
@@ -291,13 +485,17 @@ class HostPool:
                     if len(payload) < length:
                         break  # worker died mid-frame; its entries inline
                     try:
-                        i, memo = pickle.loads(payload)
+                        i, memo = _decode_frame(payload)
                     except Exception:
                         continue
+                    received.add(i)
                     if memo is not None:
                         computed[i] = memo
         for pid in pids:
             os.waitpid(pid, 0)
+        for i in range(len(entries)):
+            if i not in received:
+                _reap_orphan(parent_pid, i)
         return computed
 
     # -------------------------------------------------------------- claim

@@ -1,0 +1,163 @@
+"""Indexed bucket-queue event calendar for the simulation kernel.
+
+The kernel's previous calendar was a binary heap of ``(time, priority,
+seq, event)`` tuples. That is O(log n) per operation and — more
+importantly for this workload — pays tuple allocation plus the full
+comparison cost for every event even though simulated clusters schedule
+in *bursts*: a ring iteration triggers dozens of sends, charges and flow
+joins at the exact same float timestamp (measured on the LR split sweep:
+~11 events per distinct timestamp on average, with 88% of events landing
+on timestamps shared with at least one other event).
+
+:class:`BucketCalendar` exploits that clustering. Events are indexed by
+their **exact** float timestamp into per-instant buckets; only *distinct*
+timestamps go through a heap. Within a bucket, events live in FIFO lists
+with read cursors, so both enqueue and dequeue of a same-instant event
+are O(1) appends/reads — no comparisons, no per-event tuples.
+
+Buckets escalate through three representations, sized to the measured
+distribution (64% of buckets hold exactly one event; 97% of events are
+NORMAL priority):
+
+* ``(priority, item)`` tuple — a lone event; one allocation, no lists.
+* ``[cursor, e0, e1, ...]`` flat list — two or more events, all NORMAL
+  (the common burst). Enqueue is one ``append``; dequeue reads at
+  ``cursor`` and bumps it. Items start at index 1, so ``cursor`` begins
+  at 1 and the bucket is drained when it reaches ``len``.
+* ``[items0, c0, items1, c1, items2, c2, unread]`` full bucket — one
+  (FIFO list, cursor) pair per priority band (URGENT/NORMAL/LAZY), used
+  as soon as any non-NORMAL event shares the instant. Band *p* lives at
+  index ``2p``.
+
+The three forms are discriminated without wrappers: a tuple is a
+singleton; a list whose first element is an ``int`` is flat-NORMAL
+(events are never ``int``); otherwise the first element is the URGENT
+band list of a full bucket. FIFO order survives every escalation because
+unread events are carried over in arrival order before the newcomer is
+appended.
+
+Ordering contract (the bit-identity load-bearing part): pops yield
+exactly the order the old heap produced for ``(time, priority, seq)``
+keys — time ascending, then priority ascending, then insertion (FIFO)
+order. Equal *times* must be bit-equal floats for events to share a
+bucket, which is precisely the old tuple-comparison semantics: floats
+compare equal iff they are the same key.
+
+Buckets are popped only at the minimum timestamp, so a bucket's heap
+entry is dropped the moment the bucket drains — the heap never
+accumulates stale entries and ``peek`` is a direct read of the root.
+A bucket may keep growing while it is being drained (zero-delay
+schedules land at the current minimum); the read cursors make that safe,
+and a re-push after a drain simply re-registers the timestamp.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Tuple
+
+__all__ = ["BucketCalendar"]
+
+
+class BucketCalendar:
+    """An exact-timestamp indexed calendar queue.
+
+    Supports the three kernel priorities (0=URGENT, 1=NORMAL, 2=LAZY).
+    ``push``/``pop`` preserve the binary heap's ``(time, priority, seq)``
+    total order bit-for-bit, including FIFO processing of ties.
+    """
+
+    __slots__ = ("_buckets", "_times", "_len")
+
+    def __init__(self) -> None:
+        #: time -> singleton / flat-NORMAL / full bucket (see module doc)
+        self._buckets: dict = {}
+        #: heap of distinct timestamps with at least one unread event
+        self._times: List[float] = []
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    # ------------------------------------------------------------ enqueue
+    def push(self, when: float, priority: int, item: Any) -> None:
+        """Schedule ``item`` at ``when`` in the given priority band."""
+        buckets = self._buckets
+        bucket = buckets.get(when)
+        self._len += 1
+        if bucket is None:
+            buckets[when] = (priority, item)
+            heapq.heappush(self._times, when)
+            return
+        if type(bucket) is list:
+            if type(bucket[0]) is int:  # flat NORMAL-only
+                if priority == 1:
+                    bucket.append(item)
+                    return
+                # escalate: carry unread NORMAL items over in FIFO order
+                carried = bucket[bucket[0]:]
+                full = [[], 0, carried, 0, [], 0, len(carried) + 1]
+                full[2 * priority].append(item)
+                buckets[when] = full
+                return
+            bucket[2 * priority].append(item)
+            bucket[6] += 1
+            return
+        # singleton tuple
+        prio0, item0 = bucket
+        if prio0 == 1 and priority == 1:
+            buckets[when] = [1, item0, item]
+            return
+        full = [[], 0, [], 0, [], 0, 2]
+        full[2 * prio0].append(item0)
+        full[2 * priority].append(item)
+        buckets[when] = full
+
+    # ------------------------------------------------------------ dequeue
+    def peek(self) -> float:
+        """Earliest scheduled timestamp (raises IndexError when empty)."""
+        return self._times[0]
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return ``(time, item)`` for the next event.
+
+        Order: time ascending; within one timestamp, URGENT before NORMAL
+        before LAZY; within one band, FIFO.
+        """
+        times = self._times
+        when = times[0]
+        buckets = self._buckets
+        bucket = buckets[when]
+        self._len -= 1
+        if type(bucket) is list:
+            cursor = bucket[0]
+            if type(cursor) is int:  # flat NORMAL-only
+                item = bucket[cursor]
+                bucket[cursor] = None  # drop the reference promptly
+                cursor += 1
+                if cursor == len(bucket):
+                    del buckets[when]
+                    heapq.heappop(times)
+                else:
+                    bucket[0] = cursor
+                return when, item
+            for band in (0, 2, 4):
+                items = bucket[band]
+                cursor = bucket[band + 1]
+                if cursor < len(items):
+                    item = items[cursor]
+                    items[cursor] = None
+                    bucket[band + 1] = cursor + 1
+                    bucket[6] -= 1
+                    if not bucket[6]:
+                        del buckets[when]
+                        heapq.heappop(times)
+                    return when, item
+            raise IndexError("pop from an empty bucket")  # pragma: no cover
+        # singleton tuple
+        del buckets[when]
+        heapq.heappop(times)
+        return when, bucket[1]

@@ -258,3 +258,48 @@ def test_flush_is_batched_per_instant():
         env.run(until=ev)
     assert env.now == pytest.approx(40.0 / 2.0)
     assert not net._dirty and net.active_flows == 0
+
+
+def _seeded_trace(vec_min, seed=7, n=48):
+    """Completion times for a seeded contended topology at a threshold."""
+    import random
+
+    import repro.cluster.flows as flows_mod
+
+    saved = flows_mod._VEC_MIN
+    flows_mod._VEC_MIN = vec_min
+    try:
+        rng = random.Random(seed)
+        env = Environment()
+        net = FlowNetwork(env)
+        shared = [Link(rng.uniform(50.0, 200.0), name=f"s{j}")
+                  for j in range(5)]
+        uplinks = [Link(rng.uniform(80.0, 300.0), name=f"u{i}")
+                   for i in range(n)]
+        finish = {}
+
+        def driver(i):
+            yield env.timeout(rng.uniform(0.0, 2.0))
+            cap = rng.uniform(10.0, 90.0) if rng.random() < 0.3 else None
+            links = [uplinks[i], shared[i % 5], shared[(i + 2) % 5]]
+            yield net.flow(rng.uniform(20.0, 400.0), links, rate_cap=cap)
+            finish[i] = env.now
+
+        for i in range(n):
+            env.process(driver(i))
+        env.run()
+        return [finish[i] for i in range(n)], env.events_scheduled
+    finally:
+        flows_mod._VEC_MIN = saved
+
+
+def test_vectorized_solver_is_bit_identical_to_scalar():
+    # The _VEC_MIN threshold is a pure host-speed knob: forcing every
+    # component down the vectorized bulk-freeze path must reproduce the
+    # scalar progressive-filling trace bit for bit — identical completion
+    # times AND an identical kernel event count.
+    for seed in (7, 11, 23):
+        scalar_times, scalar_events = _seeded_trace(10**9, seed=seed)
+        vec_times, vec_events = _seeded_trace(2, seed=seed)
+        assert vec_times == scalar_times
+        assert vec_events == scalar_events

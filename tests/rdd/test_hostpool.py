@@ -65,3 +65,18 @@ def test_inline_mode_skips_workers():
 def test_invalid_mode_rejected():
     with pytest.raises(ValueError):
         HostPool(2, mode="threads-of- share")
+
+
+def test_small_pooled_array_results_are_writable():
+    # Memos under the shared-memory size threshold ship their NumPy
+    # buffers in-band; they must come back *writable* (bytearray, not
+    # bytes) because downstream merges mutate pooled partials in place.
+    sc = SparkerContext(ClusterConfig.bic(2), host_pool=2)
+    try:
+        total = (sc.parallelize(range(8), 4)
+                 .map(lambda x: np.full(16, float(x)))  # 128 B << 4 KiB
+                 .reduce(lambda a, b: a.__iadd__(b)))
+        assert total.flags.writeable
+        assert total[0] == float(sum(range(8)))
+    finally:
+        sc.stop()

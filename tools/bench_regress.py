@@ -132,6 +132,12 @@ REGISTRY: Dict[str, BenchSpec] = {
                    abs_slack=0.0, same_config=False, rel_tol=0.25),
         ),
     ),
+    "flow_alloc": BenchSpec(
+        metrics=(
+            Metric("levels.*.events_per_sec", "higher",
+                   abs_slack=0.0, same_config=False, rel_tol=0.25),
+        ),
+    ),
 }
 
 
