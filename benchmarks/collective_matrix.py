@@ -35,7 +35,7 @@ from repro.comm.cost import CollectiveCostModel, choose_collective
 from repro.serde import SizedPayload
 from repro.sim import Environment
 
-ALGORITHMS = ("ring", "hd", "hierarchical")
+ALGORITHMS = ("ring", "pipelined_ring", "hd", "hierarchical")
 PARALLELISMS = (1, 2, 4, 8)
 SIZES_MB = (1, 16, 64)
 NODE_COUNTS = (2, 8)

@@ -45,14 +45,16 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..cluster.placement import host_blocks
-from ..obs import EventBus, RingHop, channel_str
+from ..obs import ChunkStream, EventBus, RingHop, channel_str
 from ..rdd.executor import ExecutorLost
 from ..serde import sim_sizeof
 from .fabric import CommFabric, RecvTimeout
+from .ring import chunk_columns_for, pipelined_ring_reduce_scatter_rank
 
 __all__ = [
     "CollectiveAlgorithm",
     "RingCollective",
+    "PipelinedRingCollective",
     "HalvingDoublingCollective",
     "HierarchicalCollective",
     "register_collective",
@@ -123,6 +125,111 @@ class RingCollective(CollectiveAlgorithm):
                        reduce_op: ReduceOp) -> Generator:
         result = yield from comm.reduce_scatter(values, split_op, reduce_op)
         return result
+
+
+# ---------------------------------------------------------- pipelined ring
+class PipelinedRingCollective(CollectiveAlgorithm):
+    """Chunk-pipelined PDR ring: overlap merge CPU with wire time.
+
+    Each channel's segments split further into ``C`` elementwise *chunk
+    columns* (:meth:`chunk_split` on the segment), and every column runs
+    the unchanged classic ring on its own fabric channel. While column
+    ``c``'s hop is on the wire, column ``c'``'s merge runs on the CPU, so
+    per hop the rank pays ``max(wire, merge)`` plus one column's
+    pipeline-fill instead of ``wire + merge``. Because a chunk is an
+    elementwise slice and every column folds in exact ring order, the
+    concatenated result is bit-identical to ``"ring"``.
+
+    Two optional communicator attributes extend the contract without
+    changing the registry signature (read via ``getattr``, absent on the
+    stock :class:`~repro.comm.ring.ScalableCommunicator`):
+
+    * ``comm.pipeline`` — per-rank ``(ready_event, fetch)`` pairs. When
+      set, rank ``r`` waits on its event and calls ``fetch()`` for its
+      value instead of reading ``values[r]``; this is how
+      ``split_aggregate`` streams each executor's aggregator into the
+      ring as soon as its last partition merges, overlapping *seqOp
+      compute* with other ranks' communication.
+    * ``comm.num_chunks`` / ``comm.chunk_bytes`` — explicit column count,
+      or the target chunk size used to derive one (defaulting to
+      :data:`repro.core.spec.DEFAULT_CHUNK_BYTES`). With one column this
+      algorithm is hop-for-hop the classic ring.
+    """
+
+    name = "pipelined_ring"
+
+    def reduce_scatter(self, comm: Any, values: Sequence[Any],
+                       split_op: SplitOp,
+                       reduce_op: ReduceOp) -> Generator:
+        pipeline = getattr(comm, "pipeline", None)
+        if pipeline is None and len(values) != comm.size:
+            raise ValueError(
+                f"expected {comm.size} values (one per rank), "
+                f"got {len(values)}")
+        env = comm.env
+        n, p_total = comm.size, comm.parallelism
+        num = comm.num_segments
+        merge_bw = comm.cluster.config.merge_bandwidth
+        forced_chunks = getattr(comm, "num_chunks", None)
+        chunk_bytes = getattr(comm, "chunk_bytes", None)
+        if not chunk_bytes or chunk_bytes <= 0:
+            from ..core.spec import DEFAULT_CHUNK_BYTES
+            chunk_bytes = DEFAULT_CHUNK_BYTES
+
+        def rank_proc(rank: int):
+            if pipeline is not None:
+                ready, fetch = pipeline[rank]
+                yield ready
+                value = fetch()
+            else:
+                value = values[rank]
+            began = env.now
+            channel_procs = []
+            chunk_counts: List[int] = []
+            for p in range(p_total):
+                local_segments = {
+                    j: split_op(value, p * n + j, num) for j in range(n)
+                }
+                # Every rank holds an equally-shaped aggregator, so the
+                # probe segment (global index p*n) yields the same column
+                # count on all ranks — no agreement round needed.
+                chunks = (int(forced_chunks) if forced_chunks
+                          else chunk_columns_for(local_segments[0],
+                                                 chunk_bytes))
+                chunk_counts.append(chunks)
+                channel_procs.append(comm._track(env.process(
+                    pipelined_ring_reduce_scatter_rank(
+                        comm.fabric, rank, n, local_segments, reduce_op,
+                        merge_bw, chunks, channel=p, bus=comm.bus,
+                        executor_id=comm.ranked[rank].executor_id,
+                        recv_timeout=comm.recv_timeout,
+                        parent_span=comm.span_id, track=comm._track),
+                    name=f"pring:r{rank}c{p}")))
+            results: Dict[int, Any] = {}
+            for p, proc in enumerate(channel_procs):
+                local_idx, segment = yield proc
+                results[p * n + local_idx] = segment
+            bus = comm.bus
+            if bus is not None and bus.active:
+                for p, chunks in enumerate(chunk_counts):
+                    bus.emit(ChunkStream.fast(
+                        time=env.now, rank=rank,
+                        executor_id=comm.ranked[rank].executor_id,
+                        channel=channel_str(p), num_chunks=chunks,
+                        chunk_bytes=float(chunk_bytes),
+                        value_bytes=sim_sizeof(value), began=began,
+                        span_id=bus.tracer.new_span(),
+                        parent_span_id=comm.span_id))
+            return rank, results
+
+        procs = [comm._track(env.process(rank_proc(r),
+                                         name=f"pring:rank{r}"))
+                 for r in range(n)]
+        owned: Dict[int, Dict[int, Any]] = {}
+        for proc in procs:
+            rank, results = yield proc
+            owned[rank] = results
+        return owned
 
 
 # ------------------------------------------------------- chain-order state
@@ -557,5 +664,6 @@ class HierarchicalCollective(CollectiveAlgorithm):
 
 
 register_collective(RingCollective())
+register_collective(PipelinedRingCollective())
 register_collective(HalvingDoublingCollective())
 register_collective(HierarchicalCollective())

@@ -28,11 +28,13 @@ bit-identical, see :mod:`repro.comm.collectives`).
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.config import ClusterConfig
+from ..core.spec import DEFAULT_CHUNK_BYTES
 from ..obs import MessageDelivered, NicSample
 from .transport import TransportSpec, sc_transport
 
@@ -69,6 +71,8 @@ class CollectivePlan:
     ranks: int
     hosts: Tuple[int, ...]
     value_bytes: float
+    #: target chunk size for ``pipelined_ring`` (ignored elsewhere)
+    chunk_bytes: float = DEFAULT_CHUNK_BYTES
 
     @property
     def segment_bytes(self) -> float:
@@ -155,6 +159,9 @@ class CollectiveCostModel:
         if plan.algorithm == "ring":
             reduce_time = self._ring_time(plan)
             owners = plan.ranks
+        elif plan.algorithm == "pipelined_ring":
+            reduce_time = self._pipelined_time(plan)
+            owners = plan.ranks
         elif plan.algorithm == "hd":
             reduce_time = self._hd_time(plan)
             owners = 1 << max(0, plan.ranks.bit_length() - 1)
@@ -165,23 +172,68 @@ class CollectiveCostModel:
             raise ValueError(f"no cost formula for {plan.algorithm!r}")
         return reduce_time + self._gather_time(plan, owners)
 
-    def _ring_time(self, plan: CollectivePlan) -> float:
-        """(N-1) lock-step hops; slowest link type paces every hop."""
-        n, p = plan.ranks, plan.parallelism
-        if n <= 1:
-            return 0.0
-        seg = plan.segment_bytes
+    def _ring_hop(self, plan: CollectivePlan,
+                  seg: float) -> Tuple[float, float]:
+        """``(hop_time, alpha)`` for one ring hop carrying ``seg`` bytes.
+
+        One boundary rank per host crosses the NIC; the other E-1 hops
+        ride loopback. P channels stream concurrently on each. The
+        returned alpha is the per-message overhead of the pacing link.
+        """
+        p = plan.parallelism
         e_max = max(plan.hosts)
-        # One boundary rank per host crosses the NIC; the other E-1 hops
-        # ride loopback. P channels stream concurrently on each.
         inter_hop = self.alpha_inter + seg / self._inter_rate(p)
         if e_max > 1:
             intra_hop = (self.alpha_intra
                          + seg / self._intra_rate((e_max - 1) * p))
         else:
             intra_hop = 0.0
-        hop = intra_hop if plan.num_hosts == 1 else max(inter_hop, intra_hop)
+        if plan.num_hosts == 1:
+            return intra_hop, self.alpha_intra
+        if inter_hop >= intra_hop:
+            return inter_hop, self.alpha_inter
+        return intra_hop, self.alpha_intra
+
+    def _ring_time(self, plan: CollectivePlan) -> float:
+        """(N-1) lock-step hops; slowest link type paces every hop."""
+        n = plan.ranks
+        if n <= 1:
+            return 0.0
+        seg = plan.segment_bytes
+        hop, _alpha = self._ring_hop(plan, seg)
         return (n - 1) * (hop + seg / self.merge_bandwidth)
+
+    def _pipelined_time(self, plan: CollectivePlan) -> float:
+        """Chunked ring: wire and merge overlap across chunk columns.
+
+        With ``C`` columns in flight, each of the ``N - 1`` hop steps
+        pays the dominant side in full but hides all of the cheaper side
+        except one column's pipeline fill::
+
+            max(hop, merge) + min(hop, merge) / C + (C - 1) * alpha
+
+        The alpha surcharge prices the extra per-chunk message overhead,
+        so the tuner keeps plain ``ring`` on tiny segments where chunking
+        cannot pay for its own headers. ``C = 1`` reduces exactly to
+        :meth:`_ring_time`; ``C → ∞`` approaches ``max(hop, merge)``.
+        """
+        n = plan.ranks
+        if n <= 1:
+            return 0.0
+        seg = plan.segment_bytes
+        columns = self._columns(plan)
+        hop, alpha = self._ring_hop(plan, seg)
+        merge = seg / self.merge_bandwidth
+        step = (max(hop, merge) + min(hop, merge) / columns
+                + (columns - 1) * alpha)
+        return (n - 1) * step
+
+    @staticmethod
+    def _columns(plan: CollectivePlan) -> int:
+        """Chunk columns the pipelined ring would use for ``plan``."""
+        if plan.chunk_bytes <= 0:
+            return 1
+        return max(1, int(math.ceil(plan.segment_bytes / plan.chunk_bytes)))
 
     def _hd_time(self, plan: CollectivePlan) -> float:
         """Pre-fold + log2(N) exchange rounds + the deferred final fold.
@@ -317,6 +369,7 @@ def choose_collective(
     slots: Sequence[Any],
     algorithms: Sequence[str],
     parallelism_candidates: Sequence[int],
+    chunk_bytes: float = DEFAULT_CHUNK_BYTES,
 ) -> Tuple[CollectivePlan, List[Tuple[CollectivePlan, float]]]:
     """Price every ``(algorithm, parallelism)`` candidate; pick cheapest.
 
@@ -336,7 +389,8 @@ def choose_collective(
         for p in parallelism_candidates:
             plan = CollectivePlan(algorithm=algorithm, parallelism=p,
                                   ranks=ranks, hosts=hosts,
-                                  value_bytes=value_bytes)
+                                  value_bytes=value_bytes,
+                                  chunk_bytes=chunk_bytes)
             predicted = model.predict(plan)
             estimates.append((plan, predicted))
             if best is None or predicted < best[1]:

@@ -20,6 +20,7 @@ merge CPU cost is charged at the platform's ``merge_bandwidth``.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 from ..cluster.placement import Cluster, ExecutorSlot
@@ -46,6 +47,8 @@ from .transport import TransportSpec, sc_transport
 __all__ = [
     "ring_reduce_scatter_rank",
     "ring_allgather_rank",
+    "pipelined_ring_reduce_scatter_rank",
+    "chunk_columns_for",
     "ScalableCommunicator",
 ]
 
@@ -213,6 +216,93 @@ def ring_allgather_rank(
                              span_id=bus.tracer.new_span(),
                              parent_span_id=parent_span))
     return have
+
+
+def chunk_columns_for(segment: Any, chunk_bytes: Optional[float]) -> int:
+    """Chunk-column count for ring segments shaped like ``segment``.
+
+    ``ceil(dense_bytes / chunk_bytes)``, clamped to the segment's element
+    count so no column is empty. Values without the chunk protocol
+    (``chunk_split`` / ``chunk_concat``) degrade to 1 — a single column
+    *is* the classic ring, so the pipelined algorithm stays universal.
+    Every rank must compute the same count, which holds whenever ranks
+    hold equally-shaped aggregators (the split-aggregation contract).
+    """
+    if not chunk_bytes or chunk_bytes <= 0:
+        return 1
+    if not hasattr(segment, "chunk_split"):
+        return 1
+    columns = int(math.ceil(sim_dense_sizeof(segment) / chunk_bytes))
+    try:
+        length = len(segment)
+    except TypeError:
+        length = 1
+    return max(1, min(columns, length))
+
+
+def pipelined_ring_reduce_scatter_rank(
+    fabric: CommFabric,
+    rank: int,
+    size: int,
+    segments: Dict[int, Any],
+    reduce_op: ReduceOp,
+    merge_bandwidth: float,
+    num_chunks: int,
+    channel: Any = 0,
+    bus: Optional[EventBus] = None,
+    executor_id: int = -1,
+    recv_timeout: Optional[float] = None,
+    parent_span: int = -1,
+    track: Optional[Callable[[Process], Process]] = None,
+) -> Generator:
+    """Per-rank chunked ring reduce-scatter: ``num_chunks`` concurrent
+    sub-rings over elementwise chunk columns of the channel's segments.
+
+    Column ``c`` runs the *unchanged* :func:`ring_reduce_scatter_rank`
+    over ``chunk_split(c, num_chunks)`` of every segment, on its own
+    fabric channel ``(channel, c)``. Because a chunk is an elementwise
+    slice and every column folds in classic ring order, the concatenated
+    result is bit-identical to the classic ring — the columns only let
+    one column's merge CPU overlap another's wire time. ``segments`` must
+    be private to this call (chunk views alias the caller's values but
+    merges never mutate unowned inputs).
+
+    Returns ``(owned_index, segment)`` exactly like the classic ring.
+    ``track`` (e.g. ``ScalableCommunicator._track``) registers the column
+    processes for abort teardown.
+    """
+    env = fabric.env
+    if size == 1:
+        return 0, segments[0]
+    if num_chunks <= 1:
+        result = yield from ring_reduce_scatter_rank(
+            fabric, rank, size, segments, reduce_op, merge_bandwidth,
+            channel=(channel, 0), bus=bus, executor_id=executor_id,
+            private=True, recv_timeout=recv_timeout,
+            parent_span=parent_span)
+        return result
+    col_procs = []
+    for c in range(num_chunks):
+        col_segments = {
+            j: seg.chunk_split(c, num_chunks)
+            for j, seg in segments.items()
+        }
+        proc = env.process(ring_reduce_scatter_rank(
+            fabric, rank, size, col_segments, reduce_op, merge_bandwidth,
+            channel=(channel, c), bus=bus, executor_id=executor_id,
+            private=True, recv_timeout=recv_timeout,
+            parent_span=parent_span),
+            name=f"pc:r{rank}ch{channel_str(channel)}k{c}")
+        col_procs.append(track(proc) if track is not None else proc)
+    parts: List[Any] = []
+    owned = (rank + 1) % size
+    for proc in col_procs:
+        col_owned, part = yield proc
+        if col_owned != owned:  # pragma: no cover - structural invariant
+            raise RuntimeError(
+                f"chunk column owns segment {col_owned}, expected {owned}")
+        parts.append(part)
+    return owned, parts[0].chunk_concat(parts)
 
 
 class ScalableCommunicator:

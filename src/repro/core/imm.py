@@ -207,6 +207,20 @@ class MutableObjectManager:
         entry = self._entries.get(object_id)
         return None if entry is None else entry.value
 
+    def replace(self, object_id: ObjectId, value: Any) -> None:
+        """Swap the fully-merged value for ``value`` (same object id).
+
+        Used by the opt-in top-k compression step: once an executor's
+        last partition has merged, the driver-side orchestration rewrites
+        the aggregator with its sparsified form before the collective
+        reads it. Replacing an object that never merged is a driver bug
+        and raises ``KeyError``.
+        """
+        entry = self._entries.get(object_id)
+        if entry is None or entry.value is None:
+            raise KeyError(f"no merged value to replace for {object_id}")
+        entry.value = value
+
     def merge_count(self, object_id: ObjectId) -> int:
         entry = self._entries.get(object_id)
         return 0 if entry is None else entry.merge_count

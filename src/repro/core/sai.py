@@ -48,7 +48,7 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..comm.ring import ScalableCommunicator
-from ..obs import CollectiveChosen, CollectiveCompleted, CollectiveCostEstimate, RecoveryAction
+from ..obs import CollectiveChosen, CollectiveCompleted, CollectiveCostEstimate, RecoveryAction, ResidualNorm
 from ..rdd.costing import ELEMENT_OVERHEAD, cost_of
 from ..rdd.rdd import RDD
 from ..rdd.scheduler import JobFailed
@@ -121,6 +121,13 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
     if recovery is None and controller is not None:
         recovery = controller.recovery
 
+    if spec.compression != "none" and recovery is not None:
+        raise ValueError(
+            'compression="topk" is incompatible with a recovery policy: '
+            "error-feedback residuals live on the executors and die with "
+            "them, so a recovered ring would silently lose compensation "
+            "state. Disable compression or the recovery policy.")
+
     # ---- stage 1: reduced-result stage with in-memory merge ---------------
     def partial_func(_idx: int, data: list, ctx: TaskContext) -> Any:
         acc = fresh_zero(zero)
@@ -135,16 +142,30 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
             acc = seq_op(acc, x)
         return acc
 
+    if (spec.collective == "pipelined_ring" and recovery is None
+            and controller is None):
+        # The overlapped path: stream each executor's finished aggregator
+        # into the ring while other partitions are still folding. Gated on
+        # a fault-free context because the stream starts before the stage
+        # ends — there is no complete holder set to recover over yet.
+        return _pipelined_aggregate(sc, rdd, partial_func, merge_op, spec,
+                                    split_op, reduce_op, concat_op)
+
     if recovery is None:
         with sc.stopwatch.span("agg.compute"):
             holders = sc.run_reduced_job(rdd, partial_func, merge_op)
         with sc.stopwatch.span("agg.reduce"):
+            if spec.compression != "none":
+                # Sparsify before pricing: the tuner and the ring both see
+                # the compressed wire sizes.
+                _compress_holders(sc, spec, holders)
             decision = _choose_collective(sc, spec, holders)
             cid, algorithm, chosen_p, predicted, model = decision
             began = sc.now
             result = _reduce_once(sc, holders, chosen_p,
                                   spec.topology_aware, split_op, reduce_op,
                                   concat_op, algorithm=algorithm,
+                                  chunk_bytes=spec.chunk_bytes,
                                   span_id=sc.event_bus.tracer
                                   .collective_span(cid))
             _finish_collective(sc, model, cid, algorithm, chosen_p,
@@ -164,6 +185,7 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
                             spec.topology_aware, split_op, reduce_op,
                             concat_op, recovery, controller,
                             algorithm=algorithm,
+                            chunk_bytes=spec.chunk_bytes,
                             span_id=sc.event_bus.tracer
                             .collective_span(cid))
         _finish_collective(sc, model, cid, algorithm, chosen_p,
@@ -222,11 +244,12 @@ def _choose_collective(sc: Any, spec: AggregationSpec, holders: Holders
     model = cost_model_for(sc)
     slots = _slots_for(sc, holders)
     value_bytes = _holder_value_bytes(sc, holders)
-    algorithms = ["ring", "hd"]
+    algorithms = ["ring", "pipelined_ring", "hd"]
     if spec.topology_aware:
         algorithms.append("hierarchical")
     winner, estimates = choose_collective(
-        model, value_bytes, slots, algorithms, spec.parallelism_candidates)
+        model, value_bytes, slots, algorithms, spec.parallelism_candidates,
+        chunk_bytes=spec.chunk_bytes)
     predicted = next(est for plan, est in estimates if plan is winner)
     if bus.active:
         tracer = bus.tracer
@@ -269,6 +292,7 @@ def _reduce_once(sc: Any, holders: Holders, parallelism: int,
                  faults: Any = None,
                  recv_timeout: Optional[float] = None,
                  watch_deaths: bool = False,
+                 chunk_bytes: Optional[float] = None,
                  span_id: int = -1) -> Any:
     """One SpawnRDD + reduce-scatter + gather pass over ``holders``.
 
@@ -278,6 +302,11 @@ def _reduce_once(sc: Any, holders: Holders, parallelism: int,
     ``watch_deaths`` additionally aborts the collective (interrupting all
     of its processes) the instant any holding executor dies, so a
     mid-collective crash surfaces immediately instead of via timeout.
+
+    ``chunk_bytes`` sets the target chunk size on the communicator; only
+    ``algorithm="pipelined_ring"`` reads it (chunk-level wire/merge
+    overlap with every aggregator already in hand — the degraded mode the
+    tuner prices, and the rebuild mode under fault tolerance).
     """
     comm = ScalableCommunicator(sc.cluster, parallelism=parallelism,
                                 topology_aware=topology_aware,
@@ -285,6 +314,8 @@ def _reduce_once(sc: Any, holders: Holders, parallelism: int,
                                 bus=sc.event_bus, faults=faults,
                                 recv_timeout=recv_timeout)
     comm.set_span(span_id)
+    if chunk_bytes is not None:
+        comm.chunk_bytes = chunk_bytes
     spawned = SpawnRDD.from_holders(sc, holders)
     # The SpawnRDD launch validates static placement and reads each
     # executor's aggregator; its (cheap) results stay executor-side —
@@ -340,7 +371,9 @@ def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
                merge_op: MergeOp, parallelism: int, topology_aware: bool,
                split_op: SplitOp, reduce_op: ReduceOp, concat_op: ConcatOp,
                recovery: Any, controller: Any, *,
-               algorithm: str = "ring", span_id: int = -1) -> Any:
+               algorithm: str = "ring",
+               chunk_bytes: Optional[float] = None,
+               span_id: int = -1) -> Any:
     """The detect / recompute / rebuild loop of the fault-tolerant path.
 
     The loop is algorithm-agnostic: every registered collective surfaces
@@ -442,7 +475,8 @@ def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
                 sc, holders, parallelism, topology_aware, split_op,
                 reduce_op, concat_op, algorithm=algorithm,
                 faults=controller, recv_timeout=recovery.recv_timeout,
-                watch_deaths=True, span_id=span_id)
+                watch_deaths=True, chunk_bytes=chunk_bytes,
+                span_id=span_id)
         except (JobFailed, SimulationError):
             # Retry budgets below this loop are already exhausted (or the
             # kernel itself broke): rebuilding the ring cannot help.
@@ -484,4 +518,285 @@ def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
     if first_detect is not None:
         emit("recovered", site="tree", seconds=sc.now - first_detect,
              attempt=attempts)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Opt-in top-k compression (the approximate tier)
+# ---------------------------------------------------------------------------
+
+def _topk_compress(spec: AggregationSpec, executor: Any, value: Any
+                   ) -> Tuple[Any, float, dict]:
+    """Sparsify one executor's merged aggregator before it hits the wire.
+
+    Returns ``(compressed, cost_seconds, stats)``. Only the payload is
+    sparsified — the loss/weight stats slots always travel exact, so the
+    convergence diagnostics stay trustworthy. With ``error_feedback`` the
+    unsent remainder accumulates in ``executor.residuals`` (keyed by
+    payload size, cleared when the executor dies) and is added back before
+    the next selection, so every coordinate is eventually transmitted.
+
+    The sparsification itself costs one pass over the dense payload at
+    the platform's merge bandwidth (select + subtract are both linear);
+    the caller charges it as virtual time and emits the gauge.
+    """
+    import numpy as np
+
+    from ..ml.aggregators import FlatAggregator
+    from ..serde import DEFAULT_SPARSE_POLICY, topk_sparsify
+
+    if not isinstance(value, FlatAggregator):
+        raise TypeError(
+            f'compression="topk" needs a FlatAggregator holder, got '
+            f"{type(value).__name__}")
+    value.to_dense()
+    d = value.payload_size
+    payload = np.asarray(value.payload, dtype=np.float64)
+    if spec.topk_k is not None:
+        k = spec.topk_k
+    else:
+        k = max(1, int(round(spec.topk_ratio * d)))
+    k = min(k, d) if d else 0
+    key = ("topk", d)
+    residual = executor.residuals.get(key) if spec.error_feedback else None
+    if residual is not None:
+        corrected = payload + residual
+    else:
+        corrected = payload.copy()
+    idx, sent, remainder = topk_sparsify(corrected, max(1, k))
+    if spec.error_feedback:
+        executor.residuals[key] = remainder
+    policy = value.policy or DEFAULT_SPARSE_POLICY
+    comp = FlatAggregator(d, value.size_scale, policy=policy)
+    comp.payload.scatter_add(idx, sent)
+    comp.add_stats(value.loss_sum, value.weight_sum)
+    cost = (value.__sim_dense_size__()
+            / executor.sc.cluster.config.merge_bandwidth)
+    stats = {"k": int(k), "payload_size": int(d),
+             "sent_norm": float(np.linalg.norm(sent)),
+             "residual_norm": float(np.linalg.norm(remainder))}
+    return comp, cost, stats
+
+
+def _compress_holders(sc: Any, spec: AggregationSpec, holders: Holders,
+                      parent_span: int = -1) -> None:
+    """Sparsify every holder in place (concurrently, blocking driver call).
+
+    Runs between the reduced-result stage and the collective on the
+    classic (non-pipelined) path; the pipelined path folds the same step
+    into each executor's cook process instead so it overlaps the stream.
+    """
+    env = sc.env
+
+    def one(executor_id: int, obj: Tuple[int, int]):
+        executor = sc.executor_by_id(executor_id)
+        value = executor.object_manager.get(obj)
+        comp, cost, stats = _topk_compress(spec, executor, value)
+        if cost > 0:
+            yield env.timeout(cost)
+        executor.object_manager.replace(obj, comp)
+        bus = sc.event_bus
+        if bus.active:
+            bus.emit(ResidualNorm(
+                time=sc.now, executor_id=executor_id, job_id=obj[0],
+                error_feedback=spec.error_feedback,
+                span_id=bus.tracer.new_span(),
+                parent_span_id=parent_span, **stats))
+
+    procs = [env.process(one(eid, obj), name=f"topk:{eid}")
+             for eid, obj in holders]
+    for proc in procs:
+        env.run(until=proc)
+
+
+# ---------------------------------------------------------------------------
+# The pipelined (overlapped) aggregation path
+# ---------------------------------------------------------------------------
+
+def _plan_placement(sc: Any, rdd: RDD, partitions: Sequence[int]) -> List[int]:
+    """Predict, driver-side, which executor each partition will land on.
+
+    Mirrors :meth:`DAGScheduler._pick_executor` with an empty ``tried``
+    set — exact as long as no task fails, which the pipelined path
+    guarantees by refusing to run under a fault controller. The plan lets
+    the ring be built *before* the reduced-result stage finishes.
+    """
+    alive = [e for e in sc.executors if e.alive]
+    if not alive:
+        raise RuntimeError("no alive executors in the cluster")
+    plan: List[int] = []
+    for position, partition in enumerate(partitions):
+        pinned = rdd.pinned_executor(partition)
+        if pinned is not None:
+            plan.append(pinned)
+            continue
+        chosen: Optional[int] = None
+        for executor_id in rdd.preferred_executors(partition):
+            if sc.executor_by_id(executor_id).alive:
+                chosen = executor_id
+                break
+        if chosen is None:
+            chosen = alive[position % len(alive)].executor_id
+        plan.append(chosen)
+    return plan
+
+
+def _pipelined_aggregate(sc: Any, rdd: RDD, partial_func: Callable,
+                         merge_op: MergeOp, spec: AggregationSpec,
+                         split_op: SplitOp, reduce_op: ReduceOp,
+                         concat_op: ConcatOp) -> Any:
+    """Overlap the reduced-result stage with the ring reduce-scatter.
+
+    The classic path is strictly phased: *every* partition folds, then
+    the collective starts. Here the ring is constructed up front from the
+    predicted placement and each rank blocks on a per-executor readiness
+    event; the partition-completion hook (:class:`ReducedResultTask`'s
+    ``on_merged``) fires the event the instant the executor's last
+    partition merges, so early finishers stream their chunk columns while
+    stragglers are still folding. The merge order inside every ring is
+    fixed by topology, not by readiness timing — the result is
+    bit-identical to the classic ring.
+
+    With ``compression="topk"`` a per-executor *cook* step sparsifies the
+    aggregator between readiness and streaming, overlapping compression
+    with the other executors' compute as well.
+
+    If the stage lands partitions anywhere other than planned (impossible
+    without faults; defensive), the collective is aborted and — provided
+    nothing streamed yet — the reduction reruns on the classic path over
+    the actual holders.
+    """
+    env = sc.env
+    bus = sc.event_bus
+    partitions = list(range(rdd.num_partitions()))
+    plan = _plan_placement(sc, rdd, partitions)
+    expected: dict = {}
+    planned_order: List[int] = []
+    for executor_id in plan:
+        if executor_id not in expected:
+            planned_order.append(executor_id)
+            expected[executor_id] = 0
+        expected[executor_id] += 1
+
+    cid = getattr(sc, "_collective_seq", 0) + 1
+    sc._collective_seq = cid
+    if bus.active:
+        bus.tracer.open_collective(cid)
+    span_id = bus.tracer.collective_span(cid)
+
+    slot_by_id = {slot.executor_id: slot for slot in sc.cluster.executors}
+    slots = [slot_by_id[executor_id] for executor_id in planned_order]
+    comm = ScalableCommunicator(sc.cluster, parallelism=spec.parallelism,
+                                topology_aware=spec.topology_aware,
+                                slots=slots, bus=bus)
+    comm.set_span(span_id)
+    comm.chunk_bytes = spec.chunk_bytes
+
+    counts: dict = {executor_id: 0 for executor_id in expected}
+    merged_objects: dict = {}
+    complete = {executor_id: env.event(name=f"agg-complete:{executor_id}")
+                for executor_id in planned_order}
+    streamable = {executor_id: env.event(name=f"agg-ready:{executor_id}")
+                  for executor_id in planned_order}
+
+    def on_merged(executor_id: int, _partition: int,
+                  object_id: Tuple[int, int]) -> None:
+        merged_objects[executor_id] = object_id
+        counts[executor_id] = counts.get(executor_id, 0) + 1
+        if counts[executor_id] == expected.get(executor_id):
+            event = complete.get(executor_id)
+            if event is not None and not event.triggered:
+                event.succeed()
+
+    def cook(executor_id: int):
+        yield complete[executor_id]
+        if spec.compression != "none":
+            executor = sc.executor_by_id(executor_id)
+            obj = merged_objects[executor_id]
+            value = executor.object_manager.get(obj)
+            comp, cost, stats = _topk_compress(spec, executor, value)
+            if cost > 0:
+                yield env.timeout(cost)
+            executor.object_manager.replace(obj, comp)
+            if bus.active:
+                bus.emit(ResidualNorm(
+                    time=sc.now, executor_id=executor_id, job_id=obj[0],
+                    error_feedback=spec.error_feedback,
+                    span_id=bus.tracer.new_span(),
+                    parent_span_id=span_id, **stats))
+        streamable[executor_id].succeed()
+
+    def fetch_value(executor_id: int) -> Any:
+        return sc.executor_by_id(executor_id).object_manager.get(
+            merged_objects[executor_id])
+
+    comm.pipeline = [
+        (streamable[slot.executor_id],
+         lambda eid=slot.executor_id: fetch_value(eid))
+        for slot in comm.ranked]
+
+    began = sc.now
+    job_id = sc.new_job_id()
+    job_proc = env.process(
+        sc.dag.run_reduced_job(rdd, partial_func, merge_op, job_id,
+                               on_merged=on_merged),
+        name="reduced-job")
+    cooks = [env.process(cook(executor_id), name=f"cook:{executor_id}")
+             for executor_id in planned_order]
+    collective = env.process(
+        comm.reduce_scatter_gather([None] * len(slots), split_op,
+                                   reduce_op, concat_op,
+                                   algorithm="pipelined_ring"),
+        name="pipelined-collective")
+
+    with sc.stopwatch.span("agg.compute"):
+        holders = env.run(until=job_proc)
+
+    deviated = (
+        [executor_id for executor_id, _ in holders] != planned_order
+        or any(counts.get(executor_id) != expected.get(executor_id)
+               for executor_id in expected)
+        or any(merged_objects.get(executor_id) != obj
+               for executor_id, obj in holders))
+    if deviated:  # pragma: no cover - impossible without faults
+        comm.abort("pipelined placement deviated from the plan")
+        try:
+            env.run(until=collective)
+        except BaseException:
+            pass
+        for proc in cooks:
+            if proc.is_alive:
+                proc.interrupt("pipelined placement deviated")
+        if any(event.triggered for event in streamable.values()):
+            raise RuntimeError(
+                "pipelined ring streamed an aggregator from a deviated "
+                "placement; cannot fall back safely")
+        with sc.stopwatch.span("agg.reduce"):
+            result = _reduce_once(sc, holders, spec.parallelism,
+                                  spec.topology_aware, split_op, reduce_op,
+                                  concat_op, algorithm="pipelined_ring",
+                                  chunk_bytes=spec.chunk_bytes,
+                                  span_id=span_id)
+            _finish_collective(sc, None, cid, "pipelined_ring",
+                               spec.parallelism, 0.0, began)
+        return result
+
+    if bus.active:
+        value_bytes = _holder_value_bytes(sc, holders)
+        num = len(slots) * spec.parallelism
+        bus.emit(CollectiveChosen(
+            time=sc.now, collective_id=cid, algorithm="pipelined_ring",
+            parallelism=spec.parallelism, source="spec", ranks=len(slots),
+            hosts=len({s.hostname for s in slots}),
+            value_bytes=value_bytes, segment_bytes=value_bytes / num,
+            span_id=span_id, parent_span_id=bus.tracer.current_parent))
+
+    with sc.stopwatch.span("agg.reduce"):
+        result = env.run(until=collective)
+        # began is the *job* start: the completed-span covers the whole
+        # overlapped window, which is the number the overlap benchmark
+        # compares against compute + reduce of the phased paths.
+        _finish_collective(sc, None, cid, "pipelined_ring",
+                           spec.parallelism, 0.0, began)
+    SpawnRDD.cleanup_holders(sc, holders)
     return result

@@ -13,8 +13,8 @@ mid-job). This module collapses all of that into one frozen value:
   round-trip serialization (:meth:`~AggregationSpec.to_dict` /
   :meth:`~AggregationSpec.from_dict`),
 * ``collective`` — which reduce-scatter algorithm the split aggregation
-  runs (``"ring"`` | ``"hd"`` | ``"hierarchical"``, see
-  :mod:`repro.comm.collectives`) or ``"auto"`` to let the cost-model
+  runs (``"ring"`` | ``"hd"`` | ``"hierarchical"`` | ``"pipelined_ring"``,
+  see :mod:`repro.comm.collectives`) or ``"auto"`` to let the cost-model
   tuner (:mod:`repro.comm.cost`) pick algorithm + parallelism per call,
 * **env-var resolution in one place** — every ``SPARKER_*`` override the
   engine honours is read here (:meth:`AggregationSpec.from_env`,
@@ -45,6 +45,8 @@ from ..serde.cost import DEFAULT_SPARSE_POLICY, SparsePolicy
 
 __all__ = [
     "COLLECTIVES",
+    "COMPRESSIONS",
+    "DEFAULT_CHUNK_BYTES",
     "AggregationSpec",
     "resolve_sparse_policy",
     "resolve_host_pool",
@@ -53,7 +55,14 @@ __all__ = [
 ]
 
 #: valid values of :attr:`AggregationSpec.collective`
-COLLECTIVES: Tuple[str, ...] = ("auto", "ring", "hd", "hierarchical")
+COLLECTIVES: Tuple[str, ...] = ("auto", "ring", "hd", "hierarchical",
+                                "pipelined_ring")
+
+#: valid values of :attr:`AggregationSpec.compression`
+COMPRESSIONS: Tuple[str, ...] = ("none", "topk")
+
+#: chunk ceiling (simulated bytes) for ``pipelined_ring`` segment streaming
+DEFAULT_CHUNK_BYTES: float = 4.0 * 1024 * 1024
 
 #: every environment variable the engine honours, resolved here only
 ENV_COLLECTIVE = "SPARKER_COLLECTIVE"
@@ -63,6 +72,9 @@ ENV_SPARSE_AGG = "SPARKER_SPARSE_AGG"
 ENV_BATCHED = "SPARKER_BATCHED"
 ENV_HOST_POOL = "SPARKER_HOST_POOL"
 ENV_HOST_POOL_MODE = "SPARKER_HOST_POOL_MODE"
+ENV_CHUNK_BYTES = "SPARKER_CHUNK_BYTES"
+# deliberately no env var for ``compression``: the approximate tier changes
+# results and must be requested explicitly in code, never ambiently.
 
 _FALSY = ("", "0", "false", "no", "off")
 
@@ -125,8 +137,10 @@ class AggregationSpec:
         Reduce-scatter algorithm of the split aggregation: ``"ring"``
         (the paper's parallel directed ring), ``"hd"`` (recursive
         halving-doubling), ``"hierarchical"`` (intra-host leader gather +
-        inter-host ring) or ``"auto"`` (cost-model tuner picks algorithm
-        and parallelism per call).
+        inter-host ring), ``"pipelined_ring"`` (chunked non-blocking ring
+        that overlaps seqOp compute and merge time with wire time) or
+        ``"auto"`` (cost-model tuner picks algorithm and parallelism per
+        call).
     parallelism:
         Ring channels per executor (the paper's P, Figure 14); fixes the
         ``N * P`` segment grid. Ignored when the tuner runs.
@@ -146,6 +160,18 @@ class AggregationSpec:
         fault-tolerant reduce path.
     host_pool:
         Host-side compute pool (int worker count or a ``HostPool``).
+    chunk_bytes:
+        Chunk ceiling (simulated bytes) for ``"pipelined_ring"``: each
+        ring segment streams as ``ceil(segment_bytes / chunk_bytes)``
+        independent chunk columns so wire and merge time overlap. Has no
+        effect on other collectives or on the reduced values.
+    compression / topk_ratio / topk_k / error_feedback:
+        The **opt-in approximate tier**: ``compression="topk"`` sends only
+        the k largest-magnitude gradient coordinates per executor
+        (``topk_k`` absolute, else ``topk_ratio`` of the payload);
+        ``error_feedback=True`` keeps the unsent remainder in a
+        per-executor residual folded into the next iteration. Never
+        enabled implicitly — there is deliberately no env override.
     """
 
     collective: str = "ring"
@@ -157,6 +183,11 @@ class AggregationSpec:
     batched: bool = False
     recovery: Optional[Any] = None
     host_pool: Optional[Any] = None
+    chunk_bytes: float = DEFAULT_CHUNK_BYTES
+    compression: str = "none"
+    topk_ratio: float = 0.01
+    topk_k: Optional[int] = None
+    error_feedback: bool = False
 
     def __post_init__(self) -> None:
         if self.collective not in COLLECTIVES:
@@ -179,6 +210,22 @@ class AggregationSpec:
             raise ValueError(
                 "collective='hierarchical' groups ranks by hostname and "
                 "requires topology_aware=True")
+        if self.chunk_bytes <= 0:
+            raise ValueError(
+                f"chunk_bytes must be > 0, got {self.chunk_bytes}")
+        if self.compression not in COMPRESSIONS:
+            raise ValueError(
+                f"compression must be one of {COMPRESSIONS}, "
+                f"got {self.compression!r}")
+        if not 0.0 < self.topk_ratio <= 1.0:
+            raise ValueError(
+                f"topk_ratio must be in (0, 1], got {self.topk_ratio}")
+        if self.topk_k is not None and self.topk_k < 1:
+            raise ValueError(f"topk_k must be >= 1, got {self.topk_k}")
+        if self.error_feedback and self.compression == "none":
+            raise ValueError(
+                "error_feedback=True requires compression='topk' — the "
+                "residual accumulator only exists on the approximate tier")
 
     # -------------------------------------------------------------- builders
     def replace(self, **changes: Any) -> "AggregationSpec":
@@ -215,6 +262,9 @@ class AggregationSpec:
         raw = env.get(ENV_HOST_POOL)
         if raw:
             changes["host_pool"] = int(raw)
+        raw = env.get(ENV_CHUNK_BYTES)
+        if raw:
+            changes["chunk_bytes"] = float(raw)
         return spec.replace(**changes) if changes else spec
 
     # ------------------------------------------------------------ resolution
@@ -244,6 +294,11 @@ class AggregationSpec:
             "recovery": (dict(self.recovery.__dict__)
                          if self.recovery is not None else None),
             "host_pool": None,
+            "chunk_bytes": self.chunk_bytes,
+            "compression": self.compression,
+            "topk_ratio": self.topk_ratio,
+            "topk_k": self.topk_k,
+            "error_feedback": self.error_feedback,
         }
         if self.host_pool is not None:
             size = getattr(self.host_pool, "size", self.host_pool)

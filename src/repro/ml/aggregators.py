@@ -354,6 +354,54 @@ class AggregatorSegment:
         scatter_into(out, other.indices, other.values)
         return AggregatorSegment(out, sim, policy=policy, owned=True)
 
+    def chunk_split(self, index: int,
+                    num_chunks: int) -> "AggregatorSegment":
+        """Chunk column ``index`` of ``num_chunks`` (pipelined_ring).
+
+        The same block distribution as :meth:`FlatAggregator.split`, one
+        level down: chunk boundaries depend only on ``(length,
+        num_chunks)`` so every rank slices identically, and an elementwise
+        merge of matching chunks is bit-identical to the corresponding
+        slice of a whole-segment merge. Dense chunks are views (unowned);
+        sparse chunks re-run the wire-format switch on their own density.
+        """
+        lo, hi = segment_range(self.length, num_chunks, index)
+        frac = (hi - lo) / self.length if self.length else 0.0
+        dense_bytes = self.sim_bytes * frac
+        if self.buf is not None:
+            return AggregatorSegment(self.buf[lo:hi], dense_bytes,
+                                     policy=self.policy)
+        idx, vals = slice_sparse(self.indices, self.values, lo, hi)
+        return AggregatorSegment.sparse(hi - lo, idx, vals, dense_bytes,
+                                        policy=self.policy, owned=False)
+
+    @staticmethod
+    def chunk_concat(parts: Sequence["AggregatorSegment"]
+                     ) -> "AggregatorSegment":
+        """Reassemble chunk columns into one segment (pipelined_ring).
+
+        All-sparse parts stay sparse (indices rebased onto the combined
+        length, preserving the honest wire size at gather time); any dense
+        part densifies the result.
+        """
+        if not parts:
+            raise ValueError("cannot concatenate zero chunks")
+        if len(parts) == 1:
+            return parts[0]
+        sim = sum(p.sim_bytes for p in parts)
+        policy = next((p.policy for p in parts if p.policy is not None),
+                      None)
+        total = sum(p.length for p in parts)
+        if all(p.buf is None for p in parts):
+            offsets = np.cumsum([0] + [p.length for p in parts[:-1]])
+            idx = np.concatenate(
+                [p.indices + off for p, off in zip(parts, offsets)])
+            vals = np.concatenate([p.values for p in parts])
+            return AggregatorSegment.sparse(total, idx, vals, sim,
+                                            policy=policy, owned=True)
+        buf = np.concatenate([p.to_array() for p in parts])
+        return AggregatorSegment(buf, sim, policy=policy, owned=True)
+
     def __len__(self) -> int:
         return self.length
 

@@ -66,6 +66,7 @@ from .critical_path import (
 )
 from .events import (
     BlockEvent,
+    ChunkStream,
     CollectiveChosen,
     CollectiveCompleted,
     CollectiveCostEstimate,
@@ -79,6 +80,7 @@ from .events import (
     NicSample,
     PhaseSpan,
     RecoveryAction,
+    ResidualNorm,
     RingHop,
     SegmentRepresentation,
     StageCompleted,
@@ -126,6 +128,8 @@ __all__ = [
     "MessageSent",
     "MessageDelivered",
     "RingHop",
+    "ChunkStream",
+    "ResidualNorm",
     "ImmMerge",
     "SegmentRepresentation",
     "PhaseSpan",

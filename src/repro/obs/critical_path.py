@@ -156,6 +156,14 @@ class CollectiveAttribution:
     chain_merge_seconds: float = 0.0
     #: sum of "recovered" epochs that closed inside this window
     recovery_seconds: float = 0.0
+    #: chunk-stream spans bound to this collective (pipelined_ring only)
+    chunk_streams: int = 0
+    #: hop seconds that ran concurrently with another hop: the sum of all
+    #: hop durations minus the length of their busy union. Parallel ring
+    #: channels already overlap; ``pipelined_ring``'s chunk columns add
+    #: the wire time hidden under other columns' merges, so this is the
+    #: overlapped wire/merge time the makespan never saw.
+    overlapped_hop_seconds: float = 0.0
 
     @property
     def chain_wire_seconds(self) -> float:
@@ -416,6 +424,7 @@ def _attribute_collectives(events: List[TraceEvent],
     completed = {e.collective_id: e for e in events
                  if e.kind == "collective_completed"}
     ring_hops = [e for e in events if e.kind == "ring_hop"]
+    streams = [e for e in events if e.kind == "chunk_stream"]
     recovered = [e for e in events
                  if e.kind == "recovery_action" and e.action == "recovered"]
     for cid in sorted(completed):
@@ -424,15 +433,32 @@ def _attribute_collectives(events: List[TraceEvent],
         span = getattr(decision, "span_id", -1) if decision else -1
         if span >= 0:
             hops = [h for h in ring_hops if h.parent_span_id == span]
+            bound_streams = [s for s in streams if s.parent_span_id == span]
         else:  # detached log: bind by the collective's time window
             hops = [h for h in ring_hops
                     if comp.began - _EPS <= h.began
                     and h.time <= comp.time + _EPS]
+            bound_streams = [s for s in streams
+                             if comp.began - _EPS <= s.began
+                             and s.time <= comp.time + _EPS]
         attribution = CollectiveAttribution(
             collective_id=cid, algorithm=comp.algorithm,
             parallelism=comp.parallelism, began=comp.began,
-            ended=comp.time, seconds=comp.seconds, hop_count=len(hops))
+            ended=comp.time, seconds=comp.seconds, hop_count=len(hops),
+            chunk_streams=len(bound_streams))
         if hops:
+            intervals = sorted((h.began, h.time) for h in hops)
+            busy = 0.0
+            lo, hi = intervals[0]
+            for b, e in intervals[1:]:
+                if b > hi:
+                    busy += hi - lo
+                    lo, hi = b, e
+                else:
+                    hi = max(hi, e)
+            busy += hi - lo
+            attribution.overlapped_hop_seconds = max(
+                sum(h.time - h.began for h in hops) - busy, 0.0)
             slowest = max(hops, key=lambda h: (h.time - h.began, h.hop))
             attribution.slowest_hop = HopBlame(
                 channel=slowest.channel, rank=slowest.rank,

@@ -31,6 +31,8 @@ __all__ = [
     "MessageSent",
     "MessageDelivered",
     "RingHop",
+    "ChunkStream",
+    "ResidualNorm",
     "ImmMerge",
     "SegmentRepresentation",
     "PhaseSpan",
@@ -336,6 +338,50 @@ class RingHop(TraceEvent):
     send_dense_bytes: float = 0.0
 
 
+@dataclass(frozen=True)
+class ChunkStream(TraceEvent):
+    """One rank's chunked segment stream on one pipelined-ring channel.
+
+    The span runs from the moment the rank's aggregator became available
+    (its last seqOp partial merged — ``began``) to the completion of every
+    chunk column of the channel; ``num_chunks`` columns of at most
+    ``chunk_bytes`` simulated bytes each ran as concurrent sub-rings, so
+    wire and merge time inside the window overlap instead of adding.
+    """
+
+    kind: ClassVar[str] = "chunk_stream"
+
+    rank: int
+    executor_id: int
+    channel: str
+    num_chunks: int
+    chunk_bytes: float
+    value_bytes: float
+    began: float
+
+
+@dataclass(frozen=True)
+class ResidualNorm(TraceEvent):
+    """Top-k compression gauge for one executor's outgoing aggregator.
+
+    Emitted by the opt-in approximate tier each time a holder is
+    sparsified: ``k`` of ``payload_size`` coordinates were sent,
+    ``sent_norm`` / ``residual_norm`` are the L2 norms of the transmitted
+    part and of the error-feedback remainder kept on the executor
+    (0 when ``error_feedback`` is off — the remainder is dropped).
+    """
+
+    kind: ClassVar[str] = "residual_norm"
+
+    executor_id: int
+    job_id: int
+    k: int
+    payload_size: int
+    sent_norm: float
+    residual_norm: float
+    error_feedback: bool = True
+
+
 # --------------------------------------------------------------------- imm
 @dataclass(frozen=True)
 class ImmMerge(TraceEvent):
@@ -541,9 +587,9 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     for cls in (
         JobStart, JobEnd, StageSubmitted, StageCompleted, TaskStart,
         TaskEnd, BlockEvent, MessageSent, MessageDelivered, RingHop,
-        ImmMerge, SegmentRepresentation, PhaseSpan, NicSample,
-        FaultInjected, RecoveryAction, CollectiveCostEstimate,
-        CollectiveChosen, CollectiveCompleted,
+        ChunkStream, ResidualNorm, ImmMerge, SegmentRepresentation,
+        PhaseSpan, NicSample, FaultInjected, RecoveryAction,
+        CollectiveCostEstimate, CollectiveChosen, CollectiveCompleted,
     )
 }
 

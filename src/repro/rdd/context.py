@@ -205,19 +205,22 @@ class SparkerContext:
                         func: Callable[[int, list, TaskContext], Any],
                         reduce_op: Callable[[Any, Any], Any],
                         partitions: Optional[Sequence[int]] = None,
-                        detail: bool = False) -> Any:
+                        detail: bool = False,
+                        on_merged: Optional[Callable] = None) -> Any:
         """Run an IMM reduced-result stage (blocking).
 
         Returns ``[(executor_id, object_id), ...]``; read the merged values
         with ``sc.executor_by_id(eid).object_manager.get(oid)``. See
-        :meth:`DAGScheduler.run_reduced_job` for ``partitions``/``detail``.
+        :meth:`DAGScheduler.run_reduced_job` for ``partitions``/``detail``/
+        ``on_merged``.
         """
         if self._stopped:
             raise RuntimeError("context is stopped")
         job_id = self.new_job_id()
         proc = self.env.process(
             self.dag.run_reduced_job(rdd, func, reduce_op, job_id,
-                                     partitions=partitions, detail=detail),
+                                     partitions=partitions, detail=detail,
+                                     on_merged=on_merged),
             name="reduced-job")
         return self.env.run(until=proc)
 

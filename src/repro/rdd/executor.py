@@ -63,6 +63,10 @@ class Executor:
             on_event=self._block_event)
         self.shuffle_store = ShuffleStore(slot.executor_id)
         self.object_manager = MutableObjectManager(self)
+        #: per-dimension error-feedback residuals of the opt-in top-k
+        #: compression tier, keyed ("topk", payload_size) — executor
+        #: state, so it dies (and restarts at zero) with the executor
+        self.residuals: dict = {}
         self._running: set = set()
         #: callbacks invoked (in registration order) when this executor dies
         self._death_listeners: list = []
@@ -214,6 +218,9 @@ class Executor:
             yield from self.object_manager.merge(
                 task.object_id, task.stage_attempt, result, task.reduce_op,
                 parent_span=parent_span)
+            if task.on_merged is not None:
+                task.on_merged(self.executor_id, task.partition,
+                               task.object_id)
             return (self.executor_id, task.object_id)
         if isinstance(task, ResultTask):
             nbytes = sim_sizeof(result)
@@ -313,6 +320,7 @@ class Executor:
         self.memory_store.clear()
         self.shuffle_store.clear()
         self.object_manager.clear_all()
+        self.residuals.clear()
         self.sc.block_tracker.unregister_executor(self.executor_id)
         self.sc.map_output_tracker.unregister_executor(self.executor_id)
         for proc in list(self._running):

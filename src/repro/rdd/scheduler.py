@@ -142,7 +142,10 @@ class DAGScheduler:
                         reduce_op: Callable[[Any, Any], Any],
                         job_id: int,
                         partitions: Optional[Sequence[int]] = None,
-                        detail: bool = False) -> Generator:
+                        detail: bool = False,
+                        on_merged: Optional[Callable[
+                            [int, int, Tuple[int, int]], None]] = None
+                        ) -> Generator:
         """Process body: run an IMM reduced-result stage (paper §4.3).
 
         Returns ``[(executor_id, object_id), ...]`` — one entry per executor
@@ -154,6 +157,11 @@ class DAGScheduler:
         value is ``(holders, contributions)`` where ``contributions`` maps
         each holding executor to the sorted partitions merged into it —
         the lineage record recovery needs to recompute a lost partial.
+
+        ``on_merged`` threads the partition-completion hook onto every
+        :class:`~repro.rdd.tasks.ReducedResultTask` of the stage (see
+        that class) — the pipelined collective path uses it to learn,
+        in virtual time, when each executor's aggregator is complete.
         """
         sc = self.sc
         parts = list(partitions if partitions is not None
@@ -171,7 +179,7 @@ class DAGScheduler:
                         _attempt: int = attempt) -> Task:
                 return ReducedResultTask(stage_id, _attempt, rdd, partition,
                                          task_attempt, func, reduce_op,
-                                         object_id)
+                                         object_id, on_merged=on_merged)
 
             try:
                 raw = yield from self._run_tasks(rdd, parts, factory,

@@ -123,17 +123,28 @@ class ReducedResultTask(Task):
     executor-shared object identified by ``object_id``. The actual merge is
     performed by the executor under the object's lock (see
     :meth:`repro.rdd.executor.Executor.submit`).
+
+    ``on_merged`` is the partition-completion hook of the pipelined
+    collective path: called as ``on_merged(executor_id, partition,
+    object_id)`` immediately after this task's merge lands, it lets the
+    driver-side orchestration stream an executor's finished aggregator
+    into the ring while other partitions are still computing. The call
+    must be synchronous and cheap — it runs inside the executor's output
+    step and consumes no virtual time.
     """
 
     def __init__(self, stage_id: int, stage_attempt: int, rdd: RDD,
                  partition: int, attempt: int,
                  func: Callable[[int, list, TaskContext], Any],
                  reduce_op: Callable[[Any, Any], Any],
-                 object_id: Tuple[int, int]):
+                 object_id: Tuple[int, int],
+                 on_merged: Callable[[int, int, Tuple[int, int]], None]
+                 | None = None):
         super().__init__(stage_id, stage_attempt, rdd, partition, attempt)
         self.func = func
         self.reduce_op = reduce_op
         self.object_id = object_id
+        self.on_merged = on_merged
 
     def run(self, ctx: TaskContext) -> Any:
         data = self.rdd.iterator(self.partition, ctx)

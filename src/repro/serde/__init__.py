@@ -15,6 +15,8 @@ from .sparse import (
     merge_sparse,
     scatter_into,
     slice_sparse,
+    topk_indices,
+    topk_sparsify,
 )
 
 __all__ = [
@@ -34,4 +36,6 @@ __all__ = [
     "slice_sparse",
     "densify_sparse",
     "scatter_into",
+    "topk_indices",
+    "topk_sparsify",
 ]

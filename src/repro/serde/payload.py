@@ -96,6 +96,12 @@ class SizedPayload:
         data = np.concatenate([s.data for s in segments])
         return SizedPayload(data, sum(s.sim_bytes for s in segments))
 
+    # Chunk protocol (pipelined_ring): a segment splits into elementwise
+    # chunk columns and reassembles by concatenation. For a contiguous
+    # array payload both directions coincide with the block split.
+    chunk_split = split
+    chunk_concat = concat
+
     def copy(self) -> "SizedPayload":
         """A deep copy (fresh physical array, same simulated size)."""
         return SizedPayload(self.data.copy(), self.sim_bytes)

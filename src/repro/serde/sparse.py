@@ -34,6 +34,8 @@ __all__ = [
     "slice_sparse",
     "densify_sparse",
     "scatter_into",
+    "topk_indices",
+    "topk_sparsify",
 ]
 
 _EMPTY_IDX = np.empty(0, dtype=np.int64)
@@ -101,3 +103,39 @@ def scatter_into(dense: np.ndarray, idx: np.ndarray,
                  vals: np.ndarray) -> None:
     """In-place ``dense[idx] += vals`` with duplicate-safe ordering."""
     np.add.at(dense, idx, vals)
+
+
+def topk_indices(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest-magnitude entries, fully deterministic.
+
+    Magnitude ties break toward the **lower index** (a total order, so two
+    executors holding equal buffers always select the same coordinates);
+    the result is sorted ascending, ready for the coalesced sparse form.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    k = int(k)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if k >= values.size:
+        return np.arange(values.size, dtype=np.int64)
+    # lexsort's last key is primary: magnitude descending, index ascending
+    order = np.lexsort((np.arange(values.size), -np.abs(values)))
+    return np.sort(order[:k]).astype(np.int64, copy=False)
+
+
+def topk_sparsify(values: np.ndarray, k: int
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Top-k sparsification with an exact carry: ``(idx, sent, residual)``.
+
+    ``sent`` holds the k largest-magnitude entries (coalesced sparse form)
+    and ``residual`` the unsent remainder, satisfying the residual-carry
+    identity ``densify_sparse(idx, sent, n) + residual == values`` — the
+    selected slots of the residual are zeroed, every other slot keeps its
+    input bits, so error feedback loses nothing.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    idx = topk_indices(values, k)
+    sent = values[idx]
+    residual = values.copy()
+    residual[idx] = 0.0
+    return idx, sent, residual

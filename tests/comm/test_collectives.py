@@ -31,7 +31,7 @@ from repro.sim import Environment
 from .conftest import concat_op, make_values, reduce_op, split_op
 
 RING_SIZES = [2, 3, 5, 8]
-ALGORITHMS = ["ring", "hd", "hierarchical"]
+ALGORITHMS = ["ring", "hd", "hierarchical", "pipelined_ring"]
 
 
 def run_gather(algorithm, n, parallelism=2, elems=64, seed=0,

@@ -231,3 +231,68 @@ def test_cost_model_for_wires_the_calibrator_to_the_bus():
     assert sc.collective_calibrator.model is model
     bus.emit(_delivered(64.0, 5e-3))
     assert sc.collective_calibrator.alpha_samples == 1
+
+
+# --------------------------------------------------------- pipelined ring
+def test_pipelined_single_column_prices_like_the_ring():
+    """chunk_bytes >= segment: one column, no pipelining — the formula
+    must collapse to the classic ring's exactly."""
+    model = make_model()
+    p_ring = plan("ring")
+    p_pipe = CollectivePlan(algorithm="pipelined_ring", parallelism=2,
+                            ranks=8, hosts=(4, 4), value_bytes=64.0 * MB,
+                            chunk_bytes=1e15)
+    assert model.predict(p_pipe) == model.predict(p_ring)
+
+
+def test_pipelined_overlap_beats_ring_on_merge_heavy_hops():
+    """Slow merges: C columns hide most of the merge under the wire, so
+    pipelined must price strictly below the classic ring."""
+    model = make_model(merge=120 * MB)  # merge time ~ wire time
+    p_ring = plan("ring", value_bytes=256.0 * MB)
+    p_pipe = CollectivePlan(algorithm="pipelined_ring", parallelism=2,
+                            ranks=8, hosts=(4, 4), value_bytes=256.0 * MB,
+                            chunk_bytes=1.0 * MB)
+    assert model.predict(p_pipe) < model.predict(p_ring)
+
+
+def test_pipelined_pays_per_chunk_launch_latency():
+    """Pathological chunk counts: the (C-1)*alpha launch term dominates,
+    so absurdly small chunks price worse than no chunking."""
+    model = make_model(alpha=1e-2)
+    tiny = CollectivePlan(algorithm="pipelined_ring", parallelism=2,
+                          ranks=8, hosts=(4, 4), value_bytes=64.0 * MB,
+                          chunk_bytes=64.0)
+    one = CollectivePlan(algorithm="pipelined_ring", parallelism=2,
+                         ranks=8, hosts=(4, 4), value_bytes=64.0 * MB,
+                         chunk_bytes=1e15)
+    assert model.predict(tiny) > model.predict(one)
+
+
+def test_choose_collective_threads_chunk_bytes_into_plans():
+    model = make_model()
+    winner, estimates = choose_collective(
+        model, 8.0 * MB, slots("h0", "h0", "h1", "h1"),
+        ("ring", "pipelined_ring"), (2,), chunk_bytes=1.0 * MB)
+    assert {p.algorithm for p, _ in estimates} == {"ring",
+                                                   "pipelined_ring"}
+    for p, _ in estimates:
+        assert p.chunk_bytes == 1.0 * MB
+
+
+def test_auto_can_select_pipelined_on_merge_heavy_cells():
+    model = make_model(merge=120 * MB)
+    winner, _ = choose_collective(
+        model, 256.0 * MB, slots("h0", "h0", "h1", "h1"),
+        ("ring", "pipelined_ring"), (2,), chunk_bytes=4.0 * MB)
+    assert winner.algorithm == "pipelined_ring"
+
+
+def test_ties_still_break_to_the_seed_ring():
+    """With one column the two formulas coincide; listing ring first must
+    keep the seed choice on the tie."""
+    model = make_model()
+    winner, _ = choose_collective(
+        model, 8.0 * MB, slots("h0", "h0", "h1", "h1"),
+        ("ring", "pipelined_ring"), (2,), chunk_bytes=1e15)
+    assert winner.algorithm == "ring"

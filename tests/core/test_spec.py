@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.spec import (
     COLLECTIVES,
+    DEFAULT_CHUNK_BYTES,
     AggregationSpec,
     resolve_host_pool,
     resolve_sparse_policy,
@@ -208,3 +209,50 @@ def test_warn_deprecated_kwarg_names_the_replacement():
                       match=r"spec=AggregationSpec\(parallelism=\.\.\.\)"):
         warn_deprecated_kwarg("parallelism", "split_aggregate",
                               stacklevel=1)
+
+
+# ------------------------------------------- pipelined ring + approx tier
+def test_pipelined_ring_is_a_valid_collective():
+    assert "pipelined_ring" in COLLECTIVES
+    spec = AggregationSpec(collective="pipelined_ring")
+    assert spec.chunk_bytes == DEFAULT_CHUNK_BYTES
+
+
+def test_compression_defaults_are_off():
+    spec = AggregationSpec()
+    assert spec.compression == "none"
+    assert spec.topk_ratio == 0.01
+    assert spec.topk_k is None
+    assert spec.error_feedback is False
+
+
+def test_chunk_bytes_must_be_positive():
+    with pytest.raises(ValueError, match="chunk_bytes"):
+        AggregationSpec(chunk_bytes=0)
+    with pytest.raises(ValueError, match="chunk_bytes"):
+        AggregationSpec(chunk_bytes=-1.0)
+
+
+def test_compression_knobs_are_validated():
+    with pytest.raises(ValueError, match="compression must be one of"):
+        AggregationSpec(compression="zstd")
+    with pytest.raises(ValueError, match="topk_ratio"):
+        AggregationSpec(compression="topk", topk_ratio=0.0)
+    with pytest.raises(ValueError, match="topk_ratio"):
+        AggregationSpec(compression="topk", topk_ratio=1.5)
+    with pytest.raises(ValueError, match="topk_k"):
+        AggregationSpec(compression="topk", topk_k=0)
+    with pytest.raises(ValueError, match="error_feedback"):
+        AggregationSpec(error_feedback=True)  # needs compression="topk"
+
+
+def test_chunk_bytes_env_override():
+    spec = AggregationSpec.from_env(environ={"SPARKER_CHUNK_BYTES": "65536"})
+    assert spec.chunk_bytes == 65536.0
+
+
+def test_dict_round_trip_with_approx_tier():
+    spec = AggregationSpec(collective="pipelined_ring", chunk_bytes=1e6,
+                           compression="topk", topk_ratio=0.1, topk_k=32,
+                           error_feedback=True)
+    assert AggregationSpec.from_dict(spec.to_dict()) == spec

@@ -165,3 +165,25 @@ def test_report_totals_cover_every_job():
     report = attribute_critical_path(rec.events)
     assert sum(report.totals().values()) == pytest.approx(
         sum(job.makespan for job in report.jobs), abs=1e-9)
+
+
+def test_pipelined_collective_attribution():
+    """The overlapped path: chunk streams bind to the collective and the
+    hop busy-union reports the wire/merge time hidden by overlap."""
+    events = run_collective("pipelined_ring", 2)
+    report = attribute_critical_path(events)
+    assert_exact_partition(report)
+    assert report.collectives
+    coll = report.collectives[-1]
+    assert coll.algorithm == "pipelined_ring"
+    assert coll.chunk_streams > 0
+    assert coll.hop_count > 0
+    # multiple channels stream concurrently: some hop time is hidden
+    assert coll.overlapped_hop_seconds > 0
+    assert coll.slowest_hop is not None
+
+
+def test_phased_ring_reports_no_chunk_streams():
+    events = run_collective("ring", 2)
+    report = attribute_critical_path(events)
+    assert all(c.chunk_streams == 0 for c in report.collectives)

@@ -5,6 +5,7 @@ import pytest
 from repro.obs import (
     EVENT_TYPES,
     BlockEvent,
+    ChunkStream,
     CollectiveChosen,
     CollectiveCompleted,
     CollectiveCostEstimate,
@@ -17,6 +18,7 @@ from repro.obs import (
     NicSample,
     PhaseSpan,
     RecoveryAction,
+    ResidualNorm,
     RingHop,
     SegmentRepresentation,
     StageCompleted,
@@ -80,6 +82,11 @@ SAMPLES = [
     CollectiveCompleted(time=0.95, collective_id=1, algorithm="hd",
                         parallelism=2, began=0.92, seconds=0.03,
                         predicted=0.012),
+    ChunkStream(time=0.96, rank=1, executor_id=5, channel="0", num_chunks=4,
+                chunk_bytes=4194304.0, value_bytes=1.6e7, began=0.9),
+    ResidualNorm(time=0.97, executor_id=5, job_id=1, k=100,
+                 payload_size=10000, sent_norm=3.5, residual_norm=0.4,
+                 error_feedback=True),
 ]
 
 

@@ -1,0 +1,87 @@
+"""Top-k sparsification kernels: determinism and the residual-carry law."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serde import densify_sparse, topk_indices, topk_sparsify
+
+
+def test_topk_indices_picks_largest_magnitudes():
+    values = np.array([0.5, -9.0, 2.0, 0.0, -3.0])
+    np.testing.assert_array_equal(topk_indices(values, 2), [1, 4])
+
+
+def test_topk_indices_sorted_ascending():
+    rng = np.random.default_rng(0)
+    idx = topk_indices(rng.normal(size=100), 17)
+    assert idx.dtype == np.int64
+    assert np.all(np.diff(idx) > 0)
+
+
+def test_topk_indices_ties_break_to_lower_index():
+    values = np.array([2.0, -2.0, 2.0, 1.0])
+    np.testing.assert_array_equal(topk_indices(values, 2), [0, 1])
+
+
+def test_topk_indices_k_at_least_size_returns_everything():
+    values = np.array([1.0, 0.0, -2.0])
+    np.testing.assert_array_equal(topk_indices(values, 3), [0, 1, 2])
+    np.testing.assert_array_equal(topk_indices(values, 10), [0, 1, 2])
+
+
+def test_topk_indices_rejects_nonpositive_k():
+    with pytest.raises(ValueError, match="k must be >= 1"):
+        topk_indices(np.ones(4), 0)
+
+
+def test_topk_sparsify_residual_carry_identity():
+    rng = np.random.default_rng(3)
+    values = rng.normal(size=64)
+    idx, sent, residual = topk_sparsify(values, 5)
+    rebuilt = densify_sparse(idx, sent, values.size) + residual
+    # bit-exact, not approx: selected slots are zeroed, others untouched
+    assert rebuilt.tobytes() == values.tobytes()
+    assert np.count_nonzero(residual[idx]) == 0
+
+
+def test_topk_sparsify_k_equals_dim_is_exact():
+    rng = np.random.default_rng(4)
+    values = rng.normal(size=32)
+    idx, sent, residual = topk_sparsify(values, 32)
+    assert densify_sparse(idx, sent, 32).tobytes() == values.tobytes()
+    assert not residual.any()
+
+
+def test_topk_sparsify_input_not_mutated():
+    values = np.arange(8, dtype=float)
+    before = values.copy()
+    topk_sparsify(values, 3)
+    np.testing.assert_array_equal(values, before)
+
+
+def test_topk_determinism_across_equal_buffers():
+    """Two executors holding equal buffers must select identically."""
+    rng = np.random.default_rng(5)
+    a = rng.normal(size=50)
+    b = a.copy()
+    ia, sa, _ = topk_sparsify(a, 7)
+    ib, sb, _ = topk_sparsify(b, 7)
+    np.testing.assert_array_equal(ia, ib)
+    assert sa.tobytes() == sb.tobytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 80), k=st.integers(1, 100), seed=st.integers(0, 50))
+def test_topk_property_carry_and_selection(n, k, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(-9, 10, size=n).astype(float)
+    idx, sent, residual = topk_sparsify(values, k)
+    assert idx.size == min(k, n)
+    rebuilt = densify_sparse(idx, sent, n) + residual
+    assert rebuilt.tobytes() == values.tobytes()
+    # every kept magnitude >= every dropped magnitude
+    if idx.size < n:
+        dropped = np.setdiff1d(np.arange(n), idx)
+        assert np.abs(values[idx]).min() >= np.abs(values[dropped]).max()

@@ -126,6 +126,17 @@ REGISTRY: Dict[str, BenchSpec] = {
             Metric("cells.*.empirical_best.seconds", "lower"),
         ),
     ),
+    "overlap": BenchSpec(
+        invariants=(
+            ("all_gates_passed", True),
+            ("cells.*.bit_identical", True),
+            ("cells.*.auto_picked_pipelined", True),
+        ),
+        metrics=(
+            Metric("cells.*.reduction", "higher"),
+            Metric("cells.*.pipelined_seconds", "lower"),
+        ),
+    ),
     "host_perf": BenchSpec(
         metrics=(
             Metric("pools.*.events_per_sec", "higher",
