@@ -1,0 +1,259 @@
+"""Resilience benchmark: writes ``BENCH_resilience.json``.
+
+Two questions, one artifact:
+
+1. **Resilient overlap** — how much of the pipelined ring's
+   compute/communication overlap win survives injected chaos? Each
+   scenario runs the same staggered-compute split aggregation twice
+   under the identical fault plan — once with
+   ``collective="pipelined_ring"`` (the fault-tolerant streamed path)
+   and once with the phased ``"ring"`` recovery loop — and reports the
+   win and the fraction of the fault-free overlap win retained. Every
+   run must stay bit-identical to the fault-free result (the workload is
+   integer-valued, so float addition is exact).
+
+2. **Speculative execution** — with one executor straggling, how much
+   straggler makespan does ``sc.speculation`` cut on a plain map job,
+   while accumulators stay exactly-once and a disabled/armed-idle run
+   stays perturbation-free?
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/resilience.py          # full
+    PYTHONPATH=src python benchmarks/resilience.py --smoke  # CI gate
+
+``--smoke`` prints the report without writing the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+
+from repro import AggregationSpec
+from repro.cluster import MB, ClusterConfig
+from repro.faults import (
+    AtRingHop,
+    AtStageBoundary,
+    ExecutorCrash,
+    FaultController,
+    FaultPlan,
+    MessageDrop,
+    RecoveryPolicy,
+    Straggler,
+)
+from repro.obs import SpeculativeAttempt
+from repro.rdd import SparkerContext, SpeculationPolicy
+from repro.rdd.costing import Costed
+
+NODES = 4
+WIDTH = 256
+NBYTES = 16 * MB
+N_ITEMS = 32
+N_PARTITIONS = 8
+PARALLELISM = 4
+SEQ_COST = 0.02  # staggers partition finish times: overlap matters
+SEED = 2024
+
+RECOVERY = RecoveryPolicy(recv_timeout=0.25, max_ring_attempts=3)
+
+SPEC_ELEMENTS = 32
+SPEC_PARTITIONS = 8
+SPEC_COST = 0.05
+SPEC_FACTOR = 8.0
+
+
+# ---------------------------------------------------------------- part 1
+def run_agg(collective: str, plan: FaultPlan | None) -> dict:
+    from repro.serde import SizedPayload
+
+    sc = SparkerContext(ClusterConfig.laptop(num_nodes=NODES))
+    controller = (FaultController(sc, plan, RECOVERY).arm()
+                  if plan is not None else None)
+    data = [SizedPayload(np.full(WIDTH, float(i)), sim_bytes=NBYTES)
+            for i in range(N_ITEMS)]
+    rdd = sc.parallelize(data, N_PARTITIONS)
+    result = rdd.split_aggregate(
+        lambda: SizedPayload(np.zeros(WIDTH), sim_bytes=NBYTES),
+        Costed(lambda a, x: a.merge_inplace(x), SEQ_COST),
+        lambda u, i, n: u.split(i, n),
+        lambda a, b: a.merge(b),
+        SizedPayload.concat,
+        AggregationSpec(collective=collective, parallelism=PARALLELISM,
+                        recovery=None if plan is not None else RECOVERY))
+    return {
+        "result": result.data.tobytes(),
+        "virtual_seconds": sc.now,
+        "actions": [a.action for a in controller.actions]
+        if controller else [],
+    }
+
+
+def scenario_matrix() -> dict:
+    probe = SparkerContext(ClusterConfig.laptop(num_nodes=NODES))
+    eids = [e.executor_id for e in probe.executors]
+    return {
+        "crash_before_ring": FaultPlan(faults=(ExecutorCrash(
+            eids[1], AtStageBoundary(stage_kind="reduced_result",
+                                     edge="completed")),), seed=SEED),
+        "crash_mid_ring": FaultPlan(faults=(ExecutorCrash(
+            eids[1], AtRingHop(1)),), seed=SEED),
+        "message_drop": FaultPlan(faults=(MessageDrop(count=2, skip=3),),
+                                  seed=SEED),
+        "straggler": FaultPlan(faults=(Straggler(
+            eids[2], factor=4.0, start=0.0),), seed=SEED),
+    }
+
+
+# ---------------------------------------------------------------- part 2
+def run_map(speculate: bool, straggle: bool) -> dict:
+    sc = SparkerContext(ClusterConfig.laptop(num_nodes=NODES))
+    if speculate:
+        sc.speculation = SpeculationPolicy()
+    events: list = []
+    sc.event_bus.subscribe(events.append)
+    if straggle:
+        FaultController(sc, FaultPlan(faults=(Straggler(
+            sc.executors[0].executor_id, factor=SPEC_FACTOR, start=0.0),),
+            seed=SEED)).arm()
+    acc = sc.accumulator(0, name="adds")
+
+    def bump(x):
+        acc.add(1)
+        return x * 2
+
+    result = (sc.parallelize(range(SPEC_ELEMENTS), SPEC_PARTITIONS)
+              .map(Costed(bump, SPEC_COST)).collect())
+    return {
+        "result": result,
+        "virtual_seconds": sc.now,
+        "accumulator": acc.value,
+        "clones": Counter(
+            e.action for e in events if isinstance(e, SpeculativeAttempt)),
+    }
+
+
+def speculation_section() -> dict:
+    plain = run_map(speculate=False, straggle=False)
+    armed_idle = run_map(speculate=True, straggle=False)
+    disabled = run_map(speculate=False, straggle=True)
+    enabled = run_map(speculate=True, straggle=True)
+    cut = (disabled["virtual_seconds"] - enabled["virtual_seconds"]) \
+        / disabled["virtual_seconds"]
+    return {
+        "plain_seconds": plain["virtual_seconds"],
+        "disabled_seconds": disabled["virtual_seconds"],
+        "enabled_seconds": enabled["virtual_seconds"],
+        "makespan_cut_ratio": cut,
+        "zero_perturbation": (
+            armed_idle["virtual_seconds"] == plain["virtual_seconds"]
+            and armed_idle["result"] == plain["result"]
+            and not armed_idle["clones"]),
+        "exactly_once": (
+            enabled["accumulator"] == SPEC_ELEMENTS
+            and enabled["result"] == plain["result"]),
+        "clone_events": dict(enabled["clones"]),
+    }
+
+
+# ------------------------------------------------------------------ main
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="print the report without writing the artifact")
+    args = parser.parse_args()
+
+    clean_pipe = run_agg("pipelined_ring", None)
+    clean_ring = run_agg("ring", None)
+    clean_win = clean_ring["virtual_seconds"] - clean_pipe["virtual_seconds"]
+
+    report_scenarios = {}
+    failures = []
+    for name, plan in scenario_matrix().items():
+        pipe = run_agg("pipelined_ring", plan)
+        ring = run_agg("ring", plan)
+        identical = (pipe["result"] == clean_pipe["result"]
+                     and ring["result"] == clean_pipe["result"])
+        if not identical:
+            failures.append(name)
+        win = ring["virtual_seconds"] - pipe["virtual_seconds"]
+        report_scenarios[name] = {
+            "pipelined_seconds": pipe["virtual_seconds"],
+            "phased_seconds": ring["virtual_seconds"],
+            "win_seconds": win,
+            "overlap_retention": win / clean_win if clean_win > 0 else 0.0,
+            "downgraded": "streamed_abort" in pipe["actions"],
+            "recovery_actions": dict(Counter(pipe["actions"])),
+            "result_bit_identical": identical,
+        }
+        print(f"{name:20s} pipelined {pipe['virtual_seconds']:8.4f}s  "
+              f"phased {ring['virtual_seconds']:8.4f}s  "
+              f"win {win:+8.4f}s  "
+              f"{'ok' if identical else 'RESULT MISMATCH'}")
+
+    speculation = speculation_section()
+    print(f"{'speculation':20s} disabled "
+          f"{speculation['disabled_seconds']:.4f}s  enabled "
+          f"{speculation['enabled_seconds']:.4f}s  cut "
+          f"{speculation['makespan_cut_ratio']:.1%}")
+    if not speculation["zero_perturbation"]:
+        failures.append("speculation_zero_perturbation")
+    if not speculation["exactly_once"]:
+        failures.append("speculation_exactly_once")
+
+    report = {
+        "benchmark": "resilience",
+        "configuration": {
+            "cluster": "laptop", "nodes": NODES,
+            "aggregator_bytes": NBYTES, "items": N_ITEMS,
+            "partitions": N_PARTITIONS, "parallelism": PARALLELISM,
+            "seq_cost": SEQ_COST,
+            "recv_timeout": RECOVERY.recv_timeout,
+            "max_ring_attempts": RECOVERY.max_ring_attempts,
+            "speculation_straggler_factor": SPEC_FACTOR,
+            "seed": SEED,
+            "smoke": args.smoke,
+        },
+        "clean": {
+            "pipelined_seconds": clean_pipe["virtual_seconds"],
+            "phased_seconds": clean_ring["virtual_seconds"],
+            "overlap_win_seconds": clean_win,
+        },
+        "scenarios": report_scenarios,
+        "speculation": speculation,
+        "all_bit_identical": not any(
+            n in report_scenarios for n in failures),
+        "notes": (
+            "Scenario wins compare the fault-tolerant streamed path "
+            "against the phased recovery ring under the identical fault "
+            "plan (virtual seconds). overlap_retention is the faulted "
+            "win over the fault-free win: 1.0 means chaos cost the "
+            "stream nothing, 0.0 means it degraded to phased timing. "
+            "Crash scenarios abort the stream and replay acknowledged "
+            "chunk columns through the ledger; the straggler scenario "
+            "keeps the stream alive end to end. The speculation section "
+            "is a plain map job with one straggling executor; "
+            "makespan_cut_ratio is the fraction of wall (virtual) time "
+            "the clone-and-race machinery removes."
+        ),
+    }
+    target = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
+    if not args.smoke:
+        target.write_text(json.dumps(report, indent=2) + "\n",
+                          encoding="utf-8")
+        print(f"\nwrote {target}")
+    else:
+        print(json.dumps(report, indent=2))
+    if failures:
+        print(f"FAILED: {failures}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

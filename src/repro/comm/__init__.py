@@ -22,7 +22,10 @@ from .fabric import CommFabric
 from .micro import measure_latency, measure_throughput
 from .mpi import MPICH_RS_SHORT_THRESHOLD, MpiCommunicator
 from .ring import (
+    ChunkLedger,
     ScalableCommunicator,
+    chunk_columns_for,
+    pipelined_ring_reduce_scatter_rank,
     ring_allgather_rank,
     ring_reduce_scatter_rank,
 )
@@ -35,8 +38,11 @@ __all__ = [
     "sc_transport",
     "bm_transport",
     "ScalableCommunicator",
+    "ChunkLedger",
     "ring_reduce_scatter_rank",
     "ring_allgather_rank",
+    "pipelined_ring_reduce_scatter_rank",
+    "chunk_columns_for",
     "CollectiveAlgorithm",
     "register_collective",
     "get_collective",

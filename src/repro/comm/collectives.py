@@ -154,6 +154,11 @@ class PipelinedRingCollective(CollectiveAlgorithm):
       or the target chunk size used to derive one (defaulting to
       :data:`repro.core.spec.DEFAULT_CHUNK_BYTES`). With one column this
       algorithm is hop-for-hop the classic ring.
+    * ``comm.ledger`` — a :class:`~repro.comm.ring.ChunkLedger` delivery
+      fence. Completed chunk columns are recorded as they finish, and
+      columns the whole topology already acknowledged (on a previous,
+      aborted attempt of the same aggregation) are skipped instead of
+      replayed — the fault-tolerant path's partial-replay hook.
     """
 
     name = "pipelined_ring"
@@ -172,6 +177,7 @@ class PipelinedRingCollective(CollectiveAlgorithm):
         merge_bw = comm.cluster.config.merge_bandwidth
         forced_chunks = getattr(comm, "num_chunks", None)
         chunk_bytes = getattr(comm, "chunk_bytes", None)
+        ledger = getattr(comm, "ledger", None)
         if not chunk_bytes or chunk_bytes <= 0:
             from ..core.spec import DEFAULT_CHUNK_BYTES
             chunk_bytes = DEFAULT_CHUNK_BYTES
@@ -203,7 +209,8 @@ class PipelinedRingCollective(CollectiveAlgorithm):
                         merge_bw, chunks, channel=p, bus=comm.bus,
                         executor_id=comm.ranked[rank].executor_id,
                         recv_timeout=comm.recv_timeout,
-                        parent_span=comm.span_id, track=comm._track),
+                        parent_span=comm.span_id, track=comm._track,
+                        ledger=ledger),
                     name=f"pring:r{rank}c{p}")))
             results: Dict[int, Any] = {}
             for p, proc in enumerate(channel_procs):

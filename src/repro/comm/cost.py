@@ -73,6 +73,10 @@ class CollectivePlan:
     value_bytes: float
     #: target chunk size for ``pipelined_ring`` (ignored elsewhere)
     chunk_bytes: float = DEFAULT_CHUNK_BYTES
+    #: slowdown multiplier on executor-side merge CPU (>= 1.0): the
+    #: health registry's price for placing the collective on degraded
+    #: nodes (straggling or strike-laden executors). 1.0 = all healthy.
+    compute_penalty: float = 1.0
 
     @property
     def segment_bytes(self) -> float:
@@ -148,6 +152,15 @@ class CollectiveCostModel:
         return min(self.loopback_stream,
                    self.loopback_bandwidth / max(1.0, streams))
 
+    def _merge_rate(self, plan: CollectivePlan) -> float:
+        """Executor-side merge bandwidth, slowed by the health penalty.
+
+        A lock-step ring is paced by its slowest rank, so one degraded
+        executor stretches *every* merge term; ``compute_penalty = 1.0``
+        divides exactly and leaves healthy predictions bit-identical.
+        """
+        return self.merge_bandwidth / max(plan.compute_penalty, 1.0)
+
     # ----------------------------------------------------------- prediction
     def predict(self, plan: CollectivePlan) -> float:
         """Calibrated reduce+gather seconds for ``plan``."""
@@ -201,7 +214,7 @@ class CollectiveCostModel:
             return 0.0
         seg = plan.segment_bytes
         hop, _alpha = self._ring_hop(plan, seg)
-        return (n - 1) * (hop + seg / self.merge_bandwidth)
+        return (n - 1) * (hop + seg / self._merge_rate(plan))
 
     def _pipelined_time(self, plan: CollectivePlan) -> float:
         """Chunked ring: wire and merge overlap across chunk columns.
@@ -223,7 +236,7 @@ class CollectiveCostModel:
         seg = plan.segment_bytes
         columns = self._columns(plan)
         hop, alpha = self._ring_hop(plan, seg)
-        merge = seg / self.merge_bandwidth
+        merge = seg / self._merge_rate(plan)
         step = (max(hop, merge) + min(hop, merge) / columns
                 + (columns - 1) * alpha)
         return (n - 1) * step
@@ -259,7 +272,7 @@ class CollectiveCostModel:
         round_rate = self._inter_rate(e_max * p)
         total += m * (self.alpha_inter + round_bytes / round_rate)
         # Deferred contributions fold at the end: ~one full channel pass.
-        total += (n / n2) * s_chan / self.merge_bandwidth
+        total += (n / n2) * s_chan / self._merge_rate(plan)
         return total
 
     def _hier_time(self, plan: CollectivePlan) -> float:
@@ -280,7 +293,7 @@ class CollectiveCostModel:
             rate = self._inter_rate(n * p / h)
             total += h * (self.alpha_inter + seg / rate)
         # Each walk folds all n contributions of its segment in sequence.
-        total += (n - 1) * seg / self.merge_bandwidth
+        total += (n - 1) * seg / self._merge_rate(plan)
         return total
 
     def _gather_time(self, plan: CollectivePlan, owners: int) -> float:
@@ -370,6 +383,7 @@ def choose_collective(
     algorithms: Sequence[str],
     parallelism_candidates: Sequence[int],
     chunk_bytes: float = DEFAULT_CHUNK_BYTES,
+    compute_penalty: float = 1.0,
 ) -> Tuple[CollectivePlan, List[Tuple[CollectivePlan, float]]]:
     """Price every ``(algorithm, parallelism)`` candidate; pick cheapest.
 
@@ -377,7 +391,9 @@ def choose_collective(
     candidate with its calibrated prediction (winner included), in the
     deterministic candidate order. Ties break toward the earlier
     candidate, so listing ``"ring"`` first keeps the seed behaviour
-    whenever the model sees no advantage elsewhere.
+    whenever the model sees no advantage elsewhere. ``compute_penalty``
+    is the health registry's merge-CPU slowdown for the degraded nodes
+    in ``slots`` (1.0 = all healthy, predictions unchanged).
     """
     hosts = _host_profile(slots)
     ranks = len(slots)
@@ -390,7 +406,8 @@ def choose_collective(
             plan = CollectivePlan(algorithm=algorithm, parallelism=p,
                                   ranks=ranks, hosts=hosts,
                                   value_bytes=value_bytes,
-                                  chunk_bytes=chunk_bytes)
+                                  chunk_bytes=chunk_bytes,
+                                  compute_penalty=compute_penalty)
             predicted = model.predict(plan)
             estimates.append((plan, predicted))
             if best is None or predicted < best[1]:

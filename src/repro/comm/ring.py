@@ -49,6 +49,7 @@ __all__ = [
     "ring_allgather_rank",
     "pipelined_ring_reduce_scatter_rank",
     "chunk_columns_for",
+    "ChunkLedger",
     "ScalableCommunicator",
 ]
 
@@ -240,6 +241,58 @@ def chunk_columns_for(segment: Any, chunk_bytes: Optional[float]) -> int:
     return max(1, min(columns, length))
 
 
+class ChunkLedger:
+    """Per-chunk delivery fence for fault-tolerant pipelined rings.
+
+    Each chunk column of each channel runs as an independent sub-ring; a
+    rank that finishes its column records ``(owned_index, value)`` here
+    *inside the column process*, so completions survive an abort that
+    tears the parent rank process down mid-join. A column is
+    **acknowledged** once every rank of the bound topology recorded it —
+    the ledger is driver-shared state, so all ranks of a rebuilt ring
+    make the same skip decision. On a rebuild bound to the same key
+    (same ring membership, same lineage epoch), acknowledged columns are
+    not replayed: each rank supplies its recorded slice with zero wire
+    and merge cost, and only unacknowledged columns re-run. Binding a
+    *different* key (an executor died and its partials were recomputed,
+    changing holder values, or the surviving topology shrank) discards
+    every record — stale slices must never leak across epochs.
+    """
+
+    def __init__(self) -> None:
+        #: identity of the attempt family the records belong to
+        self.key: Any = None
+        #: ranks in the bound topology (ack quorum size)
+        self.size: int = 0
+        self._done: Dict[Any, Dict[int, Any]] = {}
+
+    def bind(self, key: Any, size: int) -> None:
+        """Adopt ``key``; clears all records if it differs from the bound
+        one. Call before every (re)attempt."""
+        if key != self.key or size != self.size:
+            self.key = key
+            self.size = size
+            self._done.clear()
+
+    def record(self, channel: Any, column: int, rank: int,
+               owned: int, value: Any) -> None:
+        self._done.setdefault((channel, column), {})[rank] = (owned, value)
+
+    def acknowledged(self, channel: Any, column: int) -> bool:
+        """True when every rank finished this column (safe to skip)."""
+        entry = self._done.get((channel, column))
+        return entry is not None and len(entry) == self.size > 0
+
+    def recall(self, channel: Any, column: int, rank: int) -> Any:
+        """The ``(owned_index, value)`` this rank recorded for a column."""
+        return self._done[(channel, column)][rank]
+
+    def acknowledged_columns(self) -> int:
+        """How many columns are currently fully acknowledged."""
+        return sum(1 for entry in self._done.values()
+                   if len(entry) == self.size > 0)
+
+
 def pipelined_ring_reduce_scatter_rank(
     fabric: CommFabric,
     rank: int,
@@ -254,6 +307,7 @@ def pipelined_ring_reduce_scatter_rank(
     recv_timeout: Optional[float] = None,
     parent_span: int = -1,
     track: Optional[Callable[[Process], Process]] = None,
+    ledger: Optional[ChunkLedger] = None,
 ) -> Generator:
     """Per-rank chunked ring reduce-scatter: ``num_chunks`` concurrent
     sub-rings over elementwise chunk columns of the channel's segments.
@@ -269,39 +323,59 @@ def pipelined_ring_reduce_scatter_rank(
 
     Returns ``(owned_index, segment)`` exactly like the classic ring.
     ``track`` (e.g. ``ScalableCommunicator._track``) registers the column
-    processes for abort teardown.
+    processes for abort teardown. ``ledger`` is the per-chunk delivery
+    fence: finished columns are recorded as they complete, and columns
+    the whole bound topology already acknowledged are *skipped* — the
+    rank supplies its recorded slice instead of replaying the sub-ring.
     """
     env = fabric.env
     if size == 1:
         return 0, segments[0]
-    if num_chunks <= 1:
+
+    def column(c: int, col_segments: Dict[int, Any],
+               col_channel: Any) -> Generator:
         result = yield from ring_reduce_scatter_rank(
-            fabric, rank, size, segments, reduce_op, merge_bandwidth,
-            channel=(channel, 0), bus=bus, executor_id=executor_id,
+            fabric, rank, size, col_segments, reduce_op, merge_bandwidth,
+            channel=col_channel, bus=bus, executor_id=executor_id,
             private=True, recv_timeout=recv_timeout,
             parent_span=parent_span)
+        if ledger is not None:
+            # Record inside the column process: an abort that interrupts
+            # the parent's join must not lose a completed column.
+            ledger.record(channel, c, rank, result[0], result[1])
         return result
-    col_procs = []
+
+    if num_chunks <= 1:
+        if ledger is not None and ledger.acknowledged(channel, 0):
+            return ledger.recall(channel, 0, rank)
+        result = yield from column(0, segments, (channel, 0))
+        return result
+    owned = (rank + 1) % size
+    parts_by_col: Dict[int, Any] = {}
+    pending: List[Any] = []
     for c in range(num_chunks):
+        if ledger is not None and ledger.acknowledged(channel, c):
+            col_owned, part = ledger.recall(channel, c, rank)
+            if col_owned != owned:  # pragma: no cover - structural invariant
+                raise RuntimeError(
+                    f"ledger column owns segment {col_owned}, "
+                    f"expected {owned}")
+            parts_by_col[c] = part
+            continue
         col_segments = {
             j: seg.chunk_split(c, num_chunks)
             for j, seg in segments.items()
         }
-        proc = env.process(ring_reduce_scatter_rank(
-            fabric, rank, size, col_segments, reduce_op, merge_bandwidth,
-            channel=(channel, c), bus=bus, executor_id=executor_id,
-            private=True, recv_timeout=recv_timeout,
-            parent_span=parent_span),
-            name=f"pc:r{rank}ch{channel_str(channel)}k{c}")
-        col_procs.append(track(proc) if track is not None else proc)
-    parts: List[Any] = []
-    owned = (rank + 1) % size
-    for proc in col_procs:
+        proc = env.process(column(c, col_segments, (channel, c)),
+                           name=f"pc:r{rank}ch{channel_str(channel)}k{c}")
+        pending.append((c, track(proc) if track is not None else proc))
+    for c, proc in pending:
         col_owned, part = yield proc
         if col_owned != owned:  # pragma: no cover - structural invariant
             raise RuntimeError(
                 f"chunk column owns segment {col_owned}, expected {owned}")
-        parts.append(part)
+        parts_by_col[c] = part
+    parts = [parts_by_col[c] for c in range(num_chunks)]
     return owned, parts[0].chunk_concat(parts)
 
 
@@ -372,6 +446,9 @@ class ScalableCommunicator:
         self._procs: List[Process] = []
         #: cause of the abort, or None while healthy
         self.aborted: Optional[str] = None
+        #: optional per-chunk delivery fence shared across rebuild
+        #: attempts of one aggregation (see :class:`ChunkLedger`)
+        self.ledger: Optional[ChunkLedger] = None
 
     def set_span(self, span_id: int) -> None:
         """Adopt ``span_id`` as the causal parent of everything this

@@ -39,16 +39,23 @@ argument), the reduce step becomes a detect/recompute/rebuild loop:
    to ``max_ring_attempts`` times, after which the aggregation falls back
    to ``treeAggregate`` over the same lineage.
 
+The overlapped ``pipelined_ring`` collective runs the same loop through
+:func:`_ft_pipelined_aggregate`: the stream itself is armored (recv
+deadlines, death listeners, a per-chunk delivery ledger) and a mid-stream
+fault downgrades to the phased loop above, where rebuilds replay only the
+chunk columns the ledger has not acknowledged.
+
 With no policy in effect the code path is the pre-fault-tolerance one,
 statement for statement — an unfaulted run is bit-identical.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from ..comm.ring import ScalableCommunicator
-from ..obs import CollectiveChosen, CollectiveCompleted, CollectiveCostEstimate, RecoveryAction, ResidualNorm
+from ..comm.ring import ChunkLedger, ScalableCommunicator
+from ..obs import CollectiveChosen, CollectiveCompleted, CollectiveCostEstimate, CollectiveDowngraded, RecoveryAction, ResidualNorm
 from ..rdd.costing import ELEMENT_OVERHEAD, cost_of
 from ..rdd.rdd import RDD
 from ..rdd.scheduler import JobFailed
@@ -142,14 +149,23 @@ def split_aggregate(rdd: RDD, zero: Any, seq_op: SeqOp, split_op: SplitOp,
             acc = seq_op(acc, x)
         return acc
 
-    if (spec.collective == "pipelined_ring" and recovery is None
-            and controller is None):
+    if spec.collective == "pipelined_ring":
         # The overlapped path: stream each executor's finished aggregator
-        # into the ring while other partitions are still folding. Gated on
-        # a fault-free context because the stream starts before the stage
-        # ends — there is no complete holder set to recover over yet.
-        return _pipelined_aggregate(sc, rdd, partial_func, merge_op, spec,
-                                    split_op, reduce_op, concat_op)
+        # into the ring while other partitions are still folding.
+        if recovery is None and controller is None:
+            return _pipelined_aggregate(sc, rdd, partial_func, merge_op,
+                                        spec, split_op, reduce_op, concat_op)
+        if recovery is not None:
+            # With a recovery policy the stream runs under full fault
+            # tolerance: per-chunk delivery fencing lets a rebuilt ring
+            # replay only the unacknowledged columns, and an unsalvageable
+            # topology downgrades to the phased loop below.
+            return _ft_pipelined_aggregate(sc, rdd, partial_func, merge_op,
+                                           spec, zero, seq_op, split_op,
+                                           reduce_op, concat_op, recovery,
+                                           controller)
+        # A controller without a recovery policy injects faults the
+        # stream could not survive; run the phased path below instead.
 
     if recovery is None:
         with sc.stopwatch.span("agg.compute"):
@@ -247,9 +263,16 @@ def _choose_collective(sc: Any, spec: AggregationSpec, holders: Holders
     algorithms = ["ring", "pipelined_ring", "hd"]
     if spec.topology_aware:
         algorithms.append("hierarchical")
+    # Degraded holders slow every merge hop they participate in; the ring
+    # runs at the pace of its slowest rank, so price the worst penalty.
+    health = getattr(sc, "health", None)
+    penalty = 1.0
+    if health is not None:
+        penalty = max((health.compute_penalty(eid) for eid, _ in holders),
+                      default=1.0)
     winner, estimates = choose_collective(
         model, value_bytes, slots, algorithms, spec.parallelism_candidates,
-        chunk_bytes=spec.chunk_bytes)
+        chunk_bytes=spec.chunk_bytes, compute_penalty=penalty)
     predicted = next(est for plan, est in estimates if plan is winner)
     if bus.active:
         tracer = bus.tracer
@@ -293,6 +316,7 @@ def _reduce_once(sc: Any, holders: Holders, parallelism: int,
                  recv_timeout: Optional[float] = None,
                  watch_deaths: bool = False,
                  chunk_bytes: Optional[float] = None,
+                 ledger: Optional[ChunkLedger] = None,
                  span_id: int = -1) -> Any:
     """One SpawnRDD + reduce-scatter + gather pass over ``holders``.
 
@@ -307,6 +331,10 @@ def _reduce_once(sc: Any, holders: Holders, parallelism: int,
     ``algorithm="pipelined_ring"`` reads it (chunk-level wire/merge
     overlap with every aggregator already in hand — the degraded mode the
     tuner prices, and the rebuild mode under fault tolerance).
+
+    ``ledger`` threads a bound :class:`~repro.comm.ring.ChunkLedger`
+    onto the communicator so a pipelined rebuild replays acknowledged
+    chunk columns from their recorded reductions instead of the wire.
     """
     comm = ScalableCommunicator(sc.cluster, parallelism=parallelism,
                                 topology_aware=topology_aware,
@@ -316,6 +344,8 @@ def _reduce_once(sc: Any, holders: Holders, parallelism: int,
     comm.set_span(span_id)
     if chunk_bytes is not None:
         comm.chunk_bytes = chunk_bytes
+    if ledger is not None:
+        comm.ledger = ledger
     spawned = SpawnRDD.from_holders(sc, holders)
     # The SpawnRDD launch validates static placement and reads each
     # executor's aggregator; its (cheap) results stay executor-side —
@@ -373,6 +403,7 @@ def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
                recovery: Any, controller: Any, *,
                algorithm: str = "ring",
                chunk_bytes: Optional[float] = None,
+               ledger: Optional[ChunkLedger] = None,
                span_id: int = -1) -> Any:
     """The detect / recompute / rebuild loop of the fault-tolerant path.
 
@@ -383,6 +414,14 @@ def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
     same epoch fence regardless of message topology. Rebuilds keep the
     chosen ``algorithm`` — a shrunken ring is re-priced only on the next
     aggregation, keeping recovery on the well-trodden path.
+
+    ``ledger`` (pipelined only) carries per-chunk completion records
+    across attempts. Before each ring pass it is re-bound to a key of
+    the exact holder set, parallelism and aggregation epoch: a retry
+    over unchanged holders (link faults) salvages every acknowledged
+    chunk column, while a crash — which changes the holder set or, via
+    recompute, the epoch — clears the records, because the recomputed
+    aggregators invalidate every prior partial reduction.
     """
     agg_job = holders[0][1][0]  # stage 1's job id, for recovery events
     attempts = 0
@@ -470,13 +509,16 @@ def _ft_reduce(sc: Any, rdd: RDD, partial_func: Callable, holders: Holders,
             # Re-check before ringing: a holder may have died during the
             # recompute job itself.
             continue
+        if ledger is not None:
+            ledger.bind((tuple(eid for eid, _ in holders), parallelism,
+                         epoch), size=len(holders))
         try:
             result = _reduce_once(
                 sc, holders, parallelism, topology_aware, split_op,
                 reduce_op, concat_op, algorithm=algorithm,
                 faults=controller, recv_timeout=recovery.recv_timeout,
                 watch_deaths=True, chunk_bytes=chunk_bytes,
-                span_id=span_id)
+                ledger=ledger, span_id=span_id)
         except (JobFailed, SimulationError):
             # Retry budgets below this loop are already exhausted (or the
             # kernel itself broke): rebuilding the ring cannot help.
@@ -617,13 +659,21 @@ def _plan_placement(sc: Any, rdd: RDD, partitions: Sequence[int]) -> List[int]:
     """Predict, driver-side, which executor each partition will land on.
 
     Mirrors :meth:`DAGScheduler._pick_executor` with an empty ``tried``
-    set — exact as long as no task fails, which the pipelined path
-    guarantees by refusing to run under a fault controller. The plan lets
-    the ring be built *before* the reduced-result stage finishes.
+    set (including its skip of health-quarantined executors) — exact as
+    long as no task fails. The plan lets the ring be built *before* the
+    reduced-result stage finishes. If a fault makes the stage land
+    anywhere else, the fault-tolerant wrapper detects the deviation
+    after the fact and downgrades to the phased recovery loop.
     """
     alive = [e for e in sc.executors if e.alive]
     if not alive:
         raise RuntimeError("no alive executors in the cluster")
+    health = getattr(sc, "health", None)
+
+    def quarantined(executor_id: int) -> bool:
+        return health is not None and health.is_quarantined(executor_id)
+
+    pool = [e for e in alive if not quarantined(e.executor_id)] or alive
     plan: List[int] = []
     for position, partition in enumerate(partitions):
         pinned = rdd.pinned_executor(partition)
@@ -632,11 +682,12 @@ def _plan_placement(sc: Any, rdd: RDD, partitions: Sequence[int]) -> List[int]:
             continue
         chosen: Optional[int] = None
         for executor_id in rdd.preferred_executors(partition):
-            if sc.executor_by_id(executor_id).alive:
+            if (sc.executor_by_id(executor_id).alive
+                    and not quarantined(executor_id)):
                 chosen = executor_id
                 break
         if chosen is None:
-            chosen = alive[position % len(alive)].executor_id
+            chosen = pool[position % len(pool)].executor_id
         plan.append(chosen)
     return plan
 
@@ -799,4 +850,240 @@ def _pipelined_aggregate(sc: Any, rdd: RDD, partial_func: Callable,
         _finish_collective(sc, None, cid, "pipelined_ring",
                            spec.parallelism, 0.0, began)
     SpawnRDD.cleanup_holders(sc, holders)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The fault-tolerant pipelined path
+# ---------------------------------------------------------------------------
+
+#: downgrade reasons already warned about (warn once per process, per
+#: reason; the event stream records every occurrence)
+_downgrade_warned: set = set()
+
+
+def _emit_downgrade(sc: Any, controller: Any, reason: str, detail: str,
+                    job_id: int, span_id: int) -> None:
+    """Record a pipelined→phased downgrade: obs event plus one warning."""
+    bus = sc.event_bus
+    if bus.active:
+        bus.emit(CollectiveDowngraded(
+            time=sc.now, requested="pipelined_ring", actual="ring",
+            reason=reason, job_id=job_id, detail=detail,
+            span_id=bus.tracer.new_span(), parent_span_id=span_id))
+    action = RecoveryAction(time=sc.now, action="streamed_abort",
+                            site="pipelined", job_id=job_id,
+                            detail=f"{reason}: {detail}",
+                            parent_span_id=span_id)
+    if controller is not None:
+        controller.actions.append(action)
+    if bus.active:
+        bus.emit(action)
+    if reason not in _downgrade_warned:
+        _downgrade_warned.add(reason)
+        warnings.warn(
+            f"pipelined_ring downgraded to the phased fault-tolerant path "
+            f"({reason}): {detail}. The result is unaffected; only the "
+            f"compute/communication overlap is lost. Further downgrades "
+            f"of this kind warn only on the event stream.",
+            RuntimeWarning, stacklevel=2)
+
+
+def _ft_pipelined_aggregate(sc: Any, rdd: RDD, partial_func: Callable,
+                            merge_op: MergeOp, spec: AggregationSpec,
+                            zero: Any, seq_op: SeqOp, split_op: SplitOp,
+                            reduce_op: ReduceOp, concat_op: ConcatOp,
+                            recovery: Any, controller: Any) -> Any:
+    """The overlapped path under a recovery policy (the resilient stream).
+
+    One streamed attempt runs exactly like :func:`_pipelined_aggregate`,
+    but armored: ring recvs carry the policy's failure-detection timeout,
+    every planned executor gets a death listener that aborts the
+    collective the instant it dies, and a :class:`ChunkLedger` records
+    each chunk column the moment all ranks finish reducing it.
+
+    If the stream completes, the result (and, unfaulted, the timing) is
+    identical to the fault-free pipelined path. If anything breaks —
+    an executor crash (mid-stage or mid-ring), a link fault surfacing as
+    a recv timeout, or a placement deviation — the stream is torn down
+    and the aggregation downgrades to :func:`_ft_reduce`'s
+    detect/recompute/rebuild loop, keeping ``algorithm="pipelined_ring"``
+    and the ledger: a rebuild over the *same* holders and epoch (link
+    faults) replays acknowledged columns from their recorded reductions
+    and re-runs only the unacknowledged slices, while a crash re-keys
+    the ledger (new holder set or recompute epoch) and replays from the
+    epoch-fenced lineage recompute. Either way the result is
+    byte-identical to the phased ring over the same data.
+    """
+    env = sc.env
+    bus = sc.event_bus
+    partitions = list(range(rdd.num_partitions()))
+    plan = _plan_placement(sc, rdd, partitions)
+    expected: dict = {}
+    planned_order: List[int] = []
+    for executor_id in plan:
+        if executor_id not in expected:
+            planned_order.append(executor_id)
+            expected[executor_id] = 0
+        expected[executor_id] += 1
+
+    cid = getattr(sc, "_collective_seq", 0) + 1
+    sc._collective_seq = cid
+    if bus.active:
+        bus.tracer.open_collective(cid)
+    span_id = bus.tracer.collective_span(cid)
+
+    slot_by_id = {slot.executor_id: slot for slot in sc.cluster.executors}
+    slots = [slot_by_id[executor_id] for executor_id in planned_order]
+    comm = ScalableCommunicator(sc.cluster, parallelism=spec.parallelism,
+                                topology_aware=spec.topology_aware,
+                                slots=slots, bus=bus, faults=controller,
+                                recv_timeout=recovery.recv_timeout)
+    comm.set_span(span_id)
+    comm.chunk_bytes = spec.chunk_bytes
+    # Epoch 0 of the chunk ledger: completions recorded by the stream are
+    # salvageable by any rebuild over the same holders and epoch.
+    ledger = ChunkLedger()
+    ledger.bind((tuple(planned_order), spec.parallelism, 0),
+                size=len(planned_order))
+    comm.ledger = ledger
+
+    aborted = {"failed": False, "reason": ""}
+
+    def abort_stream(reason: str) -> None:
+        if not aborted["failed"]:
+            aborted["failed"] = True
+            aborted["reason"] = reason
+            comm.abort(reason)
+
+    def on_death(executor: Any) -> None:
+        abort_stream(f"executor {executor.executor_id} died mid-stream")
+
+    watched = []
+    for executor_id in planned_order:
+        executor = sc.executor_by_id(executor_id)
+        executor.add_death_listener(on_death)
+        watched.append(executor)
+
+    counts: dict = {executor_id: 0 for executor_id in expected}
+    merged_objects: dict = {}
+    complete = {executor_id: env.event(name=f"agg-complete:{executor_id}")
+                for executor_id in planned_order}
+    streamable = {executor_id: env.event(name=f"agg-ready:{executor_id}")
+                  for executor_id in planned_order}
+
+    def on_merged(executor_id: int, _partition: int,
+                  object_id: Tuple[int, int]) -> None:
+        if aborted["failed"]:
+            # Merges of a resubmitted stage must not restart the stream.
+            return
+        merged_objects[executor_id] = object_id
+        counts[executor_id] = counts.get(executor_id, 0) + 1
+        if counts[executor_id] == expected.get(executor_id):
+            event = complete.get(executor_id)
+            if event is not None and not event.triggered:
+                event.succeed()
+
+    def cook(executor_id: int):
+        # No compression leg here: compression="topk" is rejected with a
+        # recovery policy at the entry of split_aggregate.
+        yield complete[executor_id]
+        streamable[executor_id].succeed()
+
+    def fetch_value(executor_id: int) -> Any:
+        return sc.executor_by_id(executor_id).object_manager.get(
+            merged_objects[executor_id])
+
+    comm.pipeline = [
+        (streamable[slot.executor_id],
+         lambda eid=slot.executor_id: fetch_value(eid))
+        for slot in comm.ranked]
+
+    began = sc.now
+    job_id = sc.new_job_id()
+    job_proc = env.process(
+        sc.dag.run_reduced_job(rdd, partial_func, merge_op, job_id,
+                               detail=True, on_merged=on_merged),
+        name="reduced-job")
+    cooks = [env.process(cook(executor_id), name=f"cook:{executor_id}")
+             for executor_id in planned_order]
+    collective = env.process(
+        comm.reduce_scatter_gather([None] * len(slots), split_op,
+                                   reduce_op, concat_op,
+                                   algorithm="pipelined_ring"),
+        name="pipelined-collective")
+
+    def teardown(reason: str) -> None:
+        abort_stream(reason)
+        try:
+            env.run(until=collective)
+        except BaseException:  # noqa: BLE001 - the abort is the point
+            pass
+        for proc in cooks:
+            if proc.is_alive:
+                proc.interrupt(reason)
+        for executor in watched:
+            executor.remove_death_listener(on_death)
+
+    with sc.stopwatch.span("agg.compute"):
+        try:
+            holders, contributions = env.run(until=job_proc)
+        except BaseException:
+            # Stage budget exhausted or driver teardown: recovery below
+            # this level already failed; don't leave a zombie stream.
+            teardown("reduced-result stage failed")
+            raise
+
+    deviated = (
+        not aborted["failed"]
+        and ([executor_id for executor_id, _ in holders] != planned_order
+             or any(counts.get(executor_id) != expected.get(executor_id)
+                    for executor_id in expected)
+             or any(merged_objects.get(executor_id) != obj
+                    for executor_id, obj in holders)))
+
+    if not aborted["failed"] and not deviated:
+        if bus.active:
+            value_bytes = _holder_value_bytes(sc, holders)
+            num = len(slots) * spec.parallelism
+            bus.emit(CollectiveChosen(
+                time=sc.now, collective_id=cid, algorithm="pipelined_ring",
+                parallelism=spec.parallelism, source="spec",
+                ranks=len(slots), hosts=len({s.hostname for s in slots}),
+                value_bytes=value_bytes, segment_bytes=value_bytes / num,
+                span_id=span_id, parent_span_id=bus.tracer.current_parent))
+        with sc.stopwatch.span("agg.reduce"):
+            try:
+                result = env.run(until=collective)
+            except (JobFailed, SimulationError):
+                teardown("collective failed")
+                raise
+            except Exception as exc:
+                # Recv timeout, dropped link, or a late crash: downgrade.
+                aborted["reason"] = aborted["reason"] or str(exc)
+                aborted["failed"] = True
+            else:
+                _finish_collective(sc, None, cid, "pipelined_ring",
+                                   spec.parallelism, 0.0, began)
+                for executor in watched:
+                    executor.remove_death_listener(on_death)
+                SpawnRDD.cleanup_holders(sc, holders)
+                return result
+
+    # ---- stream lost: downgrade to the phased recovery loop ---------------
+    reason = "placement_deviation" if deviated else "streamed_abort"
+    detail = (aborted["reason"]
+              or "reduced-result stage landed off the planned executors")
+    teardown(detail)
+    _emit_downgrade(sc, controller, reason, detail, job_id, span_id)
+    with sc.stopwatch.span("agg.reduce"):
+        result = _ft_reduce(sc, rdd, partial_func, holders, contributions,
+                            zero, seq_op, merge_op, spec.parallelism,
+                            spec.topology_aware, split_op, reduce_op,
+                            concat_op, recovery, controller,
+                            algorithm="pipelined_ring",
+                            chunk_bytes=spec.chunk_bytes, ledger=ledger,
+                            span_id=span_id)
+        _finish_collective(sc, None, cid, "pipelined_ring",
+                           spec.parallelism, 0.0, began)
     return result

@@ -11,6 +11,7 @@ fallback). Same plan + same seed replays to a byte-identical event log.
 """
 
 from .controller import FaultController
+from .health import ExecutorHealthRegistry, HealthPolicy
 from .plan import (
     AtRingHop,
     AtStageBoundary,
@@ -31,6 +32,8 @@ __all__ = [
     "FaultController",
     "FaultPlan",
     "RecoveryPolicy",
+    "HealthPolicy",
+    "ExecutorHealthRegistry",
     "AtTime",
     "AtStageBoundary",
     "AtRingHop",

@@ -70,7 +70,9 @@ from .events import (
     CollectiveChosen,
     CollectiveCompleted,
     CollectiveCostEstimate,
+    CollectiveDowngraded,
     EVENT_TYPES,
+    ExecutorHealth,
     FaultInjected,
     ImmMerge,
     JobEnd,
@@ -80,9 +82,11 @@ from .events import (
     NicSample,
     PhaseSpan,
     RecoveryAction,
+    ResidualLost,
     ResidualNorm,
     RingHop,
     SegmentRepresentation,
+    SpeculativeAttempt,
     StageCompleted,
     StageSubmitted,
     TaskEnd,
@@ -136,6 +140,10 @@ __all__ = [
     "NicSample",
     "FaultInjected",
     "RecoveryAction",
+    "CollectiveDowngraded",
+    "ResidualLost",
+    "SpeculativeAttempt",
+    "ExecutorHealth",
     "CollectiveCostEstimate",
     "CollectiveChosen",
     "CollectiveCompleted",

@@ -168,6 +168,25 @@ def render_analysis(analysis: TraceAnalysis) -> str:
                 f"job {job_id}: {format_seconds(seconds)}"
                 for job_id, seconds in sorted(faults.recovery_by_job.items()))
             out.append(f"recovery virtual-time cost: {cost}")
+        for down in faults.downgrades:
+            out.append(
+                f"collective downgraded at {down.time:.4f}s: "
+                f"{down.requested} -> {down.actual} ({down.reason})"
+                + (f" [{down.detail}]" if down.detail else ""))
+        if faults.residual_losses:
+            out.append(
+                f"error-feedback residuals lost: "
+                f"{sum(r.num_residuals for r in faults.residual_losses)} "
+                f"buffer(s) on "
+                f"{len(faults.residual_losses)} dead executor(s), "
+                f"total L2 norm {faults.residual_norm_lost:.6g}")
+        if faults.speculation:
+            launched = sum(1 for s in faults.speculation
+                           if s.action == "launched")
+            won = sum(1 for s in faults.speculation
+                      if s.action == "speculative_won")
+            out.append(f"speculative attempts: {launched} launched, "
+                       f"{won} won the commit race")
 
     out.append("")
     if analysis.saturation:

@@ -26,9 +26,12 @@ from .events import (
     CollectiveChosen,
     CollectiveCompleted,
     CollectiveCostEstimate,
+    CollectiveDowngraded,
     FaultInjected,
     NicSample,
     RecoveryAction,
+    ResidualLost,
+    SpeculativeAttempt,
     TaskEnd,
     TraceEvent,
 )
@@ -158,10 +161,22 @@ class FaultReport:
         field(default_factory=list)
     #: job id -> recovery virtual-time cost (from "recovered" actions)
     recovery_by_job: Dict[int, float] = field(default_factory=dict)
+    #: fast-path downgrades (pipelined -> phased), in event order
+    downgrades: List[CollectiveDowngraded] = field(default_factory=list)
+    #: error-feedback residual state lost to executor deaths
+    residual_losses: List[ResidualLost] = field(default_factory=list)
+    #: speculative-execution decisions, in event order
+    speculation: List[SpeculativeAttempt] = field(default_factory=list)
 
     @property
     def observed(self) -> bool:
-        return bool(self.injected or self.actions)
+        return bool(self.injected or self.actions or self.downgrades
+                    or self.residual_losses or self.speculation)
+
+    @property
+    def residual_norm_lost(self) -> float:
+        """Total L2 norm of error-feedback residuals lost to deaths."""
+        return sum(loss.residual_norm for loss in self.residual_losses)
 
     def finalize(self) -> None:
         """Derive latencies and per-job costs from the raw event lists."""
@@ -416,6 +431,12 @@ def analyze_events(events: Iterable[TraceEvent], *,
             analysis.faults.injected.append(event)
         elif kind == "recovery_action":
             analysis.faults.actions.append(event)
+        elif kind == "collective_downgraded":
+            analysis.faults.downgrades.append(event)
+        elif kind == "residual_lost":
+            analysis.faults.residual_losses.append(event)
+        elif kind == "speculative_attempt":
+            analysis.faults.speculation.append(event)
         elif kind == "collective_chosen":
             analysis.tuner.chosen.append(event)
         elif kind == "collective_completed":

@@ -39,6 +39,10 @@ __all__ = [
     "NicSample",
     "FaultInjected",
     "RecoveryAction",
+    "CollectiveDowngraded",
+    "ResidualLost",
+    "SpeculativeAttempt",
+    "ExecutorHealth",
     "CollectiveCostEstimate",
     "CollectiveChosen",
     "CollectiveCompleted",
@@ -499,6 +503,95 @@ class RecoveryAction(TraceEvent):
     detail: str = ""
 
 
+@dataclass(frozen=True)
+class CollectiveDowngraded(TraceEvent):
+    """A requested fast collective fell back to a slower path.
+
+    Emitted whenever the engine cannot (or can no longer) run the
+    collective the spec or tuner asked for — today that means the
+    overlapped ``pipelined_ring`` path handing the aggregation to the
+    phased fault-tolerant loop. ``reason`` explains why
+    (``placement_deviation`` — the IMM stage landed tasks off the
+    planned executors; ``streamed_abort`` — a fault tore down the
+    overlapped attempt mid-stream). The downgrade preserves
+    correctness; this event is the visibility the tuner report and
+    users previously lacked.
+    """
+
+    kind: ClassVar[str] = "collective_downgraded"
+
+    requested: str
+    actual: str
+    reason: str
+    job_id: int = -1
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ResidualLost(TraceEvent):
+    """An executor died holding top-k error-feedback residuals.
+
+    The approximate tier keeps each executor's unsent remainder in
+    ``executor.residuals`` so later rounds can re-inject it; a crash
+    drops that state silently. This gauge records what was lost:
+    ``num_residuals`` buffered arrays with total L2 norm
+    ``residual_norm`` (the accumulated error-feedback mass that will
+    never be transmitted).
+    """
+
+    kind: ClassVar[str] = "residual_lost"
+
+    executor_id: int
+    num_residuals: int
+    residual_norm: float
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class SpeculativeAttempt(TraceEvent):
+    """One speculative-execution decision on a straggling task.
+
+    ``action`` is ``launched`` (the monitor cloned the attempt onto a
+    backup executor), ``speculative_won`` (the backup finished first
+    and committed; the original was cancelled), ``original_won`` (the
+    original committed first; the backup lost the commit race or was
+    cancelled) or ``backup_failed`` (the backup attempt itself
+    errored). ``executor_id`` is the original attempt's executor,
+    ``backup_executor_id`` the clone's.
+    """
+
+    kind: ClassVar[str] = "speculative_attempt"
+
+    action: str
+    stage_id: int
+    partition: int
+    executor_id: int
+    backup_executor_id: int = -1
+    attempt: int = 0
+    threshold: float = 0.0
+    elapsed: float = 0.0
+
+
+@dataclass(frozen=True)
+class ExecutorHealth(TraceEvent):
+    """An executor's health score changed state.
+
+    ``status`` is ``failure``, ``straggle``, ``quarantined``,
+    ``probation`` (the quarantine window expired; the executor may be
+    tried again) or ``cleared`` (a probation success reset the score).
+    ``score`` is the registry's current weighted strike count,
+    ``until`` the quarantine expiry time (0 when not quarantined).
+    """
+
+    kind: ClassVar[str] = "executor_health"
+
+    executor_id: int
+    status: str
+    score: float
+    strikes: int = 0
+    until: float = 0.0
+
+
 # ------------------------------------------------------------- collectives
 @dataclass(frozen=True)
 class CollectiveCostEstimate(TraceEvent):
@@ -589,7 +682,9 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         TaskEnd, BlockEvent, MessageSent, MessageDelivered, RingHop,
         ChunkStream, ResidualNorm, ImmMerge, SegmentRepresentation,
         PhaseSpan, NicSample, FaultInjected, RecoveryAction,
-        CollectiveCostEstimate, CollectiveChosen, CollectiveCompleted,
+        CollectiveDowngraded, ResidualLost, SpeculativeAttempt,
+        ExecutorHealth, CollectiveCostEstimate, CollectiveChosen,
+        CollectiveCompleted,
     )
 }
 

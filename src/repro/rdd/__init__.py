@@ -22,6 +22,7 @@ from .rdd import (
 )
 from .scheduler import DAGScheduler, JobFailed, StageInfo
 from .shuffle import FetchFailed, MapOutputTracker
+from .speculation import SpeculationLost, SpeculationPolicy
 from .storage import BlockTracker, MemoryStore, StorageLevel
 from .task_context import TaskContext
 
@@ -47,6 +48,8 @@ __all__ = [
     "DAGScheduler",
     "StageInfo",
     "JobFailed",
+    "SpeculationPolicy",
+    "SpeculationLost",
     "FetchFailed",
     "MapOutputTracker",
     "BlockTracker",

@@ -17,14 +17,16 @@ A task attempt's timeline::
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Any, Generator
 
 from ..cluster.placement import ExecutorSlot
-from ..obs import BlockEvent, TaskEnd, TaskMetrics, TaskStart
+from ..obs import BlockEvent, ResidualLost, TaskEnd, TaskMetrics, TaskStart
 from ..serde import sim_sizeof
 from ..sim import Interrupt, Process, Resource
 from .accumulators import pop_task_context, push_task_context
 from .shuffle import FetchFailed
+from .speculation import SpeculationLost
 from .task_context import TaskContext
 from .tasks import ReducedResultTask, ResultTask, ShuffleMapTask, Task
 
@@ -164,9 +166,26 @@ class Executor:
             stats["compute_time"] = charged
             if charged > 0:
                 yield env.timeout(charged)
+            # Speculation fence: a gated attempt must win the commit
+            # race before any output or accumulator update escapes.
+            gate = getattr(task, "commit_gate", None)
+            claim = None
+            if gate is not None:
+                claim = (self.executor_id, task.attempt)
+                if not gate.claim(task.partition, claim):
+                    raise SpeculationLost(
+                        f"partition {task.partition} already committed by "
+                        f"attempt {gate.winner(task.partition)}")
             emit_began = env.now
-            output = yield from self._emit(task, result, ctx, stats,
-                                           parent_span=span)
+            try:
+                output = yield from self._emit(task, result, ctx, stats,
+                                               parent_span=span)
+            except BaseException:
+                # Dying mid-commit re-opens the partition for the
+                # surviving copy.
+                if gate is not None:
+                    gate.release(task.partition, claim)
+                raise
             stats["output_wait"] = (env.now - emit_began
                                     - stats["serialize_time"])
             self.tasks_run += 1
@@ -177,6 +196,9 @@ class Executor:
             return output
         except FetchFailed:
             status = "fetch_failed"
+            raise
+        except SpeculationLost:
+            status = "lost_race"
             raise
         except Interrupt as intr:
             status = "killed"
@@ -320,6 +342,18 @@ class Executor:
         self.memory_store.clear()
         self.shuffle_store.clear()
         self.object_manager.clear_all()
+        if self.residuals:
+            # The top-k tier's error-feedback residuals die with the
+            # executor; record how much accumulated mass was lost.
+            bus = self.sc.event_bus
+            if bus.active:
+                squared = 0.0
+                for vec in self.residuals.values():
+                    squared += float((vec * vec).sum())
+                bus.emit(ResidualLost(
+                    time=self.env.now, executor_id=self.executor_id,
+                    num_residuals=len(self.residuals),
+                    residual_norm=math.sqrt(squared), reason=reason))
         self.residuals.clear()
         self.sc.block_tracker.unregister_executor(self.executor_id)
         self.sc.map_output_tracker.unregister_executor(self.executor_id)

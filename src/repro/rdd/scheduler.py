@@ -34,11 +34,23 @@ from typing import (
     Tuple,
 )
 
-from ..obs import JobEnd, JobStart, StageCompleted, StageSubmitted
+from ..obs import (
+    JobEnd,
+    JobStart,
+    SpeculativeAttempt,
+    StageCompleted,
+    StageSubmitted,
+)
 from ..sim import Interrupt, SimulationError
 from .executor import Executor, ExecutorLost
 from .rdd import RDD, ShuffleDependency
 from .shuffle import FetchFailed
+from .speculation import (
+    BACKUP_FAILED,
+    CommitGate,
+    SpeculationLost,
+    SpeculationWave,
+)
 from .tasks import ReducedResultTask, ResultTask, ShuffleMapTask, Task
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -287,6 +299,14 @@ class DAGScheduler:
         With ``retry_tasks`` each task retries independently (Spark's normal
         path); without it the first failure aborts the whole wave after
         interrupting its peers (IMM semantics).
+
+        When ``sc.speculation`` is armed and the wave retries tasks
+        independently, a straggler monitor runs alongside the attempt
+        loops: attempts running far past the median completed duration
+        are cloned onto healthy executors, and a :class:`CommitGate`
+        threaded through every task guarantees exactly one copy commits
+        (IMM waves are excluded — their shared-mutable merge breaks the
+        task independence duplicate attempts rely on).
         """
         sc = self.sc
         env = sc.env
@@ -294,22 +314,43 @@ class DAGScheduler:
         if not alive:
             raise ExecutorLost("no alive executors in the cluster")
 
+        policy = sc.speculation
+        wave: Optional[SpeculationWave] = None
+        monitor = None
+        factory = task_factory
+        if (policy is not None and retry_tasks
+                and len(partitions) >= policy.min_tasks):
+            gate = CommitGate()
+            wave = SpeculationWave(env, total=len(partitions))
+
+            def factory(partition: int, task_attempt: int,
+                        _factory=task_factory, _wave=wave,
+                        _gate=gate) -> Task:
+                task = _factory(partition, task_attempt)
+                task.commit_gate = _gate
+                _wave.stage_id = task.stage_id
+                return task
+
         host_pool = sc.host_pool
         if host_pool is not None and host_pool.enabled:
             # Batch the stage's provably-pure task bodies onto the host
             # pool before spawning attempt loops; executors claim the
             # memoized results instead of re-running the compute. Consumes
             # no virtual time and misses fall back to inline execution.
-            host_pool.precompute(sc, rdd, partitions, task_factory,
+            host_pool.precompute(sc, rdd, partitions, factory,
                                  self._pick_executor)
 
         loops = [
             env.process(
-                self._attempt_loop(rdd, partition, position, task_factory,
-                                   retry_tasks),
+                self._attempt_loop(rdd, partition, position, factory,
+                                   retry_tasks, wave),
                 name=f"attempts:p{partition}")
             for position, partition in enumerate(partitions)
         ]
+        if wave is not None:
+            monitor = env.process(
+                self._speculation_monitor(rdd, wave, policy, factory),
+                name="speculation-monitor")
         results: Dict[int, Any] = {}
         failure: Optional[BaseException] = None
         for loop in loops:
@@ -327,14 +368,22 @@ class DAGScheduler:
                     yield loop
                 except BaseException:  # noqa: BLE001 - already aborting
                     pass
+        if monitor is not None and monitor.is_alive:
+            monitor.interrupt("wave complete")
+        if wave is not None:
+            for shepherd in wave.shepherds:
+                if shepherd.is_alive:
+                    shepherd.interrupt("wave complete")
         if failure is not None:
             raise failure
         return results
 
     def _attempt_loop(self, rdd: RDD, partition: int, position: int,
                       task_factory: Callable[[int, int], Task],
-                      retry_tasks: bool) -> Generator:
+                      retry_tasks: bool,
+                      wave: Optional[SpeculationWave] = None) -> Generator:
         sc = self.sc
+        health = sc.health
         tried: Set[int] = set()
         current = None
         failures = 0
@@ -344,8 +393,14 @@ class DAGScheduler:
                                                tried)
                 task = task_factory(partition, failures)
                 current = executor.submit(task)
+                if wave is not None:
+                    wave.task_started(partition, executor.executor_id,
+                                      current)
                 try:
                     output = yield current
+                    if wave is not None:
+                        wave.task_finished(partition)
+                    health.record_success(executor.executor_id)
                     return partition, output
                 except FetchFailed:
                     raise
@@ -353,13 +408,35 @@ class DAGScheduler:
                     # Abort/teardown and scheduler-level failures are not
                     # retryable task outcomes; let them surface untouched.
                     raise
+                except SpeculationLost:
+                    # A speculative clone claimed the commit while this
+                    # attempt was finishing. Normally its result stands;
+                    # if the clone dies mid-commit the claim is released
+                    # and this loop retries the task itself.
+                    wave.task_stopped(partition)
+                    committed = yield from wave.await_commit(partition)
+                    if committed is not BACKUP_FAILED:
+                        return partition, committed
+                    failures += 1
+                    if not retry_tasks or failures >= MAX_TASK_FAILURES:
+                        raise
                 except Exception:
                     # TaskKilled, ExecutorLost and every other task-level
                     # failure: same retry budget, same policy.
+                    if wave is not None:
+                        wave.task_stopped(partition)
+                        if partition in wave.results:
+                            # Killed because the clone already committed;
+                            # hand back its result, not a failure.
+                            return partition, wave.results[partition]
+                    health.record_failure(executor.executor_id)
                     failures += 1
                     tried.add(executor.executor_id)
                     if not retry_tasks or failures >= MAX_TASK_FAILURES:
                         raise
+                    delay = health.retry_delay(failures)
+                    if delay > 0:
+                        yield sc.env.timeout(delay)
         except Interrupt:
             if current is not None and current.is_alive:
                 current.interrupt("stage aborted")
@@ -368,6 +445,7 @@ class DAGScheduler:
     def _pick_executor(self, rdd: RDD, partition: int, position: int,
                        tried: Set[int]) -> Executor:
         sc = self.sc
+        health = sc.health
         pinned = rdd.pinned_executor(partition)
         if pinned is not None:
             executor = sc.executor_by_id(pinned)
@@ -377,14 +455,129 @@ class DAGScheduler:
             return executor
         for executor_id in rdd.preferred_executors(partition):
             executor = sc.executor_by_id(executor_id)
-            if executor.alive and executor_id not in tried:
+            if (executor.alive and executor_id not in tried
+                    and not health.is_quarantined(executor_id)):
                 return executor
         alive = [e for e in sc.executors if e.alive]
         if not alive:
             raise ExecutorLost("no alive executors in the cluster")
-        fresh = [e for e in alive if e.executor_id not in tried]
-        pool = fresh or alive
+        # Quarantined executors leave the pool while healthy peers exist;
+        # with no quarantines this is exactly the seed scheduler's choice.
+        healthy = [e for e in alive
+                   if not health.is_quarantined(e.executor_id)]
+        pool_base = healthy or alive
+        fresh = [e for e in pool_base if e.executor_id not in tried]
+        pool = fresh or pool_base
         return pool[position % len(pool)]
+
+    # ---------------------------------------------------------- speculation
+    def _speculation_monitor(self, rdd: RDD, wave: SpeculationWave,
+                             policy, task_factory) -> Generator:
+        """Process body: periodically clone straggling attempts."""
+        sc = self.sc
+        env = sc.env
+        try:
+            while True:
+                yield env.timeout(policy.interval)
+                threshold = wave.threshold(policy)
+                if threshold is None:
+                    continue
+                now = env.now
+                for partition in sorted(wave.running):
+                    if partition in wave.speculated:
+                        continue
+                    started, executor_id, _proc = wave.running[partition]
+                    elapsed = now - started
+                    if elapsed <= threshold:
+                        continue
+                    backup = self._pick_backup(rdd, partition, executor_id)
+                    if backup is None:
+                        continue
+                    wave.speculated.add(partition)
+                    sc.health.record_straggle(executor_id)
+                    attempt = wave.next_backup_attempt()
+                    self._emit_speculative(
+                        "launched", wave.stage_id, partition, executor_id,
+                        backup.executor_id, attempt, threshold, elapsed)
+                    wave.shepherds.append(env.process(
+                        self._backup_shepherd(wave, task_factory, partition,
+                                              backup, attempt, executor_id),
+                        name=f"speculate:p{partition}"))
+        except Interrupt:
+            pass
+
+    def _pick_backup(self, rdd: RDD, partition: int,
+                     busy_executor_id: int) -> Optional[Executor]:
+        """Healthiest idle executor for a clone, or None if there is none.
+
+        Pinned tasks never speculate (their placement is the contract);
+        quarantined executors are skipped. The total order (score, live
+        tasks, id) makes the choice deterministic.
+        """
+        sc = self.sc
+        if rdd.pinned_executor(partition) is not None:
+            return None
+        health = sc.health
+        candidates = [
+            e for e in sc.executors
+            if e.alive and e.executor_id != busy_executor_id
+            and not health.is_quarantined(e.executor_id)
+        ]
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda e: (health.score(e.executor_id),
+                                  len(e._running), e.executor_id))
+
+    def _backup_shepherd(self, wave: SpeculationWave, task_factory,
+                         partition: int, executor: Executor, attempt: int,
+                         original_executor_id: int) -> Generator:
+        """Process body: run one speculative clone and settle the race."""
+        sc = self.sc
+        task = task_factory(partition, attempt)
+        proc = executor.submit(task)
+        try:
+            output = yield proc
+        except Interrupt:
+            # Wave teardown: the race was already settled without us.
+            if proc.is_alive:
+                proc.interrupt("wave complete")
+            return
+        except SpeculationLost:
+            self._emit_speculative(
+                "original_won", wave.stage_id, partition,
+                original_executor_id, executor.executor_id, attempt)
+            return
+        except Exception:
+            sc.health.record_failure(executor.executor_id)
+            self._emit_speculative(
+                "backup_failed", wave.stage_id, partition,
+                original_executor_id, executor.executor_id, attempt)
+            # If the clone died holding the claim it was released in the
+            # executor; wake a waiting original so it retries.
+            wave.resolve(partition, BACKUP_FAILED)
+            return
+        wave.results[partition] = output
+        sc.health.record_success(executor.executor_id)
+        self._emit_speculative(
+            "speculative_won", wave.stage_id, partition,
+            original_executor_id, executor.executor_id, attempt)
+        wave.resolve(partition, output)
+        entry = wave.running.get(partition)
+        if entry is not None and entry[2].is_alive:
+            entry[2].interrupt("lost speculation race")
+
+    def _emit_speculative(self, action: str, stage_id: int, partition: int,
+                          executor_id: int, backup_executor_id: int,
+                          attempt: int, threshold: float = 0.0,
+                          elapsed: float = 0.0) -> None:
+        bus = self.sc.event_bus
+        if bus.active:
+            bus.emit(SpeculativeAttempt(
+                time=self.sc.env.now, action=action, stage_id=stage_id,
+                partition=partition, executor_id=executor_id,
+                backup_executor_id=backup_executor_id, attempt=attempt,
+                threshold=threshold, elapsed=elapsed))
 
     # ------------------------------------------------------------ bookkeeping
     def _new_stage_id(self) -> int:

@@ -1,0 +1,65 @@
+"""ChunkLedger: the per-chunk delivery fence for rebuilt pipelined rings."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ChunkLedger
+
+
+@pytest.fixture
+def bound():
+    ledger = ChunkLedger()
+    ledger.bind(key=((0, 1, 2), 2, 0), size=3)
+    return ledger
+
+
+def test_unacknowledged_until_every_rank_records(bound):
+    bound.record("ring/0", 0, rank=0, owned=1, value="a")
+    bound.record("ring/0", 0, rank=1, owned=2, value="b")
+    assert not bound.acknowledged("ring/0", 0)
+    bound.record("ring/0", 0, rank=2, owned=0, value="c")
+    assert bound.acknowledged("ring/0", 0)
+    assert bound.acknowledged_columns() == 1
+
+
+def test_columns_fence_independently(bound):
+    for rank in range(3):
+        bound.record("ring/0", 0, rank, owned=rank, value=rank)
+    bound.record("ring/0", 1, 0, owned=0, value="partial")
+    assert bound.acknowledged("ring/0", 0)
+    assert not bound.acknowledged("ring/0", 1)
+    assert bound.acknowledged_columns() == 1
+
+
+def test_recall_returns_rank_slice(bound):
+    value = np.arange(4.0)
+    bound.record("ring/1", 2, rank=1, owned=0, value=value)
+    owned, recalled = bound.recall("ring/1", 2, rank=1)
+    assert owned == 0
+    assert recalled is value
+
+
+def test_rebind_same_key_preserves_records(bound):
+    bound.record("ring/0", 0, 0, owned=0, value="kept")
+    bound.bind(key=((0, 1, 2), 2, 0), size=3)
+    assert bound.recall("ring/0", 0, 0) == (0, "kept")
+
+
+@pytest.mark.parametrize("key,size", [
+    (((0, 2), 2, 0), 2),       # survivor topology shrank (executor died)
+    (((0, 1, 2), 2, 1), 3),    # lineage recompute bumped the epoch
+    (((0, 1, 2), 4, 0), 3),    # parallelism changed
+])
+def test_rebind_different_key_clears(bound, key, size):
+    for rank in range(3):
+        bound.record("ring/0", 0, rank, owned=rank, value=rank)
+    assert bound.acknowledged("ring/0", 0)
+    bound.bind(key=key, size=size)
+    assert not bound.acknowledged("ring/0", 0)
+    assert bound.acknowledged_columns() == 0
+
+
+def test_empty_ledger_acknowledges_nothing():
+    ledger = ChunkLedger()
+    assert not ledger.acknowledged("ring/0", 0)
+    assert ledger.acknowledged_columns() == 0

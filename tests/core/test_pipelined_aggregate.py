@@ -161,9 +161,9 @@ def test_compression_with_recovery_rejected():
 
 
 def test_pipelined_under_fault_controller_still_correct():
-    """With a fault controller armed, the orchestrated path steps aside:
-    the phased FT loop runs the collective (all values ready) and the
-    result stays exact."""
+    """A fault controller with a recovery policy routes through the
+    fault-tolerant streamed path; with no faults in the plan the stream
+    completes and the result stays exact."""
     from repro.faults import FaultController, FaultPlan
 
     sc = SparkerContext(ClusterConfig.laptop(num_nodes=2))

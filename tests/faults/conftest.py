@@ -14,6 +14,7 @@ import numpy as np
 import pytest
 
 from repro.cluster import ClusterConfig
+from repro.core import AggregationSpec
 from repro.faults import FaultController, FaultPlan, RecoveryPolicy
 from repro.rdd import SparkerContext
 from repro.serde import SizedPayload
@@ -56,8 +57,14 @@ class AggRun:
 def run_split_agg(plan: Optional[FaultPlan] = None,
                   recovery: Optional[RecoveryPolicy] = None,
                   num_nodes: int = 4, parallelism: int = 4,
-                  sc: Optional[SparkerContext] = None) -> AggRun:
-    """Aggregate the fixed workload, optionally under an armed plan."""
+                  sc: Optional[SparkerContext] = None,
+                  collective: str = "ring",
+                  chunk_bytes: Optional[float] = None) -> AggRun:
+    """Aggregate the fixed workload, optionally under an armed plan.
+
+    ``collective``/``chunk_bytes`` select the reduce-scatter strategy
+    (``"pipelined_ring"`` exercises the resilient streamed path).
+    """
     if sc is None:
         sc = make_context(num_nodes)
     controller = None
@@ -65,9 +72,13 @@ def run_split_agg(plan: Optional[FaultPlan] = None,
         controller = FaultController(sc, plan, recovery).arm()
     data = [SizedPayload(np.full(WIDTH, float(i))) for i in range(N_ITEMS)]
     rdd = sc.parallelize(data, N_PARTITIONS)
+    spec_kwargs = dict(collective=collective, parallelism=parallelism,
+                       recovery=None if plan is not None else recovery)
+    if chunk_bytes is not None:
+        spec_kwargs["chunk_bytes"] = chunk_bytes
     result = rdd.split_aggregate(
-        lambda: SizedPayload(np.zeros(WIDTH)), parallelism=parallelism,
-        recovery=None if plan is not None else recovery, **PAYLOAD_ARGS)
+        lambda: SizedPayload(np.zeros(WIDTH)),
+        spec=AggregationSpec(**spec_kwargs), **PAYLOAD_ARGS)
     return AggRun(result=result.data, now=sc.now,
                   injected=list(controller.injected) if controller else [],
                   actions=list(controller.actions) if controller else [])

@@ -9,6 +9,8 @@ from repro.obs import (
     CollectiveChosen,
     CollectiveCompleted,
     CollectiveCostEstimate,
+    CollectiveDowngraded,
+    ExecutorHealth,
     FaultInjected,
     ImmMerge,
     JobEnd,
@@ -18,8 +20,10 @@ from repro.obs import (
     NicSample,
     PhaseSpan,
     RecoveryAction,
+    ResidualLost,
     ResidualNorm,
     RingHop,
+    SpeculativeAttempt,
     SegmentRepresentation,
     StageCompleted,
     StageSubmitted,
@@ -87,6 +91,16 @@ SAMPLES = [
     ResidualNorm(time=0.97, executor_id=5, job_id=1, k=100,
                  payload_size=10000, sent_norm=3.5, residual_norm=0.4,
                  error_feedback=True),
+    CollectiveDowngraded(time=0.98, requested="pipelined_ring",
+                         actual="ring", reason="streamed_abort", job_id=1,
+                         detail="executor 3 lost mid-stream"),
+    ResidualLost(time=0.99, executor_id=3, num_residuals=2,
+                 residual_norm=0.7, reason="fault injection"),
+    SpeculativeAttempt(time=1.0, action="launched", stage_id=3, partition=2,
+                       executor_id=5, backup_executor_id=1, attempt=100,
+                       threshold=0.4, elapsed=0.9),
+    ExecutorHealth(time=1.1, executor_id=3, status="quarantined", score=2.5,
+                   strikes=3, until=6.1),
 ]
 
 

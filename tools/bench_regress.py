@@ -119,6 +119,19 @@ REGISTRY: Dict[str, BenchSpec] = {
             Metric("baseline_virtual_seconds", "lower"),
         ),
     ),
+    "resilience": BenchSpec(
+        invariants=(
+            ("scenarios.*.result_bit_identical", True),
+            ("all_bit_identical", True),
+            ("speculation.zero_perturbation", True),
+            ("speculation.exactly_once", True),
+        ),
+        metrics=(
+            Metric("scenarios.*.pipelined_seconds", "lower"),
+            Metric("clean.overlap_win_seconds", "higher"),
+            Metric("speculation.makespan_cut_ratio", "higher"),
+        ),
+    ),
     "collective_matrix": BenchSpec(
         invariants=(("all_within_tolerance", True),),
         metrics=(
