@@ -41,7 +41,7 @@ from repro.faults import (
     Straggler,
     random_plan,
 )
-from repro.rdd import SparkerContext
+from repro.service import SparkerSession
 from repro.serde import SizedPayload
 
 NODES = 4
@@ -57,7 +57,7 @@ RECOVERY = RecoveryPolicy(recv_timeout=0.25, max_ring_attempts=3)
 
 
 def run_once(plan: FaultPlan | None) -> dict:
-    sc = SparkerContext(ClusterConfig.laptop(num_nodes=NODES))
+    sc = SparkerSession(ClusterConfig.laptop(num_nodes=NODES)).context()
     controller = FaultController(sc, plan, RECOVERY).arm() \
         if plan is not None else None
     data = [SizedPayload(np.full(WIDTH, float(i)), sim_bytes=NBYTES)
@@ -86,7 +86,7 @@ def run_once(plan: FaultPlan | None) -> dict:
 
 def scenario_matrix() -> dict:
     """The seeded fault matrix (executor ids are stable across runs)."""
-    probe = SparkerContext(ClusterConfig.laptop(num_nodes=NODES))
+    probe = SparkerSession(ClusterConfig.laptop(num_nodes=NODES)).context()
     eids = [e.executor_id for e in probe.executors]
     rng_pick = eids[SEED % len(eids)]
     return {
@@ -111,7 +111,7 @@ def main() -> int:
     baseline = run_once(None)
     scenarios = scenario_matrix()
     if not args.smoke:
-        probe = SparkerContext(ClusterConfig.laptop(num_nodes=NODES))
+        probe = SparkerSession(ClusterConfig.laptop(num_nodes=NODES)).context()
         eids = [e.executor_id for e in probe.executors]
         for seed in RANDOM_SWEEP_SEEDS:
             scenarios[f"random_seed_{seed}"] = random_plan(

@@ -32,7 +32,7 @@ import numpy as np
 from repro import AggregationSpec
 from repro.cluster import MB, ClusterConfig
 from repro.obs import EventLogWriter, NicMonitor, RecordingListener
-from repro.rdd import SparkerContext
+from repro.service import SparkerSession
 from repro.serde import SizedPayload
 
 REPEATS = 15
@@ -43,7 +43,7 @@ MODES = ("detached", "recorder", "event_log", "event_log_sync")
 
 
 def run_once(mode: str, nbytes: float, nodes: int) -> dict:
-    sc = SparkerContext(ClusterConfig.bic(num_nodes=nodes))
+    sc = SparkerSession(ClusterConfig.bic(num_nodes=nodes)).context()
     recorder = None
     monitor = None
     writer = None

@@ -32,7 +32,7 @@ import numpy as np
 from repro import AggregationSpec
 from repro.cluster import MB, ClusterConfig
 from repro.obs import CollectiveChosen
-from repro.rdd import SparkerContext
+from repro.service import SparkerSession
 from repro.rdd.costing import Costed
 from repro.serde import SizedPayload
 
@@ -75,7 +75,7 @@ def make_data(parts: int, nbytes: float, cost_scale: float) -> list:
 def run_cell(spec: AggregationSpec, nodes: int, parts: int, nbytes: float,
              cost_scale: float, listener=None) -> tuple:
     """One split_aggregate; returns (seconds, result bytes, phase dict)."""
-    sc = SparkerContext(ClusterConfig.bic(num_nodes=nodes))
+    sc = SparkerSession(ClusterConfig.bic(num_nodes=nodes)).context()
     if listener is not None:
         sc.event_bus.subscribe(listener)
     rdd = sc.parallelize(make_data(parts, nbytes, cost_scale), parts).cache()

@@ -48,7 +48,8 @@ from repro.faults import (
     Straggler,
 )
 from repro.obs import SpeculativeAttempt
-from repro.rdd import SparkerContext, SpeculationPolicy
+from repro.rdd import SpeculationPolicy
+from repro.service import SparkerSession
 from repro.rdd.costing import Costed
 
 NODES = 4
@@ -72,7 +73,7 @@ SPEC_FACTOR = 8.0
 def run_agg(collective: str, plan: FaultPlan | None) -> dict:
     from repro.serde import SizedPayload
 
-    sc = SparkerContext(ClusterConfig.laptop(num_nodes=NODES))
+    sc = SparkerSession(ClusterConfig.laptop(num_nodes=NODES)).context()
     controller = (FaultController(sc, plan, RECOVERY).arm()
                   if plan is not None else None)
     data = [SizedPayload(np.full(WIDTH, float(i)), sim_bytes=NBYTES)
@@ -95,7 +96,7 @@ def run_agg(collective: str, plan: FaultPlan | None) -> dict:
 
 
 def scenario_matrix() -> dict:
-    probe = SparkerContext(ClusterConfig.laptop(num_nodes=NODES))
+    probe = SparkerSession(ClusterConfig.laptop(num_nodes=NODES)).context()
     eids = [e.executor_id for e in probe.executors]
     return {
         "crash_before_ring": FaultPlan(faults=(ExecutorCrash(
@@ -112,7 +113,7 @@ def scenario_matrix() -> dict:
 
 # ---------------------------------------------------------------- part 2
 def run_map(speculate: bool, straggle: bool) -> dict:
-    sc = SparkerContext(ClusterConfig.laptop(num_nodes=NODES))
+    sc = SparkerSession(ClusterConfig.laptop(num_nodes=NODES)).context()
     if speculate:
         sc.speculation = SpeculationPolicy()
     events: list = []

@@ -43,7 +43,7 @@ from repro.bench.experiments import sparse_agg_comparison
 from repro.cluster import ClusterConfig
 from repro.data import concentrated_classification, sparse_classification
 from repro.ml import LogisticRegressionWithSGD, clear_csr_cache
-from repro.rdd import SparkerContext
+from repro.service import SparkerSession
 
 #: simulated-agg-time slack for the dense-regime control and the smoke
 #: gate (the adaptive path must never be meaningfully slower)
@@ -107,7 +107,7 @@ def run_batched_microbench(repeats: int = 3) -> dict:
     for _ in range(repeats):
         for mode, batched in (("per_sample", False), ("batched", True)):
             clear_csr_cache()
-            sc = SparkerContext(ClusterConfig.bic(num_nodes=2))
+            sc = SparkerSession(ClusterConfig.bic(num_nodes=2)).context()
             rdd = sc.parallelize(pts, sc.default_parallelism).cache()
             rdd.count()
             began = time.perf_counter()

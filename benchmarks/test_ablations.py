@@ -23,7 +23,7 @@ from repro import AggregationSpec
 from repro.bench import format_table
 from repro.cluster import MB, Cluster, ClusterConfig
 from repro.comm import MpiCommunicator, ScalableCommunicator, sc_transport
-from repro.rdd import SparkerContext
+from repro.service import SparkerSession
 from repro.serde import SizedPayload
 from repro.sim import Environment
 
@@ -38,7 +38,7 @@ def _payload_args():
 
 
 def _aggregate_once(config, method, sim_bytes, depth=2):
-    sc = SparkerContext(config)
+    sc = SparkerSession(config).context()
     n = sc.cluster.total_cores
     data = [SizedPayload(np.ones(64), sim_bytes=sim_bytes)
             for _ in range(n)]

@@ -15,7 +15,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro import AggregationSpec, ClusterConfig, MB, SparkerContext
+from repro import AggregationSpec, ClusterConfig, MB, SparkerSession
 from repro.serde import segment_range
 
 DIM = 4_096  # features per record
@@ -86,7 +86,7 @@ def concat_op(segments: Sequence[StatsSeg]) -> StatsSeg:
 
 
 def run(aggregation: str):
-    sc = SparkerContext(ClusterConfig.bic(num_nodes=8))
+    sc = SparkerSession(ClusterConfig.bic(num_nodes=8)).context()
     rng = np.random.default_rng(7)
     rows: List[np.ndarray] = [3.0 + 2.0 * rng.standard_normal(DIM)
                               for _ in range(RECORDS)]

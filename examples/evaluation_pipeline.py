@@ -14,7 +14,7 @@ Run:  python examples/evaluation_pipeline.py
 
 import numpy as np
 
-from repro import AggregationSpec, ClusterConfig, SparkerContext
+from repro import AggregationSpec, ClusterConfig, SparkerSession
 from repro.core import derive_split_ops
 from repro.data import dataset
 from repro.ml import BinaryClassificationMetrics, LogisticRegressionWithSGD
@@ -43,7 +43,7 @@ def main() -> None:
     split_at = int(0.8 * len(points))
     train, test = points[:split_at], points[split_at:]
 
-    sc = SparkerContext(ClusterConfig.bic(num_nodes=4))
+    sc = SparkerSession(ClusterConfig.bic(num_nodes=4)).context()
     train_rdd = sc.parallelize(train).cache()
     train_rdd.count()
 

@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import AggregationSpec, ClusterConfig, SparkerContext
+from repro import AggregationSpec, ClusterConfig, SparkerSession
 from repro.bench import BreakdownRecorder
 from repro.data import sparse_classification
 from repro.ml import LogisticRegressionWithSGD
@@ -30,7 +30,7 @@ SPEC = AggregationSpec(parallelism=4)
 
 def train(aggregation: str):
     """Train once with the given aggregation backend."""
-    sc = SparkerContext(ClusterConfig.bic(num_nodes=2))
+    sc = SparkerSession(ClusterConfig.bic(num_nodes=2)).context()
     points, _true_w = sparse_classification(
         NUM_SAMPLES, NUM_FEATURES, nnz_per_sample=12, seed=42)
     rdd = sc.parallelize(points).cache()

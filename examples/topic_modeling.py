@@ -16,7 +16,7 @@ Run:  python examples/topic_modeling.py
 
 import numpy as np
 
-from repro import AggregationSpec, ClusterConfig, SparkerContext
+from repro import AggregationSpec, ClusterConfig, SparkerSession
 from repro.bench import BreakdownRecorder, format_table
 from repro.bench.experiments import aws_config_for_cores
 from repro.data import SURROGATE_LDA_TOPICS, dataset
@@ -29,7 +29,7 @@ def topic_recovery_demo() -> None:
     """Show EM actually finds the planted topics on a small corpus."""
     from repro.data import lda_corpus
 
-    sc = SparkerContext(ClusterConfig.laptop())
+    sc = SparkerSession(ClusterConfig.laptop()).context()
     docs, true_topics = lda_corpus(n_docs=400, vocab_size=80, n_topics=4,
                                    doc_length=60, seed=11)
     rdd = sc.parallelize(docs, 8).cache()
@@ -60,7 +60,7 @@ def strong_scaling_demo() -> None:
     for cores in (96, 480):
         for label, aggregation in (("Spark", "tree"), ("Sparker", "split")):
             config = aws_config_for_cores(cores)
-            sc = SparkerContext(config)
+            sc = SparkerSession(config).context()
             rdd = sc.parallelize(docs, sc.default_parallelism).cache()
             rdd.count()
             recorder = BreakdownRecorder(sc)

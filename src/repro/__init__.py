@@ -9,18 +9,23 @@ MLlib-like model library, and a benchmark harness regenerating every table
 and figure of the paper's evaluation. See ``DESIGN.md`` for the system
 inventory and ``EXPERIMENTS.md`` for paper-vs-measured results.
 
-Quickstart::
+Quickstart (one workload, classic blocking path)::
 
-    from repro import SparkerContext, ClusterConfig
-    from repro.data import sparse_classification
-    from repro.ml import LogisticRegressionWithSGD
+    from repro import ClusterConfig, SparkerSession
 
-    sc = SparkerContext(ClusterConfig.bic(num_nodes=2))
-    points, _ = sparse_classification(2000, 500, 10, seed=0)
-    rdd = sc.parallelize(points).cache()
-    model = LogisticRegressionWithSGD.train(
-        rdd, 500, num_iterations=10, aggregation="split")
-    print(model.accuracy(points), f"simulated {sc.now:.2f}s")
+    session = SparkerSession(ClusterConfig.bic(num_nodes=2))
+    result = session.run("LR-A", aggregation="split", iterations=5)
+    print(result)
+
+or as a multi-tenant service (see ``repro.service``)::
+
+    with SparkerSession(ClusterConfig.bic()) as session:
+        a = session.submit("LR-C", tenant="alice")
+        b = session.submit("SVM-A", tenant="bob")
+        print(a.result().end_to_end, b.result().end_to_end)
+
+The lower-level building blocks (:class:`SparkerContext`, RDDs, the
+aggregation primitives) stay public for custom driver programs.
 """
 
 from .cluster import GB, KB, MB, Cluster, ClusterConfig
@@ -32,10 +37,13 @@ from .core import (
     tree_reduce,
 )
 from .rdd import RDD, SparkerContext, StorageLevel
+from .service import JobHandle, SparkerSession
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "SparkerSession",
+    "JobHandle",
     "SparkerContext",
     "ClusterConfig",
     "Cluster",

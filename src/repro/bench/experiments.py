@@ -28,7 +28,6 @@ from ..comm import (
     sc_transport,
 )
 from ..data.registry import DATASETS
-from ..rdd.context import SparkerContext
 from ..serde import SizedPayload
 from ..sim import Environment
 from .harness import TimeBreakdown, format_table
@@ -228,6 +227,8 @@ def fig13_p2p_throughput(sizes: Optional[Sequence[int]] = None,
     """Figure 13: p2p throughput vs message size; SC parallelism 1/2/4, MPI."""
     sizes = list(sizes or [1 * KB, 8 * KB, 64 * KB, 512 * KB, 1 * MB,
                            8 * MB, 32 * MB, 64 * MB, 128 * MB, 256 * MB])
+    from ..service.session import SparkerSession
+
     rows = []
     for nbytes in sizes:
         cell: Dict[str, float] = {}
@@ -314,6 +315,8 @@ def fig15_reduce_scatter_scaling(
     Executors scale with BIC nodes (6 per node). Returns
     ``[(nbytes, n_executors, sc_seconds, mpi_seconds), ...]``.
     """
+    from ..service.session import SparkerSession
+
     rows = []
     for nbytes in sizes:
         for n_exec in executor_counts:
@@ -340,11 +343,13 @@ def fig16_aggregation_scaling(
     pre-loaded with ``count``) with tree / tree+IMM / split aggregation.
     Returns ``[(nbytes, nodes, method, seconds), ...]``.
     """
+    from ..service.session import SparkerSession
+
     rows = []
     for nbytes in sizes:
         for nodes in node_counts:
             for method in methods:
-                sc = SparkerContext(ClusterConfig.bic(num_nodes=nodes))
+                sc = SparkerSession(ClusterConfig.bic(num_nodes=nodes)).context()
                 n_parts = sc.cluster.total_cores
                 data = [SizedPayload(np.ones(physical_elems),
                                      sim_bytes=nbytes)
@@ -420,12 +425,13 @@ def sparse_agg_comparison(points: list, num_features: int,
     """
     from ..ml.classification import LogisticRegressionWithSGD
     from ..obs import RecordingListener, analyze_events
+    from ..service.session import SparkerSession
     from .harness import BreakdownRecorder
 
     config = config or ClusterConfig.bic()
     out: Dict[str, Dict] = {}
     for mode in ("dense", "adaptive"):
-        sc = SparkerContext(config)
+        sc = SparkerSession(config).context()
         n_parts = partitions or sc.default_parallelism
         rdd = sc.parallelize(points, n_parts).cache()
         rdd.count()

@@ -19,15 +19,8 @@ from typing import Dict, Optional
 
 from ..cluster import ClusterConfig
 from ..core.spec import AggregationSpec, spec_with_legacy, warn_deprecated_kwarg
-from ..data.registry import SURROGATE_LDA_TOPICS, DatasetSpec, dataset
-from ..ml.classification import (
-    LinearModel,
-    LogisticRegressionWithSGD,
-    SVMWithSGD,
-)
-from ..ml.lda import LDA
-from ..rdd.context import SparkerContext
-from .harness import BreakdownRecorder, TimeBreakdown
+from ..data.registry import DatasetSpec, dataset
+from .harness import TimeBreakdown
 
 __all__ = ["WorkloadSpec", "WORKLOADS", "WorkloadResult", "run_workload"]
 
@@ -110,13 +103,14 @@ def run_workload(name: str, config: ClusterConfig,
     kernel and the host-side compute pool; the trailing keywords are
     deprecated shims mapping onto it. ``listener``, when given, is
     subscribed to the context's event bus for the training window.
+
+    This is now a thin wrapper over
+    :meth:`repro.service.SparkerSession.run` (the session is the
+    canonical entry point, sync and async); the deprecated-keyword shims
+    stay here so warnings keep naming ``run_workload``.
     """
-    try:
-        workload = WORKLOADS[name]
-    except KeyError:
-        known = ", ".join(WORKLOADS)
-        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
-    ds = workload.spec
+    from ..service.session import SparkerSession
+
     if isinstance(spec, int):
         # the pre-spec signature's positional parallelism
         warn_deprecated_kwarg("parallelism", "run_workload", stacklevel=3)
@@ -125,53 +119,7 @@ def run_workload(name: str, config: ClusterConfig,
         spec, "run_workload",
         parallelism=parallelism, sparse_aggregation=sparse_aggregation,
         sparse_policy=sparse_policy, batched=batched, host_pool=host_pool)
-    if workload.model == "lda" and (spec.sparse_aggregation or spec.batched):
-        raise ValueError(
-            "sparse_aggregation/batched apply to the LR/SVM workloads only")
-    sc = SparkerContext(config, host_pool=spec.host_pool)
-    n_parts = partitions or sc.default_parallelism
+    return SparkerSession(config).run(
+        name, aggregation=aggregation, iterations=iterations, spec=spec,
+        partitions=partitions, listener=listener)
 
-    samples, _truth = ds.generate()
-    rdd = sc.parallelize(samples, n_parts).cache()
-    rdd.count()  # materialize MEMORY_ONLY before the measured window
-
-    if listener is not None:
-        sc.event_bus.subscribe(listener)
-    recorder = BreakdownRecorder(sc)
-    began = sc.now
-    if workload.model == "lda":
-        model = LDA(
-            k=SURROGATE_LDA_TOPICS, num_iterations=iterations,
-            aggregation=aggregation, spec=spec,
-            size_scale=ds.size_scale, sample_scale=ds.compute_scale,
-        ).fit(rdd, ds.surrogate_features)
-        final_loss = -model.log_likelihoods[-1]
-    else:
-        trainer = (LogisticRegressionWithSGD if workload.model == "lr"
-                   else SVMWithSGD)
-        model: LinearModel = trainer.train(
-            rdd, ds.surrogate_features,
-            num_iterations=iterations,
-            step_size=workload.step_size,
-            reg_param=workload.reg_param,
-            mini_batch_fraction=workload.mini_batch_fraction,
-            aggregation=aggregation,
-            spec=spec,
-            size_scale=ds.size_scale,
-            sample_scale=ds.compute_scale,
-        )
-        final_loss = model.losses[-1]
-
-    return WorkloadResult(
-        workload=name,
-        config_name=config.name,
-        num_nodes=config.num_nodes,
-        aggregation=aggregation,
-        iterations=iterations,
-        end_to_end=sc.now - began,
-        breakdown=recorder.finish(),
-        final_loss=final_loss,
-        sim_events=sc.env.events_scheduled,
-        tasks_run=sum(e.tasks_run for e in sc.executors),
-        final_weights=getattr(model, "weights", None),
-    )

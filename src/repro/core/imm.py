@@ -39,7 +39,8 @@ class StaleMergeError(Exception):
 
 
 class _Entry:
-    __slots__ = ("value", "stage_attempt", "lock", "merge_count", "epoch")
+    __slots__ = ("value", "stage_attempt", "lock", "merge_count", "epoch",
+                 "deposits")
 
     def __init__(self, stage_attempt: int, lock: Resource):
         self.value: Any = None
@@ -48,6 +49,9 @@ class _Entry:
         self.merge_count = 0
         #: aggregation epoch; 0 until the object is fenced by recovery
         self.epoch = 0
+        #: per-partition pending values of the ordered-merge mode; None
+        #: on the classic arrival-order path
+        self.deposits: Dict[int, Any] = None
 
 
 class MutableObjectManager:
@@ -127,6 +131,82 @@ class MutableObjectManager:
                     parent_span_id=parent_span))
         finally:
             entry.lock.release()
+
+    # ----------------------------------------------------- ordered merging
+    def deposit(self, object_id: ObjectId, stage_attempt: int,
+                partition: int, value: Any) -> None:
+        """Stash one partition's partial for a deferred ordered fold.
+
+        The ordered-merge mode of the multi-tenant service (DESIGN.md §16):
+        instead of folding task results in completion order — which makes
+        the float fold sensitive to cross-job timing — tasks deposit their
+        partials keyed by partition, and the scheduler folds them in sorted
+        partition order at stage end via :meth:`fold_deposits`. Depositing
+        consumes no virtual time; the fold charges the same per-merge cost
+        formula as :meth:`merge`.
+        """
+        entry = self._entry(object_id, stage_attempt)
+        if entry.stage_attempt != stage_attempt:
+            raise StaleMergeError(
+                f"stage attempt {stage_attempt} of {object_id} was cleaned "
+                f"up (current: {entry.stage_attempt})")
+        if entry.epoch != 0:
+            raise StaleMergeError(
+                f"{object_id} is fenced at epoch {entry.epoch}; ordered "
+                f"deposits are stale")
+        if entry.deposits is None:
+            entry.deposits = {}
+        entry.deposits[partition] = value
+
+    def fold_deposits(self, object_id: ObjectId, stage_attempt: int,
+                      reduce_op: Callable[[Any, Any], Any],
+                      parent_span: int = -1) -> Generator:
+        """Process body: fold deposited partials in sorted partition order.
+
+        Deterministic regardless of task completion order: the fold
+        sequence is fixed by partition index, so a job's merged aggregator
+        is byte-identical whether its tasks ran alone or interleaved with
+        other tenants'. Each non-initial merge charges
+        ``sim_sizeof(merged) / merge_bandwidth + cost_of(reduce_op, ...)``
+        — the same formula as the arrival-order path.
+        """
+        from ..rdd.costing import cost_of
+
+        entry = self._entries.get(object_id)
+        if entry is None or entry.stage_attempt != stage_attempt:
+            current = None if entry is None else entry.stage_attempt
+            raise StaleMergeError(
+                f"fold of {object_id} attempt {stage_attempt} is stale "
+                f"(current: {current})")
+        bus = self.executor.sc.event_bus
+        deposits, entry.deposits = entry.deposits, None
+        for partition in sorted(deposits or ()):
+            value = deposits[partition]
+            merge_began = self.env.now
+            if entry.value is None:
+                entry.value = value
+            else:
+                merged = reduce_op(entry.value, value)
+                cost = (sim_sizeof(merged)
+                        / self.executor.sc.cluster.config.merge_bandwidth
+                        + cost_of(reduce_op, entry.value, value))
+                if cost > 0:
+                    yield self.env.timeout(cost)
+                entry.value = merged
+            entry.merge_count += 1
+            if bus.active:
+                job_id, stage_id = object_id
+                bus.emit(ImmMerge.fast(
+                    time=self.env.now,
+                    executor_id=self.executor.executor_id, job_id=job_id,
+                    stage_id=stage_id, merge_index=entry.merge_count - 1,
+                    nbytes=sim_sizeof(value), lock_wait=0.0,
+                    merge_time=self.env.now - merge_began,
+                    representation=representation_of(entry.value),
+                    density=density_of(entry.value),
+                    span_id=bus.tracer.new_span(),
+                    parent_span_id=parent_span))
+        return entry.value
 
     # -------------------------------------------------------- epoch fencing
     def fence(self, object_id: ObjectId, epoch: int) -> None:
@@ -228,6 +308,19 @@ class MutableObjectManager:
     def clear(self, object_id: ObjectId) -> None:
         """Drop the shared object (stage cleanup before resubmission)."""
         self._entries.pop(object_id, None)
+
+    def clear_job(self, job_id: int) -> int:
+        """Drop every shared object belonging to ``job_id``.
+
+        Lineage cleanup after a cancelled (or abandoned) service job:
+        object ids are ``(job_id, stage_id)``, so a cancelled job's
+        partially merged aggregators are identifiable without the driver
+        tracking individual stages. Returns the number of objects dropped.
+        """
+        stale = [oid for oid in self._entries if oid[0] == job_id]
+        for oid in stale:
+            del self._entries[oid]
+        return len(stale)
 
     def clear_all(self) -> None:
         self._entries.clear()

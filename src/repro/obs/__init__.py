@@ -35,7 +35,7 @@ Capture a trace::
 
     from repro.obs import EventLogWriter
 
-    sc = SparkerContext(ClusterConfig.bic())
+    sc = SparkerSession(ClusterConfig.bic()).context()
     with EventLogWriter("events.jsonl").attached_to(sc.event_bus):
         ...  # run the workload
 
@@ -81,11 +81,14 @@ from .events import (
     MessageSent,
     NicSample,
     PhaseSpan,
+    PoolSample,
     RecoveryAction,
     ResidualLost,
     ResidualNorm,
     RingHop,
     SegmentRepresentation,
+    ServiceJobFinished,
+    ServiceJobSubmitted,
     SpeculativeAttempt,
     StageCompleted,
     StageSubmitted,
@@ -147,6 +150,9 @@ __all__ = [
     "CollectiveCostEstimate",
     "CollectiveChosen",
     "CollectiveCompleted",
+    "ServiceJobSubmitted",
+    "ServiceJobFinished",
+    "PoolSample",
     "EventLogWriter",
     "dump_events",
     "load_events",

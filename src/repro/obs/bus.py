@@ -71,6 +71,17 @@ class EventBus:
         del self._listeners[index]
         del self._deliveries[index]
 
+    def close(self) -> None:
+        """Detach every listener (idempotent).
+
+        Context teardown calls this so a job that raised mid-stage (or a
+        caller that forgot to unsubscribe) cannot leave listeners
+        attached — on a shared bus each leaked listener keeps receiving
+        (and retaining) every later event.
+        """
+        self._listeners.clear()
+        self._deliveries.clear()
+
     def emit(self, event: TraceEvent) -> None:
         """Deliver ``event`` to every listener, in subscription order."""
         if not self._deliveries:

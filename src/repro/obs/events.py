@@ -46,6 +46,9 @@ __all__ = [
     "CollectiveCostEstimate",
     "CollectiveChosen",
     "CollectiveCompleted",
+    "ServiceJobSubmitted",
+    "ServiceJobFinished",
+    "PoolSample",
     "EVENT_TYPES",
     "event_from_record",
     "channel_str",
@@ -658,6 +661,52 @@ class CollectiveCompleted(TraceEvent):
     predicted: float = 0.0
 
 
+# ---------------------------------------------------------------- service
+@dataclass(frozen=True)
+class ServiceJobSubmitted(TraceEvent):
+    """A tenant job entered the job service (see :mod:`repro.service`)."""
+
+    kind: ClassVar[str] = "service_job_submitted"
+
+    service_job_id: int
+    tenant: str
+    pool: str
+    workload: str
+    queued: bool = False
+
+
+@dataclass(frozen=True)
+class ServiceJobFinished(TraceEvent):
+    """A tenant job left the job service (any terminal status).
+
+    ``latency`` is submission-to-completion in virtual seconds — the
+    quantity the service benchmark reports p50/p99 over.
+    """
+
+    kind: ClassVar[str] = "service_job_finished"
+
+    service_job_id: int
+    tenant: str
+    pool: str
+    workload: str
+    status: str  # "succeeded" | "failed" | "cancelled"
+    submitted: float
+    latency: float
+
+
+@dataclass(frozen=True)
+class PoolSample(TraceEvent):
+    """One FAIR-arbiter accounting sample for one pool."""
+
+    kind: ClassVar[str] = "pool_sample"
+
+    pool: str
+    weight: float
+    running: int
+    task_seconds: float
+    queued_tickets: int
+
+
 # --------------------------------------------------------------- sampling
 @dataclass(frozen=True)
 class NicSample(TraceEvent):
@@ -684,7 +733,8 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         PhaseSpan, NicSample, FaultInjected, RecoveryAction,
         CollectiveDowngraded, ResidualLost, SpeculativeAttempt,
         ExecutorHealth, CollectiveCostEstimate, CollectiveChosen,
-        CollectiveCompleted,
+        CollectiveCompleted, ServiceJobSubmitted, ServiceJobFinished,
+        PoolSample,
     )
 }
 

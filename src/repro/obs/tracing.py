@@ -20,15 +20,19 @@ Parent/child rules (documented in DESIGN.md §12):
   recompute jobs launched during recovery parent to that epoch too (via
   the driver parent stack).
 
-The driver parent stack (:meth:`Tracer.push_parent`) is sound because
-driver-side job submission is sequential today — ``run_job`` blocks until
-the job finishes. If concurrent job submission lands (ROADMAP item 1)
-the stack must become per-submitter.
+The driver parent stack (:meth:`Tracer.push_parent`) is per-submitter:
+each thread that runs driver code (the main thread for the classic
+blocking API, one worker thread per job under :mod:`repro.service`) gets
+its own stack, so concurrent submissions cannot interleave parents.
+Driver entry points capture ``current_parent`` on the submitting thread
+and pass it explicitly into scheduler process bodies, which execute on
+the reactor thread.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import threading
+from typing import Dict, Tuple
 
 __all__ = ["Tracer", "NO_SPAN"]
 
@@ -54,7 +58,7 @@ class Tracer:
         self._jobs: Dict[int, int] = {}
         self._stages: Dict[Tuple[int, int], int] = {}
         self._collectives: Dict[int, int] = {}
-        self._parents: List[int] = []
+        self._parents = threading.local()
 
     # ----------------------------------------------------------- allocation
     @property
@@ -70,17 +74,25 @@ class Tracer:
         return self._next_id
 
     # -------------------------------------------------- driver parent stack
+    def _stack(self) -> list:
+        stack = getattr(self._parents, "stack", None)
+        if stack is None:
+            stack = self._parents.stack = []
+        return stack
+
     @property
     def current_parent(self) -> int:
-        return self._parents[-1] if self._parents else NO_SPAN
+        stack = self._stack()
+        return stack[-1] if stack else NO_SPAN
 
     def push_parent(self, span: int) -> None:
         """Make ``span`` the default parent for driver-side openings
-        (jobs, collectives) until :meth:`pop_parent`."""
-        self._parents.append(span)
+        (jobs, collectives) on this thread until :meth:`pop_parent`."""
+        self._stack().append(span)
 
     def pop_parent(self) -> int:
-        return self._parents.pop() if self._parents else NO_SPAN
+        stack = self._stack()
+        return stack.pop() if stack else NO_SPAN
 
     # ---------------------------------------------------------------- jobs
     def open_job(self, job_id: int) -> int:

@@ -23,13 +23,13 @@ __all__ = ["Broadcast"]
 class Broadcast:
     """A read-only value replicated to every node."""
 
-    _next_id = 0
-
     def __init__(self, sc: "SparkerContext", value: Any):
         self.sc = sc
         self._value = value
-        self.id = Broadcast._next_id
-        Broadcast._next_id += 1
+        # Per-context ids: a process hosting many contexts (the job
+        # service, test suites) numbers each context's broadcasts from
+        # zero, independent of what ran before it.
+        self.id = sc.new_broadcast_id()
         self.sim_bytes = sim_sizeof(value)
         self._destroyed = False
 

@@ -9,6 +9,7 @@ simulation runs underneath — exactly the Spark driver experience.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Union
 
 from ..cluster import Cluster, ClusterConfig
@@ -26,7 +27,41 @@ from .shuffle import MapOutputTracker
 from .storage import BlockTracker
 from .task_context import TaskContext
 
-__all__ = ["SparkerContext"]
+__all__ = ["SparkerContext", "JobScope", "JobCancelled"]
+
+
+class JobCancelled(RuntimeError):
+    """The submitting scope was cancelled; no further engine calls run."""
+
+
+class JobScope:
+    """Per-submission driver state for concurrent use of one context.
+
+    The classic blocking API never installs a scope: every submission
+    reads the root stopwatch and the default (``None``) pool — exactly
+    the seed behavior. A :mod:`repro.service` worker thread installs one
+    scope for the lifetime of its job so that jobs sharing the context
+    cannot interleave their phase breakdowns, FAIR pools, or IMM cleanup
+    lists. Scopes are thread-local (see
+    :meth:`SparkerContext.enter_job_scope`).
+    """
+
+    __slots__ = ("pool", "ordered", "stopwatch", "job_ids", "cancelled")
+
+    def __init__(self, sc: "SparkerContext", pool: Optional[str] = None,
+                 ordered: bool = False):
+        #: FAIR pool every task of this scope's jobs is billed to
+        self.pool = pool
+        #: deterministic deferred-merge mode for IMM stages (DESIGN.md §16)
+        self.ordered = ordered
+        #: per-job stopwatch so concurrent breakdowns don't mix
+        self.stopwatch = Stopwatch(sc.env, on_record=sc._record_phase)
+        #: engine job ids allocated under this scope, for IMM cleanup
+        #: when the job is cancelled mid-stage
+        self.job_ids: List[int] = []
+        #: cancellation reason; once set, the scope's next engine call
+        #: (job submission, broadcast) raises :class:`JobCancelled`
+        self.cancelled: Optional[str] = None
 
 
 class SparkerContext:
@@ -82,12 +117,21 @@ class SparkerContext:
         self.driver_getters = Resource(self.env,
                                        self.config.driver_result_threads,
                                        name="driver-getters")
-        self.stopwatch = Stopwatch(self.env, on_record=self._record_phase)
+        self._root_stopwatch = Stopwatch(self.env,
+                                         on_record=self._record_phase)
+        #: thread-local JobScope holder (service mode); the classic
+        #: blocking API never sets it
+        self._scopes = threading.local()
+        #: FAIR task arbiter (see :mod:`repro.service.fair`); None = the
+        #: seed path, where executors acquire slots FIFO from their own
+        #: Resource
+        self.task_arbiter = None
         self.default_parallelism = (default_parallelism
                                     or self.cluster.total_cores)
         self._next_rdd_id = 0
         self._next_shuffle_id = 0
         self._next_job_id = 0
+        self._next_broadcast_id = 0
         self._stopped = False
         #: armed fault controller (see :mod:`repro.faults`); None = no
         #: injection and no recovery machinery anywhere in the engine
@@ -126,7 +170,40 @@ class SparkerContext:
     def new_job_id(self) -> int:
         job_id = self._next_job_id
         self._next_job_id += 1
+        scope = getattr(self._scopes, "scope", None)
+        if scope is not None:
+            scope.job_ids.append(job_id)
         return job_id
+
+    def new_broadcast_id(self) -> int:
+        broadcast_id = self._next_broadcast_id
+        self._next_broadcast_id += 1
+        return broadcast_id
+
+    # ------------------------------------------------------------- job scopes
+    @property
+    def stopwatch(self) -> Stopwatch:
+        """The submitting scope's stopwatch (root when no scope is set).
+
+        Every engine call site reads this on the driver thread that is
+        doing the submission, so per-scope resolution gives each
+        concurrent job its own phase breakdown; without a scope this is
+        the context-wide root stopwatch, as in the seed.
+        """
+        scope = getattr(self._scopes, "scope", None)
+        return self._root_stopwatch if scope is None else scope.stopwatch
+
+    def job_scope(self) -> Optional[JobScope]:
+        """This thread's active :class:`JobScope`, or None."""
+        return getattr(self._scopes, "scope", None)
+
+    def enter_job_scope(self, scope: JobScope) -> JobScope:
+        """Install ``scope`` for the calling thread (service workers)."""
+        self._scopes.scope = scope
+        return scope
+
+    def exit_job_scope(self) -> None:
+        self._scopes.scope = None
 
     def executor_by_id(self, executor_id: int) -> Executor:
         try:
@@ -194,6 +271,9 @@ class SparkerContext:
 
     def broadcast(self, value: Any) -> Broadcast:
         """Replicate ``value`` to every node (binomial tree, blocking)."""
+        scope = getattr(self._scopes, "scope", None)
+        if scope is not None and scope.cancelled is not None:
+            raise JobCancelled(scope.cancelled)
         bc = Broadcast(self, value)
         proc = self.env.process(self.cluster.network.broadcast_tree(
             self.cluster.driver_node, self.cluster.nodes, bc.sim_bytes))
@@ -204,11 +284,24 @@ class SparkerContext:
     def run_job(self, rdd: RDD,
                 func: Callable[[int, list, TaskContext], Any],
                 partitions: Optional[Sequence[int]] = None) -> list:
-        """Run ``func`` over partitions and return its results (blocking)."""
+        """Run ``func`` over partitions and return its results (blocking).
+
+        Scope-dependent submission state (FAIR pool, trace parent) is
+        captured *here*, on the submitting thread — the scheduler
+        generator body may execute on a different thread (the service
+        reactor), where thread-locals would be wrong.
+        """
         if self._stopped:
             raise RuntimeError("context is stopped")
-        proc = self.env.process(self.dag.run_job(rdd, func, partitions),
-                                name="job")
+        scope = getattr(self._scopes, "scope", None)
+        if scope is not None and scope.cancelled is not None:
+            raise JobCancelled(scope.cancelled)
+        proc = self.env.process(
+            self.dag.run_job(rdd, func, partitions,
+                             job_id=self.new_job_id(),
+                             pool=None if scope is None else scope.pool,
+                             parent_span=self.tracer.current_parent),
+            name="job")
         return self.env.run(until=proc)
 
     def run_reduced_job(self, rdd: RDD,
@@ -222,15 +315,24 @@ class SparkerContext:
         Returns ``[(executor_id, object_id), ...]``; read the merged values
         with ``sc.executor_by_id(eid).object_manager.get(oid)``. See
         :meth:`DAGScheduler.run_reduced_job` for ``partitions``/``detail``/
-        ``on_merged``.
+        ``on_merged``. Pool / ordered-merge / trace parent come from the
+        submitting thread's scope, as in :meth:`run_job`.
         """
         if self._stopped:
             raise RuntimeError("context is stopped")
+        scope = getattr(self._scopes, "scope", None)
+        if scope is not None and scope.cancelled is not None:
+            raise JobCancelled(scope.cancelled)
         job_id = self.new_job_id()
         proc = self.env.process(
             self.dag.run_reduced_job(rdd, func, reduce_op, job_id,
                                      partitions=partitions, detail=detail,
-                                     on_merged=on_merged),
+                                     on_merged=on_merged,
+                                     pool=None if scope is None
+                                     else scope.pool,
+                                     ordered=scope is not None
+                                     and scope.ordered,
+                                     parent_span=self.tracer.current_parent),
             name="reduced-job")
         return self.env.run(until=proc)
 
@@ -328,8 +430,37 @@ class SparkerContext:
         self.executor_by_id(executor_id).kill()
 
     def stop(self) -> None:
-        """Shut the context down (further jobs are rejected)."""
+        """Shut the context down (further jobs are rejected).
+
+        Idempotent and exception-safe: every teardown step runs even if
+        an earlier one raises, so a job that died mid-stage cannot leave
+        event-bus listeners or host-pool workers behind — the two leaks
+        that made long-lived multi-context processes (the job service,
+        test suites) accumulate state before this existed. The first
+        exception, if any, propagates after all steps have run.
+        """
+        if self._stopped:
+            return
         self._stopped = True
+        failure: Optional[BaseException] = None
+        host_pool, self.host_pool = self.host_pool, None
+        if host_pool is not None:
+            try:
+                host_pool.close()
+            except BaseException as exc:  # noqa: BLE001 - collect and go on
+                failure = exc
+        try:
+            self.event_bus.close()
+        except BaseException as exc:  # noqa: BLE001
+            failure = failure or exc
+        if failure is not None:
+            raise failure
+
+    def __enter__(self) -> "SparkerContext":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.stop()
 
     def __repr__(self) -> str:
         return (f"<SparkerContext {self.config.name!r} "

@@ -109,7 +109,16 @@ class Executor:
         cfg = self.sc.cluster.config
         bus = self.sc.event_bus
         queued = env.now
-        yield self.task_slots.acquire()
+        arbiter = self.sc.task_arbiter
+        if arbiter is None:
+            yield self.task_slots.acquire()
+        else:
+            # FAIR mode: the arbiter owns grant ordering; it reserves a
+            # slot for us before we touch ``task_slots``, so the acquire
+            # inside ``admit`` is always immediate and the Resource's
+            # FIFO waiter queue stays empty (an interrupted waiter would
+            # otherwise leak the slot a later release hands it).
+            yield from arbiter.admit(self, task)
         began = env.now
         tracing = bus.active
         span = -1
@@ -208,6 +217,8 @@ class Executor:
             raise
         finally:
             self.task_slots.release()
+            if arbiter is not None:
+                arbiter.released(self, task, env.now - began)
             if tracing and bus.active:
                 bus.emit(TaskEnd(
                     time=env.now, stage_id=task.stage_id,
@@ -237,6 +248,15 @@ class Executor:
         if isinstance(task, ReducedResultTask):
             # In-memory merge: the shared object absorbs the result locally.
             stats["result_bytes"] = sim_sizeof(result)
+            if task.ordered:
+                # Deterministic service mode: park the partial keyed by
+                # partition (free — the fold charges the merge cost later,
+                # in sorted partition order, via the scheduler's stage-end
+                # fold pass). Arrival order becomes unobservable.
+                self.object_manager.deposit(
+                    task.object_id, task.stage_attempt, task.partition,
+                    result)
+                return (self.executor_id, task.object_id)
             yield from self.object_manager.merge(
                 task.object_id, task.stage_attempt, result, task.reduce_op,
                 parent_span=parent_span)

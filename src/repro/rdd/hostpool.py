@@ -514,6 +514,18 @@ class HostPool:
             self.stats["claimed"] += 1
         return memo
 
+    def close(self) -> None:
+        """Release pool-held resources (idempotent).
+
+        Workers are forked per :meth:`precompute` call and reaped there,
+        so the only durable state is the memo table and any parked
+        shared-memory mappings whose arrays the simulation has let go.
+        Context teardown calls this so chaos runs — a job raising
+        mid-stage — cannot strand either across context lifetimes.
+        """
+        self._memos.clear()
+        _sweep_segments()
+
     def __repr__(self) -> str:
         return (f"<HostPool size={self.size} mode={self.mode} "
                 f"stats={self.stats}>")

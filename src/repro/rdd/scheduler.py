@@ -108,16 +108,26 @@ class DAGScheduler:
 
     # ------------------------------------------------------------------- jobs
     def run_job(self, rdd: RDD, func: Callable[[int, list, Any], Any],
-                partitions: Optional[Sequence[int]] = None) -> Generator:
-        """Process body: run a job, returning per-partition results."""
+                partitions: Optional[Sequence[int]] = None,
+                job_id: Optional[int] = None, pool: Optional[str] = None,
+                parent_span: int = -1) -> Generator:
+        """Process body: run a job, returning per-partition results.
+
+        ``job_id``/``pool``/``parent_span`` are captured by the submitting
+        driver thread (see :meth:`SparkerContext.run_job`): this generator
+        body executes on whichever thread pumps the event loop, so any
+        per-submitter state must arrive as explicit arguments rather than
+        be read from thread-local scope here.
+        """
         sc = self.sc
         parts = list(partitions if partitions is not None
                      else range(rdd.num_partitions()))
-        job_id = sc.new_job_id()
-        self._job_start(job_id, "result", rdd, len(parts))
+        if job_id is None:
+            job_id = sc.new_job_id()
+        self._job_start(job_id, "result", rdd, len(parts), parent_span)
         yield sc.env.timeout(sc.cluster.config.driver_job_overhead)
         for attempt in range(MAX_STAGE_ATTEMPTS):
-            yield from self._ensure_shuffles(rdd, job_id)
+            yield from self._ensure_shuffles(rdd, job_id, pool)
             stage_id = self._new_stage_id()
             info = self._open_stage(stage_id, "result", rdd, len(parts),
                                     attempt, job_id)
@@ -128,7 +138,7 @@ class DAGScheduler:
 
             try:
                 raw = yield from self._run_tasks(rdd, parts, factory,
-                                                 retry_tasks=True)
+                                                 retry_tasks=True, pool=pool)
             except FetchFailed:
                 self._close_stage(info, job_id)
                 continue  # parent stage will be resubmitted
@@ -156,8 +166,10 @@ class DAGScheduler:
                         partitions: Optional[Sequence[int]] = None,
                         detail: bool = False,
                         on_merged: Optional[Callable[
-                            [int, int, Tuple[int, int]], None]] = None
-                        ) -> Generator:
+                            [int, int, Tuple[int, int]], None]] = None,
+                        pool: Optional[str] = None,
+                        ordered: bool = False,
+                        parent_span: int = -1) -> Generator:
         """Process body: run an IMM reduced-result stage (paper §4.3).
 
         Returns ``[(executor_id, object_id), ...]`` — one entry per executor
@@ -174,16 +186,28 @@ class DAGScheduler:
         :class:`~repro.rdd.tasks.ReducedResultTask` of the stage (see
         that class) — the pipelined collective path uses it to learn,
         in virtual time, when each executor's aggregator is complete.
+
+        ``ordered`` selects the service concurrency mode: task partials
+        are deposited per partition and folded in sorted partition order
+        after the wave (same per-merge cost formula), so the merged value
+        does not depend on cross-job completion-order jitter. Incompatible
+        with ``on_merged`` — the pipelined path needs arrival-order
+        streaming.
         """
         sc = self.sc
+        if ordered and on_merged is not None:
+            raise ValueError(
+                "ordered IMM defers merging to stage end; the pipelined "
+                "path's on_merged hook requires arrival-order merges")
         parts = list(partitions if partitions is not None
                      else range(rdd.num_partitions()))
-        self._job_start(job_id, "reduced_result", rdd, len(parts))
+        self._job_start(job_id, "reduced_result", rdd, len(parts),
+                        parent_span)
         yield sc.env.timeout(sc.cluster.config.driver_job_overhead)
         stage_id = self._new_stage_id()
         object_id = (job_id, stage_id)
         for attempt in range(MAX_STAGE_ATTEMPTS):
-            yield from self._ensure_shuffles(rdd, job_id)
+            yield from self._ensure_shuffles(rdd, job_id, pool)
             info = self._open_stage(stage_id, "reduced_result", rdd,
                                     len(parts), attempt, job_id)
 
@@ -191,11 +215,34 @@ class DAGScheduler:
                         _attempt: int = attempt) -> Task:
                 return ReducedResultTask(stage_id, _attempt, rdd, partition,
                                          task_attempt, func, reduce_op,
-                                         object_id, on_merged=on_merged)
+                                         object_id, on_merged=on_merged,
+                                         ordered=ordered)
 
             try:
                 raw = yield from self._run_tasks(rdd, parts, factory,
-                                                 retry_tasks=False)
+                                                 retry_tasks=False,
+                                                 pool=pool)
+                if ordered:
+                    # Deterministic deferred merge: every holding executor
+                    # folds its deposited partials in sorted partition
+                    # order, concurrently across executors, inside the
+                    # stage window (so stage duration includes the merge
+                    # cost the arrival-order path pays per task).
+                    folds = [
+                        sc.env.process(
+                            sc.executor_by_id(eid).object_manager
+                            .fold_deposits(object_id, attempt, reduce_op),
+                            name=f"imm-fold:e{eid}")
+                        for eid in sorted({e for e, _ in raw.values()})
+                    ]
+                    try:
+                        for fold in folds:
+                            yield fold
+                    except BaseException:
+                        for fold in folds:
+                            if fold.is_alive:
+                                fold.interrupt("stage aborted")
+                        raise
             except FetchFailed:
                 self._cleanup_objects(object_id)
                 self._close_stage(info, job_id)
@@ -236,11 +283,12 @@ class DAGScheduler:
             executor.object_manager.clear(object_id)
 
     # ------------------------------------------------------------ map stages
-    def _ensure_shuffles(self, rdd: RDD, job_id: int) -> Generator:
+    def _ensure_shuffles(self, rdd: RDD, job_id: int,
+                         pool: Optional[str] = None) -> Generator:
         """Run map stages for every incomplete shuffle below ``rdd``."""
         for dep in self._shuffle_deps_topo(rdd):
             if not self.sc.map_output_tracker.is_complete(dep.shuffle_id):
-                yield from self._run_map_stage(dep, job_id)
+                yield from self._run_map_stage(dep, job_id, pool)
 
     @staticmethod
     def _shuffle_deps_topo(rdd: RDD) -> List[ShuffleDependency]:
@@ -259,7 +307,8 @@ class DAGScheduler:
         visit(rdd)
         return order
 
-    def _run_map_stage(self, dep: ShuffleDependency, job_id: int) -> Generator:
+    def _run_map_stage(self, dep: ShuffleDependency, job_id: int,
+                       pool: Optional[str] = None) -> Generator:
         sc = self.sc
         tracker = sc.map_output_tracker
         for attempt in range(MAX_STAGE_ATTEMPTS):
@@ -277,11 +326,11 @@ class DAGScheduler:
 
             try:
                 raw = yield from self._run_tasks(dep.rdd, missing, factory,
-                                                 retry_tasks=True)
+                                                 retry_tasks=True, pool=pool)
             except FetchFailed:
                 self._close_stage(info, job_id)
                 # A grandparent shuffle lost outputs; rebuild it first.
-                yield from self._ensure_shuffles(dep.rdd, job_id)
+                yield from self._ensure_shuffles(dep.rdd, job_id, pool)
                 continue
             self._close_stage(info, job_id)
             for partition, status in raw.items():
@@ -293,7 +342,8 @@ class DAGScheduler:
     # ------------------------------------------------------------- task waves
     def _run_tasks(self, rdd: RDD, partitions: Sequence[int],
                    task_factory: Callable[[int, int], Task],
-                   retry_tasks: bool) -> Generator:
+                   retry_tasks: bool,
+                   pool: Optional[str] = None) -> Generator:
         """Run one task per partition; returns ``{partition: output}``.
 
         With ``retry_tasks`` each task retries independently (Spark's normal
@@ -318,6 +368,17 @@ class DAGScheduler:
         wave: Optional[SpeculationWave] = None
         monitor = None
         factory = task_factory
+        if pool is not None:
+            # Stamp the submitting job's pool on every task of the wave
+            # (first attempts, retries, speculative clones alike) so the
+            # FAIR arbiter can bill slot time to the right tenant.
+            def factory(partition: int, task_attempt: int,
+                        _factory=task_factory) -> Task:
+                task = _factory(partition, task_attempt)
+                task.pool = pool
+                return task
+
+            task_factory = factory
         if (policy is not None and retry_tasks
                 and len(partitions) >= policy.min_tasks):
             gate = CommitGate()
@@ -616,15 +677,22 @@ class DAGScheduler:
                 parent_span_id=tracer.job_span(job_id)))
 
     def _job_start(self, job_id: int, job_kind: str, rdd: RDD,
-                   num_partitions: int) -> None:
+                   num_partitions: int, parent_span: int = -1) -> None:
+        """Emit JobStart. ``parent_span`` is captured on the submitting
+        thread (the driver parent stack is per-submitter); callers that
+        don't pass one fall back to this thread's stack — identical for
+        the classic blocking API, where submit and execute share a
+        thread."""
         bus = self.sc.event_bus
         if bus.active:
             tracer = bus.tracer
+            if parent_span < 0:
+                parent_span = tracer.current_parent
             bus.emit(JobStart(time=self.sc.env.now, job_id=job_id,
                               job_kind=job_kind, rdd_name=rdd.name,
                               num_partitions=num_partitions,
                               span_id=tracer.open_job(job_id),
-                              parent_span_id=tracer.current_parent))
+                              parent_span_id=parent_span))
 
     def _job_end(self, job_id: int, job_kind: str, succeeded: bool) -> None:
         bus = self.sc.event_bus

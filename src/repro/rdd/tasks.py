@@ -37,6 +37,10 @@ class Task:
         self.rdd = rdd
         self.partition = partition
         self.attempt = attempt
+        #: FAIR-scheduler pool this task is billed to (None = untagged;
+        #: the arbiter maps it to the default pool). Stamped by the DAG
+        #: scheduler from the submitting job's scope.
+        self.pool = None
 
     def fetch_plan(self) -> List[Tuple[int, int]]:
         """Shuffle blocks this task will read before computing."""
@@ -139,12 +143,17 @@ class ReducedResultTask(Task):
                  reduce_op: Callable[[Any, Any], Any],
                  object_id: Tuple[int, int],
                  on_merged: Callable[[int, int, Tuple[int, int]], None]
-                 | None = None):
+                 | None = None, ordered: bool = False):
         super().__init__(stage_id, stage_attempt, rdd, partition, attempt)
         self.func = func
         self.reduce_op = reduce_op
         self.object_id = object_id
         self.on_merged = on_merged
+        #: ordered-merge mode (service concurrency): the task *deposits*
+        #: its partial keyed by partition instead of folding in arrival
+        #: order; the scheduler folds deposits in sorted partition order
+        #: at stage end (see DESIGN.md §16).
+        self.ordered = ordered
 
     def run(self, ctx: TaskContext) -> Any:
         data = self.rdd.iterator(self.partition, ctx)

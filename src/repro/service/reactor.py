@@ -1,0 +1,197 @@
+"""The cooperative driver reactor: many job threads, one event loop.
+
+The classic blocking API runs driver code and the simulation kernel on
+one thread, alternating between them (``sc.env.run(until=proc)``). The
+job service needs *many* drivers — one per in-flight job — sharing one
+kernel, without making the kernel thread-safe or turning every driver
+call site into a coroutine. The :class:`Cooperator` squares that circle
+with strict baton-passing:
+
+* Each job runs its (unchanged, synchronous) driver code on its own
+  worker thread.
+* Exactly one thread is ever runnable: either the **owner** thread
+  (which created the Cooperator and pumps the event loop) or one worker.
+* When a worker calls ``env.run(until=event)``, the environment
+  delegates here (see :attr:`Environment._cooperator`): the worker
+  registers a wake-up callback on the event, hands the baton back to the
+  owner, and parks on a :class:`threading.Event`. The owner steps the
+  simulation; when the awaited event is processed, its callback puts the
+  worker on the ready queue and the owner hands it the baton at the next
+  pump iteration (FIFO over wake-ups — deterministic).
+
+Because only one thread runs at a time, no engine state needs locking,
+and a fixed submission schedule replays to bit-identical virtual
+timelines: the ready queue and the event queue are both FIFO, and worker
+wake-up order is a pure function of simulation order.
+
+Cancellation composes with this for free: to cancel a job, interrupt the
+simulation :class:`~repro.sim.Process` its worker is parked on — the
+process fails, the worker wakes with the failure re-raised in its
+``env.run`` call, and the job's own exception handling unwinds it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from ..sim import EmptySchedule, Environment, Event
+
+__all__ = ["Cooperator", "ServiceDeadlock"]
+
+
+class ServiceDeadlock(RuntimeError):
+    """The simulation drained while workers were still parked.
+
+    Every parked worker awaits a simulation event; an empty event queue
+    means none of those events can ever fire — some job is waiting on a
+    resource or signal nothing will produce.
+    """
+
+
+class _Worker:
+    """Bookkeeping for one job thread."""
+
+    __slots__ = ("name", "baton", "thread", "parked_on", "done")
+
+    def __init__(self, name: str):
+        self.name = name
+        #: the worker runs only while this is set (strict baton-passing)
+        self.baton = threading.Event()
+        self.thread: Optional[threading.Thread] = None
+        #: simulation event this worker is currently parked on
+        self.parked_on: Optional[Event] = None
+        self.done = False
+
+    def __repr__(self) -> str:
+        state = ("done" if self.done
+                 else f"parked on {self.parked_on!r}" if self.parked_on
+                 else "ready")
+        return f"<worker {self.name} {state}>"
+
+
+class Cooperator:
+    """Baton-passing scheduler for driver worker threads over one env.
+
+    Construct on the thread that will pump the loop (the *owner*); it
+    attaches itself to ``env`` so every ``env.run(until=...)`` issued
+    from a spawned worker parks that worker instead of re-entering the
+    kernel.
+    """
+
+    def __init__(self, env: Environment):
+        if env._cooperator is not None:
+            raise RuntimeError("environment already has a cooperator")
+        self.env = env
+        env._cooperator = self
+        self._owner = threading.current_thread()
+        self._workers: Dict[threading.Thread, _Worker] = {}
+        #: workers whose awaited event has been processed (or who were
+        #: just spawned), in wake-up order
+        self._ready: Deque[_Worker] = deque()
+        #: set by a worker when it parks or exits; the owner waits on it
+        #: after handing a worker the baton
+        self._owner_signal = threading.Event()
+
+    # ---------------------------------------------------- Environment hook
+    def owns_current_thread(self) -> bool:
+        """True when the calling thread is a spawned worker."""
+        return threading.current_thread() in self._workers
+
+    def await_event(self, until) -> object:
+        """Park the calling worker until ``until`` is processed.
+
+        This is the body of ``env.run(until=...)`` for worker threads;
+        it mirrors the kernel's contract — return the event's value, or
+        re-raise its failure exception.
+        """
+        if not isinstance(until, Event):
+            raise RuntimeError(
+                "service worker threads may only run until a specific "
+                f"event, not {until!r}: draining the queue or running to "
+                "a time horizon belongs to the owner thread")
+        if until.processed:
+            if until.exception is not None:
+                raise until.exception
+            return until.value
+        worker = self._workers[threading.current_thread()]
+        worker.parked_on = until
+        until.add_callback(lambda _event: self._ready.append(worker))
+        worker.baton.clear()
+        self._owner_signal.set()
+        worker.baton.wait()
+        worker.parked_on = None
+        if until.exception is not None:
+            raise until.exception
+        return until.value
+
+    # -------------------------------------------------------------- spawn
+    def spawn(self, fn: Callable[[], None], name: str) -> _Worker:
+        """Start a worker thread that will run ``fn`` once woken.
+
+        The worker is born parked on the ready queue; it does not run
+        until the owner's pump hands it the baton, so spawning from
+        anywhere (the owner thread, another worker, a simulation
+        process body) never violates the one-runnable-thread invariant.
+        """
+        worker = _Worker(name)
+        thread = threading.Thread(target=self._worker_main,
+                                  args=(worker, fn),
+                                  name=f"sparker-job:{name}", daemon=True)
+        worker.thread = thread
+        self._workers[thread] = worker
+        self._ready.append(worker)
+        thread.start()
+        return worker
+
+    def _worker_main(self, worker: _Worker, fn: Callable[[], None]) -> None:
+        worker.baton.wait()  # born parked: run only once the pump says so
+        try:
+            fn()
+        finally:
+            # The worker holds the baton here, so mutating shared
+            # bookkeeping is safe; the owner resumes on the signal.
+            self._workers.pop(worker.thread, None)
+            worker.done = True
+            self._owner_signal.set()
+
+    # --------------------------------------------------------------- pump
+    def pump(self, until_done: Optional[Callable[[], bool]] = None) -> None:
+        """Run workers and the event loop until ``until_done()`` is true.
+
+        With no predicate, runs until every worker has exited and the
+        event queue has drained. Must be called on the owner thread
+        (worker threads re-enter the kernel through :meth:`await_event`
+        instead).
+        """
+        if threading.current_thread() in self._workers:
+            raise RuntimeError("pump() must run on the owner thread")
+        env = self.env
+        while True:
+            if until_done is not None and until_done():
+                return
+            if self._ready:
+                worker = self._ready.popleft()
+                self._owner_signal.clear()
+                worker.baton.set()
+                self._owner_signal.wait()
+                continue
+            try:
+                env.step()
+            except EmptySchedule:
+                parked = [w for w in self._workers.values()
+                          if w.parked_on is not None]
+                if parked:
+                    raise ServiceDeadlock(
+                        f"simulation drained with {len(parked)} worker(s) "
+                        f"still parked: {parked}") from None
+                if until_done is not None and not until_done():
+                    raise ServiceDeadlock(
+                        "simulation drained before the awaited condition "
+                        "became true") from None
+                return
+
+    def __repr__(self) -> str:
+        return (f"<Cooperator workers={len(self._workers)} "
+                f"ready={len(self._ready)}>")

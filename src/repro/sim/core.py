@@ -66,6 +66,13 @@ class Environment:
         self._queue = BucketCalendar()
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: cooperative-driver hook (see :mod:`repro.service.reactor`):
+        #: when attached, ``run(until=event)`` calls issued from a
+        #: registered worker thread are delegated to the cooperator, which
+        #: parks the calling thread and lets the owning reactor pump the
+        #: event loop instead. ``None`` (the default) leaves the blocking
+        #: driver path untouched.
+        self._cooperator: Optional[Any] = None
 
     # -- clock -------------------------------------------------------------
     @property
@@ -141,6 +148,11 @@ class Environment:
         measurably cheaper than thousands of incremental passes. Purely a
         host-speed optimization — no simulated quantity can observe it.
         """
+        cooperator = self._cooperator
+        if cooperator is not None and cooperator.owns_current_thread():
+            # A service worker thread may not pump the event loop itself
+            # (the reactor owns it); park until ``until`` fires instead.
+            return cooperator.await_event(until)
         gc_enabled = gc.isenabled()
         if gc_enabled:
             gc.disable()

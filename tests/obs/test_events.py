@@ -19,10 +19,13 @@ from repro.obs import (
     MessageSent,
     NicSample,
     PhaseSpan,
+    PoolSample,
     RecoveryAction,
     ResidualLost,
     ResidualNorm,
     RingHop,
+    ServiceJobFinished,
+    ServiceJobSubmitted,
     SpeculativeAttempt,
     SegmentRepresentation,
     StageCompleted,
@@ -101,6 +104,13 @@ SAMPLES = [
                        threshold=0.4, elapsed=0.9),
     ExecutorHealth(time=1.1, executor_id=3, status="quarantined", score=2.5,
                    strikes=3, until=6.1),
+    ServiceJobSubmitted(time=1.2, service_job_id=4, tenant="alice",
+                        pool="prod", workload="LR-C", queued=True),
+    ServiceJobFinished(time=1.3, service_job_id=4, tenant="alice",
+                       pool="prod", workload="LR-C", status="succeeded",
+                       submitted=1.2, latency=0.1),
+    PoolSample(time=1.4, pool="prod", weight=3.0, running=5,
+               task_seconds=12.5, queued_tickets=2),
 ]
 
 

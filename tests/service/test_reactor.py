@@ -1,0 +1,125 @@
+"""Cooperator unit tests: baton passing, determinism, deadlock."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.service.reactor import Cooperator, ServiceDeadlock
+
+
+def test_single_worker_runs_in_virtual_time():
+    env = Environment()
+    coop = Cooperator(env)
+    log = []
+
+    def job():
+        log.append(("start", env.now))
+        env.run(until=env.timeout(5.0))
+        log.append(("end", env.now))
+
+    coop.spawn(job, name="j")
+    coop.pump()
+    assert log == [("start", 0.0), ("end", 5.0)]
+
+
+def test_workers_interleave_deterministically():
+    env = Environment()
+    coop = Cooperator(env)
+    log = []
+
+    def job(name, delay):
+        def body():
+            for _ in range(3):
+                env.run(until=env.timeout(delay))
+                log.append((name, env.now))
+        return body
+
+    coop.spawn(job("a", 2.0), name="a")
+    coop.spawn(job("b", 3.0), name="b")
+    coop.pump()
+    # the t=6.0 tie resolves by timeout insertion order: b's second
+    # timeout (scheduled at t=3) beats a's third (scheduled at t=4)
+    assert log == [("a", 2.0), ("b", 3.0), ("a", 4.0), ("b", 6.0),
+                   ("a", 6.0), ("b", 9.0)]
+
+
+def test_await_already_processed_event_returns_immediately():
+    env = Environment()
+    coop = Cooperator(env)
+    timeout = env.timeout(1.0, value="early")
+    env.run(until=timeout)
+    got = []
+    coop.spawn(lambda: got.append(env.run(until=timeout)), name="j")
+    coop.pump()
+    assert got == ["early"]
+
+
+def test_worker_cannot_drain_or_run_to_horizon():
+    env = Environment()
+    coop = Cooperator(env)
+    errors = []
+
+    def job():
+        try:
+            env.run(until=3.0)
+        except RuntimeError as exc:
+            errors.append(str(exc))
+
+    coop.spawn(job, name="j")
+    coop.pump()
+    assert len(errors) == 1 and "owner thread" in errors[0]
+
+
+def test_deadlock_detected_when_event_never_fires():
+    env = Environment()
+    coop = Cooperator(env)
+    orphan = env.event(name="never")
+    coop.spawn(lambda: env.run(until=orphan), name="stuck")
+    with pytest.raises(ServiceDeadlock, match="parked"):
+        coop.pump()
+    # unblock the worker thread so it exits cleanly
+    orphan.succeed(None)
+    coop.pump()
+
+
+def test_pump_condition_stops_mid_run():
+    env = Environment()
+    coop = Cooperator(env)
+
+    def job():
+        for _ in range(10):
+            env.run(until=env.timeout(1.0))
+
+    coop.spawn(job, name="j")
+    coop.pump(lambda: env.now >= 4.0)
+    assert 4.0 <= env.now < 10.0
+    coop.pump()
+    assert env.now == 10.0
+
+
+def test_failed_event_reraises_in_worker():
+    env = Environment()
+    coop = Cooperator(env)
+    boom = env.event(name="boom")
+    caught = []
+
+    def job():
+        try:
+            env.run(until=boom)
+        except ValueError as exc:
+            caught.append(exc)
+
+    def fail_it():
+        yield env.timeout(1.0)
+        boom.fail(ValueError("expected"))
+
+    coop.spawn(job, name="j")
+    env.process(fail_it())
+    coop.pump()
+    assert len(caught) == 1
+
+
+def test_one_cooperator_per_environment():
+    env = Environment()
+    Cooperator(env)
+    with pytest.raises(RuntimeError, match="already has a cooperator"):
+        Cooperator(env)

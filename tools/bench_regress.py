@@ -162,6 +162,21 @@ REGISTRY: Dict[str, BenchSpec] = {
                    abs_slack=0.0, same_config=False, rel_tol=0.25),
         ),
     ),
+    "service": BenchSpec(
+        invariants=(
+            ("identity.all_match", True),
+            ("acceptance.throughput_ok", True),
+            ("acceptance.fairness_ok", True),
+            ("acceptance.scale_ok", True),
+        ),
+        metrics=(
+            Metric("throughput.speedup_vs_fifo", "higher"),
+            Metric("latency.p99", "lower"),
+            Metric("latency.p50", "lower"),
+            Metric("fairness.weighted_max_min_ratio", "lower",
+                   abs_slack=0.2),
+        ),
+    ),
 }
 
 

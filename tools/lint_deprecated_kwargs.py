@@ -10,6 +10,12 @@ the deprecated set, unless the callee is one of the places those names
 legitimately live on (the spec type itself, the shim helpers, the
 resolution functions, or a constructor that owns the field).
 
+Since the ``SparkerSession`` redesign it also flags **direct
+``SparkerContext(...)`` construction** under ``src/``: workload-running
+code must go through a session (``SparkerSession.run`` / ``.submit`` /
+``.context()``), so context construction is confined to the session
+layer and the context module itself (``CONTEXT_ALLOWED_FILES``).
+
 Usage::
 
     python tools/lint_deprecated_kwargs.py [paths...]   # default: src
@@ -44,6 +50,14 @@ ALLOWED_CALLEES = frozenset({
     "dict",                 # plain record building (reports, JSON)
 })
 
+#: the only ``src/`` files allowed to construct a SparkerContext directly
+#: (matched by suffix so the lint works from any checkout root)
+CONTEXT_ALLOWED_FILES = (
+    "repro/rdd/context.py",       # the class itself (docstrings, helpers)
+    "repro/service/session.py",   # SparkerSession.run / .context()
+    "repro/service/server.py",    # the shared service context
+)
+
 
 def _callee_name(node: ast.Call) -> str:
     func = node.func
@@ -58,10 +72,14 @@ def lint_file(path: Path) -> List[Tuple[int, str, str]]:
     """All violations in one file as ``(line, callee, kwarg)``."""
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
     out: List[Tuple[int, str, str]] = []
+    posix = path.as_posix()
+    context_allowed = posix.endswith(CONTEXT_ALLOWED_FILES)
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
         callee = _callee_name(node)
+        if callee == "SparkerContext" and not context_allowed:
+            out.append((node.lineno, callee, "<direct construction>"))
         if callee in ALLOWED_CALLEES:
             continue
         for keyword in node.keywords:
@@ -77,10 +95,16 @@ def lint_paths(paths: Iterable[Path]) -> List[str]:
         files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
         for path in files:
             for line, callee, kwarg in lint_file(path):
-                messages.append(
-                    f"{path}:{line}: deprecated kwarg {kwarg!r} passed to "
-                    f"{callee}() — pass spec=AggregationSpec({kwarg}=...) "
-                    f"instead")
+                if kwarg == "<direct construction>":
+                    messages.append(
+                        f"{path}:{line}: direct SparkerContext() "
+                        f"construction — go through SparkerSession "
+                        f"(.run/.submit/.context())")
+                else:
+                    messages.append(
+                        f"{path}:{line}: deprecated kwarg {kwarg!r} passed "
+                        f"to {callee}() — pass "
+                        f"spec=AggregationSpec({kwarg}=...) instead")
     return messages
 
 
